@@ -1,0 +1,141 @@
+// Command pdltrace synthesizes page-access traces and replays them over
+// the page-update methods, printing the simulated flash cost of each.
+// Traces are portable text files (see internal/trace), so a captured
+// production trace can be substituted for the synthetic ones whenever one
+// is available.
+//
+//	pdltrace -gen -ops 20000 > workload.trace
+//	pdltrace -replay workload.trace
+//	pdltrace -gen -update 90 -changed 10 | pdltrace -replay -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pdl"
+	"pdl/internal/trace"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a synthetic trace to stdout")
+		replay  = flag.String("replay", "", "replay a trace file over every method ('-' = stdin)")
+		pages   = flag.Int("pages", 2048, "database size in logical pages")
+		ops     = flag.Int("ops", 10000, "operations to generate")
+		update  = flag.Float64("update", 50, "%UpdateOps of the generated trace")
+		changed = flag.Float64("changed", 2, "%ChangedByOneU_Op of the generated trace")
+		n       = flag.Int("n", 1, "N_updates_till_write of the generated trace")
+		blocks  = flag.Int("blocks", 0, "flash blocks for replay (0 = 2.5x the database)")
+		seed    = flag.Int64("seed", 1, "seed for trace content and generation")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		if err := generate(*pages, *ops, *update, *changed, *n, *seed); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := replayAll(*replay, *pages, *blocks, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pdltrace: need -gen or -replay FILE (see -help)")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pdltrace: %v\n", err)
+	os.Exit(1)
+}
+
+func generate(pages, ops int, update, changed float64, n int, seed int64) error {
+	pageSize := pdl.DefaultFlashParams().DataSize
+	w := trace.NewWriter(os.Stdout)
+	if err := w.Comment(fmt.Sprintf(
+		"synthetic trace: %d pages, %d ops, %%update=%g, %%changed=%g, N=%d, seed=%d",
+		pages, ops, update, changed, n, seed)); err != nil {
+		return err
+	}
+	for _, op := range trace.Synthesize(pages, ops, update, changed, n, pageSize, seed) {
+		var err error
+		switch op.Kind {
+		case 'R':
+			err = w.Read(op.PID)
+		case 'W':
+			err = w.Write(op.PID, op.Off, op.Len)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+func replayAll(path string, pages, blocks int, seed int64) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	ops, err := trace.Parse(r)
+	if err != nil {
+		return err
+	}
+	maxPID := 0
+	for _, op := range ops {
+		if op.Kind != 'F' && int(op.PID) >= maxPID {
+			maxPID = int(op.PID) + 1
+		}
+	}
+	if maxPID > pages {
+		pages = maxPID
+	}
+	if blocks == 0 {
+		blocks = pages*5/2/pdl.DefaultFlashParams().PagesPerBlock + 4
+	}
+	fmt.Printf("trace: %d ops over %d pages; replaying on %d-block chips\n\n", len(ops), pages, blocks)
+	fmt.Printf("%-12s %10s %10s %10s %14s\n", "method", "reads", "writes", "erases", "sim I/O time")
+
+	builders := []struct {
+		name  string
+		build func(*pdl.Chip) (pdl.Method, error)
+	}{
+		{"PDL(256B)", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.Open(c, pages, pdl.Options{MaxDifferentialSize: 256})
+		}},
+		{"PDL(2KB)", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.Open(c, pages, pdl.Options{MaxDifferentialSize: 2048})
+		}},
+		{"OPU", func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenOPU(c, pages) }},
+		{"IPL(18KB)", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.OpenIPL(c, pages, pdl.IPLOptions{LogPagesPerBlock: 9})
+		}},
+	}
+	for _, b := range builders {
+		chip := pdl.NewChip(pdl.ScaledFlashParams(blocks))
+		m, err := b.build(chip)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		if err := trace.Load(m, ops, seed); err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		chip.ResetStats()
+		res, err := trace.Replay(m, ops, seed+1)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		fmt.Printf("%-12s %10d %10d %10d %14s\n",
+			b.name, res.Cost.Reads, res.Cost.Writes, res.Cost.Erases, res.Cost.Time())
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// TPC-C: run the scaled TPC-C mix (45% New-Order, 43% Payment, 4% each
+// Order-Status, Delivery, Stock-Level) over page-differential logging and
+// the baselines, printing simulated flash I/O time per transaction — a
+// miniature of the paper's Experiment 7 / Figure 18.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdl"
+)
+
+const (
+	warmupTxns  = 500
+	measureTxns = 2000
+)
+
+func main() {
+	scale := pdl.TPCCScale{
+		Warehouses:               1,
+		ItemCount:                1000,
+		DistrictsPerWarehouse:    10,
+		CustomersPerDistrict:     60,
+		InitialOrdersPerDistrict: 60,
+		MaxNewTransactions:       20000,
+	}
+	pages, err := pdl.TPCCPagesNeeded(scale, pdl.DefaultFlashParams().DataSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocks := pages*5/2/64 + 4 // flash at ~2.5x the database
+	fmt.Printf("TPC-C: %d warehouses, %d logical pages (%.1f MB database), chip %d blocks\n",
+		scale.Warehouses, pages, float64(pages)*2048/1e6, blocks)
+	fmt.Printf("%d warmup + %d measured transactions per method, buffer = 2%% of database\n\n",
+		warmupTxns, measureTxns)
+
+	bufferPages := pages / 50 // 2% of the database
+	methods := []struct {
+		name  string
+		build func(*pdl.Chip) (pdl.Method, error)
+	}{
+		{"IPL(18KB)", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.OpenIPL(c, pages, pdl.IPLOptions{LogPagesPerBlock: 9})
+		}},
+		{"PDL(2KB)", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.Open(c, pages, pdl.Options{MaxDifferentialSize: 2048})
+		}},
+		{"PDL(256B)", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.Open(c, pages, pdl.Options{MaxDifferentialSize: 256})
+		}},
+		{"OPU", func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.OpenOPU(c, pages)
+		}},
+	}
+
+	fmt.Printf("%-12s %14s %10s %10s %10s\n", "method", "us/txn (sim)", "reads", "writes", "erases")
+	for _, mm := range methods {
+		chip := pdl.NewChip(pdl.ScaledFlashParams(blocks))
+		m, err := mm.build(chip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := pdl.LoadTPCC(m, scale, bufferPages, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < warmupTxns; i++ {
+			if err := db.Run(db.NextTx()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		chip.ResetStats()
+		for i := 0; i < measureTxns; i++ {
+			if err := db.Run(db.NextTx()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := chip.Stats()
+		fmt.Printf("%-12s %14.1f %10d %10d %10d\n",
+			mm.name, float64(st.TimeMicros)/measureTxns, st.Reads, st.Writes, st.Erases)
+	}
+}

@@ -1,0 +1,197 @@
+// Package buffer implements an LRU buffer pool over a flash page-update
+// method, playing the role of the DBMS buffer in the paper's architecture
+// (Figure 10). Experiment 7 varies this pool's size from 0.1% to 10% of the
+// database; the other experiments bypass buffering entirely, which the
+// paper arranges by designing the update operation as read-change-write.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"pdl/internal/ftl"
+)
+
+// ErrClosed reports use of a closed pool.
+var ErrClosed = errors.New("buffer: pool is closed")
+
+// frame is one cached logical page.
+type frame struct {
+	pid   uint32
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// Pool is a fixed-capacity LRU buffer pool. Dirty pages are written back
+// through the underlying method on eviction and on Flush.
+//
+// Pool is not safe for concurrent use; the storage layers in this module
+// are single-threaded, like the I/O path of the paper's experiments.
+type Pool struct {
+	method   ftl.Method
+	capacity int
+	frames   map[uint32]*frame
+	lru      *list.List // front = most recently used
+	pageSize int
+	closed   bool
+
+	hits, misses, evictions, writebacks int64
+}
+
+// NewPool builds a pool of capacity pages over method.
+func NewPool(method ftl.Method, capacity int) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: capacity must be positive, got %d", capacity)
+	}
+	return &Pool{
+		method:   method,
+		capacity: capacity,
+		frames:   make(map[uint32]*frame, capacity),
+		lru:      list.New(),
+		pageSize: method.Chip().Params().DataSize,
+	}, nil
+}
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// PageSize returns the logical page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Method returns the underlying page-update method.
+func (p *Pool) Method() ftl.Method { return p.method }
+
+// Stats describes pool effectiveness.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// Stats returns the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Writebacks: p.writebacks}
+}
+
+// Get returns the content of logical page pid, faulting it in on a miss.
+// The returned slice aliases the frame; callers that modify it must call
+// MarkDirty before the page can be evicted.
+func (p *Pool) Get(pid uint32) ([]byte, error) {
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if f, ok := p.frames[pid]; ok {
+		p.hits++
+		p.lru.MoveToFront(f.elem)
+		return f.data, nil
+	}
+	p.misses++
+	f, err := p.allocFrame(pid)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.method.ReadPage(pid, f.data); err != nil {
+		p.dropFrame(f)
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// GetNew returns a zeroed frame for a page being created, without reading
+// flash (the page may not exist there yet).
+func (p *Pool) GetNew(pid uint32) ([]byte, error) {
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if f, ok := p.frames[pid]; ok {
+		p.hits++
+		p.lru.MoveToFront(f.elem)
+		return f.data, nil
+	}
+	p.misses++
+	f, err := p.allocFrame(pid)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.dirty = true
+	return f.data, nil
+}
+
+// MarkDirty records that pid's frame has been modified.
+func (p *Pool) MarkDirty(pid uint32) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("buffer: MarkDirty(%d): page not resident", pid)
+	}
+	f.dirty = true
+	return nil
+}
+
+// Flush writes back every dirty frame and then flushes the method's own
+// buffers (the write-through chain of section 4.5).
+func (p *Pool) Flush() error {
+	if p.closed {
+		return ErrClosed
+	}
+	for _, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := p.method.WritePage(f.pid, f.data); err != nil {
+			return err
+		}
+		p.writebacks++
+		f.dirty = false
+	}
+	return p.method.Flush()
+}
+
+// Close flushes and invalidates the pool.
+func (p *Pool) Close() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	p.closed = true
+	return nil
+}
+
+// allocFrame returns a resident frame for pid, evicting the LRU victim if
+// the pool is full.
+func (p *Pool) allocFrame(pid uint32) (*frame, error) {
+	if len(p.frames) >= p.capacity {
+		victim := p.lru.Back()
+		if victim == nil {
+			return nil, errors.New("buffer: pool full with no evictable frame")
+		}
+		vf := victim.Value.(*frame)
+		if vf.dirty {
+			if err := p.method.WritePage(vf.pid, vf.data); err != nil {
+				return nil, fmt.Errorf("buffer: evicting pid %d: %w", vf.pid, err)
+			}
+			p.writebacks++
+		}
+		p.evictions++
+		p.dropFrame(vf)
+	}
+	f := &frame{pid: pid, data: make([]byte, p.pageSize)}
+	f.elem = p.lru.PushFront(f)
+	p.frames[pid] = f
+	return f, nil
+}
+
+func (p *Pool) dropFrame(f *frame) {
+	p.lru.Remove(f.elem)
+	delete(p.frames, f.pid)
+}

@@ -1,0 +1,102 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+	"pdl/internal/opu"
+)
+
+func TestGetFaultsMissingPage(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Get of a never-written page surfaces the method's error and leaves
+	// no frame behind.
+	if _, err := p.Get(3); !errors.Is(err, ftl.ErrNotWritten) {
+		t.Errorf("Get unwritten: %v", err)
+	}
+	if p.Len() != 0 {
+		t.Errorf("failed fault left %d frames resident", p.Len())
+	}
+}
+
+func TestGetNewOnResidentPageHits(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.GetNew(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d[0] = 0xAA
+	// GetNew of a resident page must return the existing frame, not zero
+	// it.
+	d2, err := p.GetNew(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[0] != 0xAA {
+		t.Error("GetNew zeroed a resident frame")
+	}
+	if p.Stats().Hits == 0 {
+		t.Error("resident GetNew not counted as hit")
+	}
+}
+
+func TestAccessorMethods(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 7 {
+		t.Errorf("Capacity = %d", p.Capacity())
+	}
+	if p.PageSize() != chip.Params().DataSize {
+		t.Errorf("PageSize = %d", p.PageSize())
+	}
+	if p.Method() != ftl.Method(m) {
+		t.Error("Method() did not return the underlying method")
+	}
+}
+
+func TestFlushAfterCloseFails(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Flush after close: %v", err)
+	}
+	if _, err := p.GetNew(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("GetNew after close: %v", err)
+	}
+}

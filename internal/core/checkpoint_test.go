@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftltest"
+)
+
+func ckptOptions() Options {
+	return Options{MaxDifferentialSize: 128, ReserveBlocks: 2, CheckpointBlocks: 4}
+}
+
+// buildCkptStore loads a store with a checkpoint region enabled.
+func buildCkptStore(t *testing.T, numBlocks, numPages int) (*Store, *flash.Chip, [][]byte) {
+	t.Helper()
+	chip := flash.NewChip(ftltest.SmallParams(numBlocks))
+	s, err := New(chip, numPages, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	shadow := make([][]byte, numPages)
+	rng := rand.New(rand.NewSource(61))
+	for pid := 0; pid < numPages; pid++ {
+		shadow[pid] = make([]byte, size)
+		rng.Read(shadow[pid])
+		if err := s.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, chip, shadow
+}
+
+func TestCheckpointOptionsValidation(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(16))
+	if _, err := New(chip, 16, Options{CheckpointBlocks: 1}); err == nil {
+		t.Error("odd checkpoint region accepted")
+	}
+	if _, err := New(chip, 16, Options{CheckpointBlocks: 3}); err == nil {
+		t.Error("odd checkpoint region accepted")
+	}
+	// A region too small for the tables must be rejected up front.
+	big := flash.NewChip(ftltest.SmallParams(64))
+	if _, err := New(big, 600, Options{CheckpointBlocks: 2}); !errors.Is(err, ErrCheckpointTooLarge) {
+		t.Errorf("oversized tables: %v", err)
+	}
+}
+
+func TestWriteCheckpointWithoutRegion(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(16))
+	s, err := New(chip, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteCheckpoint(); err == nil {
+		t.Error("checkpoint without region succeeded")
+	}
+}
+
+func TestRecoverWithCheckpointRoundTrip(t *testing.T) {
+	s, chip, shadow := buildCkptStore(t, 24, 64)
+	if _, err := s.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverWithCheckpoint(chip, 64, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chip.Params().DataSize)
+	for pid := range shadow {
+		if err := r.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d mismatch", pid)
+		}
+	}
+}
+
+func TestRecoverWithCheckpointSeesPostCheckpointWrites(t *testing.T) {
+	s, chip, shadow := buildCkptStore(t, 24, 64)
+	if _, err := s.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Updates after the checkpoint, flushed to flash.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		pid := rng.Intn(64)
+		off := rng.Intn(400)
+		rng.Read(shadow[pid][off : off+16])
+		if err := s.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverWithCheckpoint(chip, 64, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chip.Params().DataSize)
+	for pid := range shadow {
+		if err := r.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d lost post-checkpoint update", pid)
+		}
+	}
+}
+
+func TestRecoverWithCheckpointAgreesWithFullScan(t *testing.T) {
+	// Checkpointed recovery and full-scan recovery must produce stores
+	// that read back identical content, across GC churn.
+	s, chip, shadow := buildCkptStore(t, 24, 96)
+	rng := rand.New(rand.NewSource(9))
+	size := chip.Params().DataSize
+	for round := 0; round < 4; round++ {
+		if _, err := s.WriteCheckpoint(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			pid := rng.Intn(96)
+			off := rng.Intn(size - 16)
+			rng.Read(shadow[pid][off : off+16])
+			if err := s.WritePage(uint32(pid), shadow[pid]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fast, err := RecoverWithCheckpoint(chip, 96, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Recover(chip, 96, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]byte, size)
+	b := make([]byte, size)
+	for pid := 0; pid < 96; pid++ {
+		if err := fast.ReadPage(uint32(pid), a); err != nil {
+			t.Fatalf("fast pid %d: %v", pid, err)
+		}
+		if err := full.ReadPage(uint32(pid), b); err != nil {
+			t.Fatalf("full pid %d: %v", pid, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("pid %d: fast and full recovery disagree", pid)
+		}
+		if !bytes.Equal(a, shadow[pid]) {
+			t.Fatalf("pid %d: recovered content wrong", pid)
+		}
+	}
+}
+
+func TestRecoverWithCheckpointReadSavings(t *testing.T) {
+	// The point of the extension: recovery reads roughly one spare per
+	// block plus the dirty blocks, instead of one read per page.
+	s, chip, _ := buildCkptStore(t, 32, 128)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := chip.Stats()
+	if _, err := RecoverWithCheckpoint(chip, 128, ckptOptions()); err != nil {
+		t.Fatal(err)
+	}
+	fastReads := chip.Stats().Sub(before).Reads
+
+	before = chip.Stats()
+	if _, err := Recover(chip, 128, ckptOptions()); err != nil {
+		t.Fatal(err)
+	}
+	fullReads := chip.Stats().Sub(before).Reads
+
+	if fastReads >= fullReads {
+		t.Errorf("checkpointed recovery reads (%d) not below full scan (%d)", fastReads, fullReads)
+	}
+	if fastReads > fullReads/2 {
+		t.Errorf("checkpointed recovery reads (%d) should be well below full scan (%d)", fastReads, fullReads)
+	}
+}
+
+func TestRecoverWithCheckpointNoCheckpoint(t *testing.T) {
+	_, chip, _ := buildCkptStore(t, 24, 64)
+	if _, err := RecoverWithCheckpoint(chip, 64, ckptOptions()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointAlternatesHalvesAndSurvivesTornCheckpoint(t *testing.T) {
+	s, chip, shadow := buildCkptStore(t, 24, 64)
+	if _, err := s.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A second checkpoint whose write is torn by a power failure must not
+	// destroy the first (it goes into the other half).
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		pid := rng.Intn(64)
+		shadow[pid][0] ^= 0xFF
+		if err := s.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chip.SchedulePowerFailure(2) // tear inside the checkpoint write
+	if _, err := s.WriteCheckpoint(); !errors.Is(err, flash.ErrPowerLoss) {
+		// The failure may land in the half-erase instead; both are fine
+		// as long as an error surfaced.
+		if err == nil {
+			t.Fatal("torn checkpoint write reported success")
+		}
+	}
+	chip.SchedulePowerFailure(-1)
+	r, err := RecoverWithCheckpoint(chip, 64, ckptOptions())
+	if err != nil {
+		t.Fatalf("recovery after torn checkpoint: %v", err)
+	}
+	// All pages readable; flushed updates (which pre-date the torn
+	// checkpoint) must be visible via dirty-block scanning.
+	buf := make([]byte, chip.Params().DataSize)
+	for pid := range shadow {
+		if err := r.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d: flushed update lost after torn checkpoint", pid)
+		}
+	}
+}
+
+func TestCheckpointedStoreKeepsOperatingAfterRecovery(t *testing.T) {
+	s, chip, shadow := buildCkptStore(t, 24, 64)
+	if _, err := s.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RecoverWithCheckpoint(chip, 64, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy workload incl. GC on the recovered store, then another
+	// checkpoint and another recovery.
+	rng := rand.New(rand.NewSource(8))
+	size := chip.Params().DataSize
+	for i := 0; i < 1500; i++ {
+		pid := rng.Intn(64)
+		off := rng.Intn(size - 24)
+		rng.Read(shadow[pid][off : off+24])
+		if err := r.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if _, err := r.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RecoverWithCheckpoint(chip, 64, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	for pid := range shadow {
+		if err := r2.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d mismatch after second recovery", pid)
+		}
+	}
+}

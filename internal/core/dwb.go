@@ -1,0 +1,84 @@
+package core
+
+import "pdl/internal/diff"
+
+// writeBuffer is the differential write buffer of section 4.2: a single
+// page's worth of memory that collects differentials of logical pages and
+// is written into a differential page in flash when it fills. It holds at
+// most one differential per logical page — writing a new differential for
+// a page removes the old one first (Step 3 of PDL_Writing).
+type writeBuffer struct {
+	capacity int
+	used     int
+	diffs    []diff.Differential
+	index    map[uint32]int // pid -> position in diffs
+	enc      []byte         // scratch page image for encoding
+}
+
+func (b *writeBuffer) init(capacity int) {
+	b.capacity = capacity
+	b.index = make(map[uint32]int)
+	b.enc = make([]byte, 0, capacity)
+}
+
+// free returns the remaining capacity in bytes.
+func (b *writeBuffer) free() int { return b.capacity - b.used }
+
+// empty reports whether the buffer holds no differentials.
+func (b *writeBuffer) empty() bool { return len(b.diffs) == 0 }
+
+// get returns the buffered differential for pid, if any.
+func (b *writeBuffer) get(pid uint32) (diff.Differential, bool) {
+	i, ok := b.index[pid]
+	if !ok {
+		return diff.Differential{}, false
+	}
+	return b.diffs[i], true
+}
+
+// add appends a differential. The caller has already checked capacity and
+// removed any older differential for the same pid.
+func (b *writeBuffer) add(d diff.Differential) {
+	b.index[d.PID] = len(b.diffs)
+	b.diffs = append(b.diffs, d)
+	b.used += d.EncodedSize()
+}
+
+// remove drops the buffered differential for pid, if present.
+func (b *writeBuffer) remove(pid uint32) {
+	i, ok := b.index[pid]
+	if !ok {
+		return
+	}
+	b.used -= b.diffs[i].EncodedSize()
+	last := len(b.diffs) - 1
+	if i != last {
+		b.diffs[i] = b.diffs[last]
+		b.index[b.diffs[i].PID] = i
+	}
+	b.diffs = b.diffs[:last]
+	delete(b.index, pid)
+}
+
+// clear empties the buffer.
+func (b *writeBuffer) clear() {
+	b.diffs = b.diffs[:0]
+	b.used = 0
+	for pid := range b.index {
+		delete(b.index, pid)
+	}
+}
+
+// encode packs the buffered differentials into a full page image, padding
+// the tail with the erased-flash byte so the differential page's unused
+// space terminates the record sequence.
+func (b *writeBuffer) encode() []byte {
+	b.enc = b.enc[:0]
+	for _, d := range b.diffs {
+		b.enc = d.AppendTo(b.enc)
+	}
+	for len(b.enc) < b.capacity {
+		b.enc = append(b.enc, 0xFF)
+	}
+	return b.enc
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"pdl/internal/diff"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+)
+
+// relocate is PDL's garbage-collection callback (section 4.1): valid base
+// pages of the victim block are moved to newly allocated pages, and the
+// valid differentials of the victim's differential pages are compacted
+// into new differential pages ("we move only valid differentials into a
+// new differential page, i.e., we do compaction here").
+func (s *Store) relocate(victim int) error {
+	p := s.chip.Params()
+
+	// Pass 1: move valid base pages and collect valid differentials.
+	// Base pages move first so that the second pass never packs a
+	// differential whose base page is about to disappear.
+	var keep []diff.Differential
+	for i := 0; i < p.PagesPerBlock; i++ {
+		ppn := s.chip.PPNOf(victim, i)
+		if pid, ok := s.reverseBase[ppn]; ok && s.ppmt[pid].base == ppn {
+			if err := s.relocateBasePage(pid, ppn); err != nil {
+				return err
+			}
+			continue
+		}
+		if s.vdct[ppn] > 0 {
+			ds, err := s.validDifferentials(ppn)
+			if err != nil {
+				return err
+			}
+			keep = append(keep, ds...)
+			delete(s.vdct, ppn)
+		}
+	}
+
+	// Pass 2: compact the surviving differentials into new differential
+	// pages, packing as many as fit per page.
+	for len(keep) > 0 {
+		n, used := 0, 0
+		for n < len(keep) && used+keep[n].EncodedSize() <= p.DataSize {
+			used += keep[n].EncodedSize()
+			n++
+		}
+		if n == 0 {
+			return fmt.Errorf("core: differential of pid %d too large to compact", keep[0].PID)
+		}
+		if err := s.writeCompactedPage(keep[:n]); err != nil {
+			return err
+		}
+		keep = keep[n:]
+	}
+	return nil
+}
+
+// relocateBasePage copies one valid base page out of a victim block.
+func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
+	p := s.chip.Params()
+	if err := s.chip.ReadData(ppn, s.scratch); err != nil {
+		return err
+	}
+	dst, err := s.alloc.Alloc()
+	if err != nil {
+		return err
+	}
+	// The base page keeps its creation time stamp: relocation does not
+	// make the content newer, and recovery must still see any later
+	// differential as the winner.
+	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.baseTS[pid],
+		Seq: s.alloc.SeqOf(s.chip.BlockOf(dst))}, p.SpareSize)
+	if err := s.chip.Program(dst, s.scratch, hdr); err != nil {
+		return err
+	}
+	delete(s.reverseBase, ppn)
+	s.reverseBase[dst] = pid
+	s.ppmt[pid].base = dst
+	return nil
+}
+
+// validDifferentials reads a differential page and returns the
+// differentials that are still current (the mapping table still points at
+// this page for their pid).
+func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
+	if err := s.chip.ReadData(ppn, s.scratch); err != nil {
+		return nil, err
+	}
+	var out []diff.Differential
+	for _, d := range diff.DecodeAll(s.scratch) {
+		if int(d.PID) < s.numPages && s.ppmt[d.PID].dif == ppn && s.diffTS[d.PID] == d.TS {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// writeCompactedPage writes a batch of surviving differentials into a new
+// differential page and repoints the mapping table.
+func (s *Store) writeCompactedPage(ds []diff.Differential) error {
+	p := s.chip.Params()
+	q, err := s.alloc.Alloc()
+	if err != nil {
+		return err
+	}
+	img := make([]byte, 0, p.DataSize)
+	for _, d := range ds {
+		img = d.AppendTo(img)
+	}
+	for len(img) < p.DataSize {
+		img = append(img, 0xFF)
+	}
+	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
+		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
+	if err := s.chip.Program(q, img, hdr); err != nil {
+		return err
+	}
+	for _, d := range ds {
+		s.ppmt[d.PID].dif = q
+		s.vdct[q]++
+	}
+	return nil
+}

@@ -1,0 +1,398 @@
+// Package core implements page-differential logging (PDL), the page-update
+// method proposed by Kim, Whang, and Song in "Page-Differential Logging: An
+// Efficient and DBMS-independent Approach for Storing Data into Flash
+// Memory" (SIGMOD 2010).
+//
+// PDL stores each logical page as up to two physical pages: a base page
+// holding a (possibly old) full image, and a differential page holding the
+// difference between the base page and the up-to-date logical page. The
+// method follows three design principles:
+//
+//   - writing difference only: when a logical page is reflected into flash,
+//     only its differential is written;
+//   - at-most-one-page writing: at most one physical page is written per
+//     reflection, no matter how many times the page was updated in memory;
+//   - at-most-two-page reading: recreating a logical page reads at most the
+//     base page and one differential page.
+//
+// Because the differential is computed by comparing the updated logical
+// page with its base page — not by intercepting update operations — PDL
+// lives entirely inside the flash driver and requires no DBMS changes.
+package core
+
+import (
+	"fmt"
+
+	"pdl/internal/diff"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+)
+
+// Options configures a PDL store.
+type Options struct {
+	// MaxDifferentialSize is the largest encoded differential (bytes) that
+	// will be stored in a differential page; larger differentials cause
+	// the whole logical page to be rewritten as a new base page (Case 3 of
+	// the PDL_Writing algorithm). The paper evaluates PDL(2KB) and
+	// PDL(256B). Zero means the flash data-area size (one page).
+	MaxDifferentialSize int
+	// ReserveBlocks is the number of erased blocks kept aside for garbage
+	// collection. Zero means 2.
+	ReserveBlocks int
+	// CheckpointBlocks, when positive (an even number >= 2), reserves
+	// that many blocks as a checkpoint region and enables
+	// Store.WriteCheckpoint and RecoverWithCheckpoint — the fast-recovery
+	// extension the paper leaves as further study (section 4.5). Zero
+	// disables checkpointing.
+	CheckpointBlocks int
+	// WearAwareGC selects the wear-aware garbage-collection victim policy
+	// instead of pure greedy selection (a longevity ablation; see
+	// internal/ftl).
+	WearAwareGC bool
+}
+
+// pageEntry is one row of the physical page mapping table: the pair
+// <base page address, differential page address> of section 4.2.
+type pageEntry struct {
+	base flash.PPN
+	dif  flash.PPN
+}
+
+// Store is a page-differential logging flash translation layer.
+type Store struct {
+	chip  *flash.Chip
+	alloc *ftl.Allocator
+
+	numPages int
+	maxDiff  int
+
+	// ppmt is the physical page mapping table: pid -> <base, differential>.
+	ppmt []pageEntry
+	// baseTS caches the creation time stamp of each pid's base page, and
+	// diffTS of its newest differential; crash recovery rebuilds both.
+	baseTS []uint64
+	diffTS []uint64
+	// reverseBase maps a base page's PPN back to its pid for GC.
+	reverseBase map[flash.PPN]uint32
+	// vdct is the valid differential count table: differential page ->
+	// number of valid differentials it holds.
+	vdct map[flash.PPN]int
+	// dwb is the one-page differential write buffer.
+	dwb writeBuffer
+	// ts is the creation time stamp counter.
+	ts uint64
+	// ckpt is the checkpoint region manager (nil unless enabled).
+	ckpt *ckptRegion
+
+	tel Telemetry
+
+	scratch []byte // one page, for base-page reads on the write path
+}
+
+// Telemetry counts PDL-internal events, exposed for analysis and tests.
+type Telemetry struct {
+	// BufferFlushes is the number of differential-page writes from the
+	// write buffer (Case 2 spills and explicit Flushes).
+	BufferFlushes int64
+	// NewBasePages is the number of Case 3 fallbacks (differential larger
+	// than Max_Differential_Size) plus initial loads.
+	NewBasePages int64
+	// DiffBytesWritten sums the encoded differential bytes that went into
+	// flushed differential pages.
+	DiffBytesWritten int64
+	// DiffsWritten is the number of differentials in flushed pages.
+	DiffsWritten int64
+}
+
+var _ ftl.Method = (*Store)(nil)
+
+// New builds a PDL store for a database of numPages logical pages over chip.
+func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
+	p := chip.Params()
+	if numPages <= 0 {
+		return nil, fmt.Errorf("core: numPages must be positive, got %d", numPages)
+	}
+	if numPages > p.NumPages() {
+		return nil, fmt.Errorf("core: database of %d pages exceeds flash capacity of %d pages",
+			numPages, p.NumPages())
+	}
+	maxDiff := opts.MaxDifferentialSize
+	if maxDiff == 0 {
+		maxDiff = p.DataSize
+	}
+	if maxDiff < diff.HeaderSize {
+		return nil, fmt.Errorf("core: MaxDifferentialSize %d smaller than differential header %d",
+			maxDiff, diff.HeaderSize)
+	}
+	if maxDiff > p.DataSize {
+		return nil, fmt.Errorf("core: MaxDifferentialSize %d exceeds page data area %d",
+			maxDiff, p.DataSize)
+	}
+	reserve := opts.ReserveBlocks
+	if reserve == 0 {
+		reserve = 2
+	}
+	s := &Store{
+		chip:        chip,
+		alloc:       ftl.NewAllocator(chip, reserve),
+		numPages:    numPages,
+		maxDiff:     maxDiff,
+		ppmt:        make([]pageEntry, numPages),
+		baseTS:      make([]uint64, numPages),
+		diffTS:      make([]uint64, numPages),
+		reverseBase: make(map[flash.PPN]uint32, numPages),
+		vdct:        make(map[flash.PPN]int),
+		scratch:     make([]byte, p.DataSize),
+	}
+	for i := range s.ppmt {
+		s.ppmt[i] = pageEntry{base: flash.NilPPN, dif: flash.NilPPN}
+	}
+	s.dwb.init(p.DataSize)
+	s.alloc.SetRelocator(s.relocate)
+	if opts.WearAwareGC {
+		s.alloc.SetVictimPolicy(ftl.VictimWearAware)
+	}
+	if opts.CheckpointBlocks > 0 {
+		if err := s.enableCheckpoints(opts.CheckpointBlocks); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name implements ftl.Method, e.g. "PDL(256B)".
+func (s *Store) Name() string {
+	if s.maxDiff >= 1024 && s.maxDiff%1024 == 0 {
+		return fmt.Sprintf("PDL(%dKB)", s.maxDiff/1024)
+	}
+	return fmt.Sprintf("PDL(%dB)", s.maxDiff)
+}
+
+// Chip implements ftl.Method.
+func (s *Store) Chip() *flash.Chip { return s.chip }
+
+// NumPages returns the database size in logical pages.
+func (s *Store) NumPages() int { return s.numPages }
+
+// MaxDifferentialSize returns the configured Max_Differential_Size.
+func (s *Store) MaxDifferentialSize() int { return s.maxDiff }
+
+// Allocator exposes the allocator for stats inspection.
+func (s *Store) Allocator() *ftl.Allocator { return s.alloc }
+
+// nextTS returns the next creation time stamp.
+func (s *Store) nextTS() uint64 {
+	s.ts++
+	return s.ts
+}
+
+// WritePage implements ftl.Method with the PDL_Writing algorithm
+// (Figure 7): read the base page, create the differential by comparison,
+// and store the differential in the differential write buffer, spilling to
+// a differential page or falling back to a new base page by size.
+func (s *Store) WritePage(pid uint32, data []byte) error {
+	if err := ftl.CheckPID(pid, s.numPages); err != nil {
+		return err
+	}
+	p := s.chip.Params()
+	if err := ftl.CheckPageBuf(data, p.DataSize); err != nil {
+		return err
+	}
+	e := s.ppmt[pid]
+	if e.base == flash.NilPPN {
+		// Initial load: no base page exists yet, so there is nothing to
+		// diff against; the logical page itself becomes the base page.
+		return s.writeNewBasePage(pid, data)
+	}
+
+	// Step 1: read the base page.
+	if err := s.chip.ReadData(e.base, s.scratch); err != nil {
+		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+	}
+
+	// Step 2: create the differential.
+	d, err := diff.Compute(pid, s.nextTS(), s.scratch, data)
+	if err != nil {
+		return fmt.Errorf("core: computing differential of pid %d: %w", pid, err)
+	}
+
+	// Step 3: write the differential into the differential write buffer.
+	s.dwb.remove(pid)
+	size := d.EncodedSize()
+	switch {
+	case size <= s.dwb.free(): // Case 1
+		s.dwb.add(d)
+	case size <= s.maxDiff: // Case 2
+		if err := s.flushWriteBuffer(); err != nil {
+			return err
+		}
+		s.dwb.add(d)
+	default: // Case 3
+		return s.writeNewBasePage(pid, data)
+	}
+	return nil
+}
+
+// ReadPage implements ftl.Method with the PDL_Reading algorithm (Figure 9):
+// read the base page, find the differential (write buffer first, then the
+// differential page), and merge.
+func (s *Store) ReadPage(pid uint32, buf []byte) error {
+	if err := ftl.CheckPID(pid, s.numPages); err != nil {
+		return err
+	}
+	p := s.chip.Params()
+	if err := ftl.CheckPageBuf(buf, p.DataSize); err != nil {
+		return err
+	}
+	e := s.ppmt[pid]
+	if e.base == flash.NilPPN {
+		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
+	}
+	// Step 1: read the base page.
+	if err := s.chip.ReadData(e.base, buf); err != nil {
+		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+	}
+	// Step 2: find the differential.
+	if d, ok := s.dwb.get(pid); ok {
+		// The differential still resides in the write buffer.
+		return d.Apply(buf)
+	}
+	if e.dif == flash.NilPPN {
+		return nil // no differential page; the base page is current
+	}
+	if err := s.chip.ReadData(e.dif, s.scratch); err != nil {
+		return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
+	}
+	d, ok := findDifferential(s.scratch, pid)
+	if !ok {
+		return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
+	}
+	// Step 3: merge the base page with the differential.
+	return d.Apply(buf)
+}
+
+// Flush implements ftl.Method: it writes the differential write buffer out
+// to flash, the action the paper ties to the storage device's
+// write-through command.
+func (s *Store) Flush() error {
+	if s.dwb.empty() {
+		return nil
+	}
+	return s.flushWriteBuffer()
+}
+
+// findDifferential locates the newest differential for pid in a
+// differential page's data area.
+func findDifferential(pageData []byte, pid uint32) (diff.Differential, bool) {
+	var best diff.Differential
+	found := false
+	for _, d := range diff.DecodeAll(pageData) {
+		if d.PID != pid {
+			continue
+		}
+		if !found || d.TS > best.TS {
+			best = d
+			found = true
+		}
+	}
+	return best, found
+}
+
+// writeNewBasePage implements the writingNewBasePage procedure (Figure 8):
+// the logical page itself is written into a newly allocated base page, the
+// old base page is set obsolete, and any old differential is released.
+func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
+	p := s.chip.Params()
+	q, err := s.alloc.Alloc()
+	if err != nil {
+		return err
+	}
+	ts := s.nextTS()
+	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
+		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
+	if err := s.chip.Program(q, data, hdr); err != nil {
+		return fmt.Errorf("core: writing base page of pid %d: %w", pid, err)
+	}
+	s.tel.NewBasePages++
+	e := s.ppmt[pid]
+	if e.base != flash.NilPPN {
+		delete(s.reverseBase, e.base)
+		if err := s.alloc.MarkObsolete(e.base); err != nil {
+			return err
+		}
+	}
+	if e.dif != flash.NilPPN {
+		if err := s.decreaseValidDifferentialCount(e.dif); err != nil {
+			return err
+		}
+	}
+	s.ppmt[pid] = pageEntry{base: q, dif: flash.NilPPN}
+	s.baseTS[pid] = ts
+	s.diffTS[pid] = 0
+	s.reverseBase[q] = pid
+	return nil
+}
+
+// flushWriteBuffer implements the writingDifferentialWriteBuffer procedure
+// (Figure 8): the buffer's contents become a new differential page, and the
+// mapping and valid-count tables are updated for every differential in it.
+func (s *Store) flushWriteBuffer() error {
+	if s.dwb.empty() {
+		return nil
+	}
+	p := s.chip.Params()
+	q, err := s.alloc.Alloc()
+	if err != nil {
+		return err
+	}
+	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
+		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
+	if err := s.chip.Program(q, s.dwb.encode(), hdr); err != nil {
+		return fmt.Errorf("core: writing differential page: %w", err)
+	}
+	s.tel.BufferFlushes++
+	s.tel.DiffsWritten += int64(len(s.dwb.diffs))
+	s.tel.DiffBytesWritten += int64(s.dwb.used)
+	for _, d := range s.dwb.diffs {
+		old := s.ppmt[d.PID].dif
+		if old != flash.NilPPN {
+			if err := s.decreaseValidDifferentialCount(old); err != nil {
+				return err
+			}
+		}
+		s.ppmt[d.PID].dif = q
+		s.diffTS[d.PID] = d.TS
+		s.vdct[q]++
+	}
+	s.dwb.clear()
+	return nil
+}
+
+// decreaseValidDifferentialCount implements the procedure of Figure 8:
+// decrement the valid differential count of dp and set the page obsolete
+// when it reaches zero.
+func (s *Store) decreaseValidDifferentialCount(dp flash.PPN) error {
+	s.vdct[dp]--
+	if s.vdct[dp] > 0 {
+		return nil
+	}
+	delete(s.vdct, dp)
+	if err := s.alloc.MarkObsolete(dp); err != nil {
+		return fmt.Errorf("core: obsoleting differential page %d: %w", dp, err)
+	}
+	return nil
+}
+
+// WriteBufferBytes returns the used bytes of the differential write buffer
+// (for tests and tooling).
+func (s *Store) WriteBufferBytes() int { return s.dwb.used }
+
+// WriteBufferLen returns the number of differentials currently buffered.
+func (s *Store) WriteBufferLen() int { return len(s.dwb.diffs) }
+
+// ValidDifferentialPages returns the number of differential pages holding
+// at least one valid differential (for tests and tooling).
+func (s *Store) ValidDifferentialPages() int { return len(s.vdct) }
+
+// Telemetry returns the store's internal event counters.
+func (s *Store) Telemetry() Telemetry { return s.tel }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pdl/internal/diff"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+)
+
+// Recover reconstructs a PDL store from the contents of flash memory after
+// a system failure, implementing PDL_RecoveringfromCrash (Figure 11): one
+// scan through the physical pages rebuilds the physical page mapping table
+// and the valid differential count table, arbitrating between co-existing
+// versions with the creation time stamps, and sets the useless pages it
+// discovers (stale base pages, differential pages with no valid
+// differential) obsolete.
+//
+// The recovered state reflects exactly the data that had been written out
+// to flash; differentials that were still in the differential write buffer
+// at the time of the failure are lost, as the paper specifies ("the data
+// retained in the write buffer only but not written out to flash memory
+// are not recovered").
+//
+// Recovery is idempotent: it only sets useless pages obsolete, which does
+// not change the outcome of a repeated run, so it tolerates repeated
+// failures during restart (section 4.5).
+func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
+	s, err := New(chip, numPages, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := chip.Params()
+
+	// Scan every physical page's spare area (and the data area of
+	// differential pages and of suspicious free pages), recording what we
+	// find; no decisions yet.
+	type diffLoc struct {
+		d   diff.Differential
+		ppn flash.PPN
+	}
+	type pageInfo struct {
+		hdr  ftl.Header
+		torn bool // spare erased but data programmed (torn base write)
+	}
+	total := p.NumPages()
+	infos := make([]pageInfo, total)
+	var diffs []diffLoc
+	spare := make([]byte, p.SpareSize)
+	data := make([]byte, p.DataSize)
+	for ppn := 0; ppn < total; ppn++ {
+		if chip.IsBad(chip.BlockOf(flash.PPN(ppn))) {
+			infos[ppn] = pageInfo{hdr: ftl.Header{Type: ftl.TypeFree}}
+			continue
+		}
+		if err := chip.ReadSpare(flash.PPN(ppn), spare); err != nil {
+			return nil, fmt.Errorf("core: recovery scan of ppn %d: %w", ppn, err)
+		}
+		h := ftl.DecodeHeader(spare)
+		infos[ppn] = pageInfo{hdr: h}
+		if h.Obsolete {
+			continue
+		}
+		switch h.Type {
+		case ftl.TypeFree:
+			// A free-looking page may hide a torn program whose spare
+			// never made it; verify the data area is still erased so the
+			// allocator never hands out a dirty page.
+			if err := chip.ReadData(flash.PPN(ppn), data); err != nil {
+				return nil, err
+			}
+			if !allErased(data) {
+				infos[ppn].torn = true
+			}
+		case ftl.TypeDiff:
+			if err := chip.ReadData(flash.PPN(ppn), data); err != nil {
+				return nil, err
+			}
+			for _, d := range diff.DecodeAll(data) {
+				if int(d.PID) < numPages {
+					diffs = append(diffs, diffLoc{d: d, ppn: flash.PPN(ppn)})
+				}
+			}
+		}
+	}
+
+	// Resolve winners in memory. For each pid: the base page with the
+	// greatest time stamp wins (first seen wins ties, which only arise
+	// from a crash between a garbage-collection copy and the victim's
+	// erase, where both copies are identical); the differential with the
+	// greatest time stamp newer than the winning base page wins.
+	for ppn := range infos {
+		h := infos[ppn].hdr
+		if h.Obsolete || h.Type != ftl.TypeBase || int(h.PID) >= numPages {
+			continue
+		}
+		pid := h.PID
+		if s.ppmt[pid].base == flash.NilPPN || h.TS > s.baseTS[pid] {
+			s.ppmt[pid].base = flash.PPN(ppn)
+			s.baseTS[pid] = h.TS
+		}
+	}
+	for _, dl := range diffs {
+		pid := dl.d.PID
+		if s.ppmt[pid].base == flash.NilPPN {
+			continue // differential without a base page cannot be applied
+		}
+		if dl.d.TS <= s.baseTS[pid] {
+			continue // the base page is newer (Fig. 11: ts(d) > ts(bp))
+		}
+		if s.ppmt[pid].dif == flash.NilPPN || dl.d.TS > s.diffTS[pid] {
+			s.ppmt[pid].dif = dl.ppn
+			s.diffTS[pid] = dl.d.TS
+		}
+	}
+	for pid := range s.ppmt {
+		if s.ppmt[pid].base != flash.NilPPN {
+			s.reverseBase[s.ppmt[pid].base] = uint32(pid)
+			if s.baseTS[pid] > s.ts {
+				s.ts = s.baseTS[pid]
+			}
+		}
+		if s.ppmt[pid].dif != flash.NilPPN {
+			s.vdct[s.ppmt[pid].dif]++
+			if s.diffTS[pid] > s.ts {
+				s.ts = s.diffTS[pid]
+			}
+		}
+	}
+
+	// Set the useless pages obsolete: base pages that lost arbitration and
+	// differential pages holding no valid differential (the two kinds of
+	// useless pages of section 4.5).
+	for ppn := range infos {
+		h := infos[ppn].hdr
+		if h.Obsolete {
+			continue
+		}
+		useless := false
+		switch h.Type {
+		case ftl.TypeBase:
+			useless = int(h.PID) >= numPages || s.ppmt[h.PID].base != flash.PPN(ppn)
+		case ftl.TypeDiff:
+			useless = s.vdct[flash.PPN(ppn)] == 0
+		case ftl.TypeFree:
+			useless = infos[ppn].torn
+		case ftl.TypeCheckpoint:
+			// Checkpoint chunks are managed by the checkpoint region
+			// (which erases whole halves); never invalidate them here.
+			useless = false
+		default:
+			useless = true // unknown page type: written by another method
+		}
+		if useless {
+			// Physical marking only; allocator bookkeeping happens
+			// uniformly in the rebuild pass below.
+			if err := chip.ProgramSpare(flash.PPN(ppn), ftl.ObsoleteSpare(p.SpareSize)); err != nil {
+				return nil, fmt.Errorf("core: recovery obsoleting ppn %d: %w", ppn, err)
+			}
+			infos[ppn].hdr.Obsolete = true
+		}
+	}
+
+	// Rebuild the allocator's view: a block with any programmed page is
+	// adopted as full (its erased tail is reclaimed by the next garbage
+	// collection of the block); fully erased blocks stay on the free list.
+	// Checkpoint-region blocks have their own manager and are skipped.
+	for blk := 0; blk < p.NumBlocks; blk++ {
+		if s.isCkptBlock(blk) {
+			continue
+		}
+		written := false
+		for i := 0; i < p.PagesPerBlock; i++ {
+			ppn := blk*p.PagesPerBlock + i
+			if infos[ppn].hdr.Type != ftl.TypeFree || infos[ppn].torn {
+				written = true
+				break
+			}
+		}
+		if !written {
+			continue
+		}
+		s.alloc.AdoptFullBlock(blk)
+		var blockSeq uint64
+		for i := 0; i < p.PagesPerBlock; i++ {
+			ppn := blk*p.PagesPerBlock + i
+			h := infos[ppn].hdr
+			isTorn := infos[ppn].torn && h.Type == ftl.TypeFree
+			if h.Type == ftl.TypeFree && !isTorn {
+				continue
+			}
+			if h.Seq > blockSeq {
+				blockSeq = h.Seq
+			}
+			s.alloc.NoteWritten(flash.PPN(ppn))
+			if h.Obsolete || isTorn {
+				s.alloc.MarkObsoleteInPlace(flash.PPN(ppn))
+			}
+		}
+		if blockSeq > 0 {
+			s.alloc.AdoptSeq(blk, blockSeq)
+		}
+	}
+
+	// If a checkpoint region exists, restore its cursor so the next
+	// WriteCheckpoint gets a fresh id and targets the half that does not
+	// hold the newest complete checkpoint.
+	if s.ckpt != nil {
+		if best, err := s.findCheckpoint(); err == nil {
+			s.ckpt.noteLatest(best.id, best.blk)
+		} else if !errors.Is(err, ErrNoCheckpoint) {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func allErased(b []byte) bool {
+	for _, x := range b {
+		if x != 0xFF {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+// Package diff implements the page-differential codec of Kim, Whang, and
+// Song (SIGMOD 2010, section 4.2).
+//
+// A page-differential captures the difference between the base page stored
+// in flash memory and the up-to-date logical page in memory. Its wire form
+// is
+//
+//	<size, physical page ID, creation time stamp, [offset, length, changed data]+>
+//
+// exactly as defined in the paper, with a leading record size so that
+// multiple differentials can be packed into one differential page and
+// parsed back. Because erased flash reads as 0xFF, a size field of 0xFFFF
+// terminates the record sequence in a partially filled differential page.
+package diff
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the codec.
+var (
+	// ErrCorrupt reports a differential record that cannot be decoded.
+	ErrCorrupt = errors.New("diff: corrupt differential record")
+	// ErrSizeMismatch reports pages of different lengths given to Compute.
+	ErrSizeMismatch = errors.New("diff: base and current page sizes differ")
+)
+
+// Wire-format constants.
+const (
+	// headerSize is size(2) + pid(4) + ts(8) + nranges(2).
+	headerSize = 16
+	// rangeOverhead is off(2) + len(2) per changed range.
+	rangeOverhead = 4
+	// endMarker terminates the record sequence in a differential page.
+	endMarker = 0xFFFF
+)
+
+// HeaderSize is the encoded size of a differential with no changed ranges.
+const HeaderSize = headerSize
+
+// RangeOverhead is the per-range metadata cost in the encoding. Compute
+// coalesces nearby ranges when doing so shrinks the encoding.
+const RangeOverhead = rangeOverhead
+
+// Range is one changed byte range of a logical page.
+type Range struct {
+	// Off is the byte offset of the change within the logical page.
+	Off int
+	// Data is the up-to-date content of the range.
+	Data []byte
+}
+
+// Differential is the difference between a base page in flash and the
+// up-to-date logical page in memory, plus the identifying metadata the
+// paper stores with it: the physical page ID of the logical page it
+// belongs to and its creation time stamp.
+type Differential struct {
+	// PID identifies the logical page (the paper's "physical page ID",
+	// the database-unique page identifier).
+	PID uint32
+	// TS is the creation time stamp used by crash recovery to arbitrate
+	// between versions.
+	TS uint64
+	// Ranges are the changed byte ranges, in ascending offset order,
+	// non-overlapping.
+	Ranges []Range
+}
+
+// Compute derives the differential between base and cur for logical page
+// pid at time stamp ts. Adjacent changed ranges separated by a gap smaller
+// than the per-range overhead are coalesced, since encoding the unchanged
+// gap bytes is cheaper than starting a new range.
+//
+// Compute is the heart of the paper's DBMS-independence argument: it needs
+// only the two page images, not the history of update operations, so it can
+// run entirely inside the flash driver.
+func Compute(pid uint32, ts uint64, base, cur []byte) (Differential, error) {
+	if len(base) != len(cur) {
+		return Differential{}, fmt.Errorf("%w: %d vs %d", ErrSizeMismatch, len(base), len(cur))
+	}
+	d := Differential{PID: pid, TS: ts}
+	i := 0
+	n := len(cur)
+	for i < n {
+		if base[i] == cur[i] {
+			i++
+			continue
+		}
+		// Start of a changed range. Extend it while bytes differ, and
+		// absorb equal-byte gaps shorter than rangeOverhead.
+		start := i
+		end := i + 1
+		for end < n {
+			if base[end] != cur[end] {
+				end++
+				continue
+			}
+			// Look ahead: count equal bytes.
+			gap := end
+			for gap < n && base[gap] == cur[gap] && gap-end < rangeOverhead {
+				gap++
+			}
+			if gap < n && base[gap] != cur[gap] && gap-end < rangeOverhead {
+				end = gap + 1 // absorb the short gap
+				continue
+			}
+			break
+		}
+		data := make([]byte, end-start)
+		copy(data, cur[start:end])
+		d.Ranges = append(d.Ranges, Range{Off: start, Data: data})
+		i = end
+	}
+	return d, nil
+}
+
+// Empty reports whether the differential records no change.
+func (d Differential) Empty() bool { return len(d.Ranges) == 0 }
+
+// ChangedBytes returns the total number of bytes carried by the ranges.
+func (d Differential) ChangedBytes() int {
+	n := 0
+	for _, r := range d.Ranges {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// EncodedSize returns the number of bytes AppendTo will produce. The paper
+// compares this size against Max_Differential_Size and against the free
+// space of the differential write buffer (Cases 1-3 of the PDL_Writing
+// algorithm).
+func (d Differential) EncodedSize() int {
+	return headerSize + rangeOverhead*len(d.Ranges) + d.ChangedBytes()
+}
+
+// AppendTo appends the wire encoding of d to buf and returns the result.
+func (d Differential) AppendTo(buf []byte) []byte {
+	size := d.EncodedSize()
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(size))
+	buf = binary.LittleEndian.AppendUint32(buf, d.PID)
+	buf = binary.LittleEndian.AppendUint64(buf, d.TS)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(d.Ranges)))
+	for _, r := range d.Ranges {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(r.Off))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Data)))
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+// Decode decodes one differential from the front of buf, returning it and
+// the number of bytes consumed. A buffer whose first size field is the
+// erased-flash end marker (or too short to hold a header) yields ErrCorrupt;
+// use DecodeAll to scan a differential page tolerantly.
+func Decode(buf []byte) (Differential, int, error) {
+	if len(buf) < headerSize {
+		return Differential{}, 0, fmt.Errorf("%w: short buffer (%d bytes)", ErrCorrupt, len(buf))
+	}
+	size := int(binary.LittleEndian.Uint16(buf))
+	if size == endMarker || size < headerSize || size > len(buf) {
+		return Differential{}, 0, fmt.Errorf("%w: size field %d", ErrCorrupt, size)
+	}
+	d := Differential{
+		PID: binary.LittleEndian.Uint32(buf[2:]),
+		TS:  binary.LittleEndian.Uint64(buf[6:]),
+	}
+	nr := int(binary.LittleEndian.Uint16(buf[14:]))
+	off := headerSize
+	for i := 0; i < nr; i++ {
+		if off+rangeOverhead > size {
+			return Differential{}, 0, fmt.Errorf("%w: range header past record end", ErrCorrupt)
+		}
+		ro := int(binary.LittleEndian.Uint16(buf[off:]))
+		rl := int(binary.LittleEndian.Uint16(buf[off+2:]))
+		off += rangeOverhead
+		if off+rl > size {
+			return Differential{}, 0, fmt.Errorf("%w: range data past record end", ErrCorrupt)
+		}
+		data := make([]byte, rl)
+		copy(data, buf[off:off+rl])
+		off += rl
+		d.Ranges = append(d.Ranges, Range{Off: ro, Data: data})
+	}
+	if off != size {
+		return Differential{}, 0, fmt.Errorf("%w: record size %d, decoded %d", ErrCorrupt, size, off)
+	}
+	return d, size, nil
+}
+
+// DecodeAll decodes every differential packed into a differential page's
+// data area, stopping at the erased-flash end marker or at the first byte
+// that cannot start a record. A torn trailing record (from a power failure
+// mid-program) is ignored, which is the behaviour crash recovery relies on.
+func DecodeAll(pageData []byte) []Differential {
+	var out []Differential
+	off := 0
+	for off+headerSize <= len(pageData) {
+		d, n, err := Decode(pageData[off:])
+		if err != nil {
+			return out
+		}
+		out = append(out, d)
+		off += n
+	}
+	return out
+}
+
+// Apply overlays the differential onto page, recreating the up-to-date
+// logical page from a copy of its base page (the merge step of
+// PDL_Reading). Ranges beyond the page bounds indicate corruption and
+// return ErrCorrupt with the page partially patched.
+func (d Differential) Apply(page []byte) error {
+	for _, r := range d.Ranges {
+		if r.Off < 0 || r.Off+len(r.Data) > len(page) {
+			return fmt.Errorf("%w: range [%d,%d) outside page of %d bytes",
+				ErrCorrupt, r.Off, r.Off+len(r.Data), len(page))
+		}
+		copy(page[r.Off:], r.Data)
+	}
+	return nil
+}
+
+// String summarizes the differential for debugging.
+func (d Differential) String() string {
+	return fmt.Sprintf("diff(pid=%d ts=%d ranges=%d bytes=%d enc=%d)",
+		d.PID, d.TS, len(d.Ranges), d.ChangedBytes(), d.EncodedSize())
+}

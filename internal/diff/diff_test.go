@@ -1,0 +1,334 @@
+package diff
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pageOf(n int, b byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestComputeIdentical(t *testing.T) {
+	base := pageOf(2048, 0xAB)
+	d, err := Compute(1, 7, base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Errorf("identical pages produced %d ranges", len(d.Ranges))
+	}
+	if d.EncodedSize() != HeaderSize {
+		t.Errorf("empty diff size = %d, want %d", d.EncodedSize(), HeaderSize)
+	}
+	if d.PID != 1 || d.TS != 7 {
+		t.Errorf("metadata not preserved: %+v", d)
+	}
+}
+
+func TestComputeSizeMismatch(t *testing.T) {
+	_, err := Compute(0, 0, make([]byte, 10), make([]byte, 11))
+	if !errors.Is(err, ErrSizeMismatch) {
+		t.Errorf("err = %v, want ErrSizeMismatch", err)
+	}
+}
+
+func TestComputeSingleRange(t *testing.T) {
+	base := pageOf(256, 0x00)
+	cur := pageOf(256, 0x00)
+	copy(cur[100:], []byte("hello"))
+	d, err := Compute(3, 9, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ranges) != 1 {
+		t.Fatalf("ranges = %d, want 1", len(d.Ranges))
+	}
+	r := d.Ranges[0]
+	if r.Off != 100 || !bytes.Equal(r.Data, []byte("hello")) {
+		t.Errorf("range = %+v", r)
+	}
+	if d.ChangedBytes() != 5 {
+		t.Errorf("ChangedBytes = %d, want 5", d.ChangedBytes())
+	}
+}
+
+func TestComputeCoalescesShortGaps(t *testing.T) {
+	// Two 1-byte changes separated by a 2-byte gap: encoding one range of
+	// 4 bytes (4+4=8 payload) beats two ranges (4+1 + 4+1 = 10).
+	base := pageOf(64, 0x00)
+	cur := pageOf(64, 0x00)
+	cur[10] = 1
+	cur[13] = 1
+	d, err := Compute(0, 0, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ranges) != 1 {
+		t.Fatalf("ranges = %d, want 1 (coalesced)", len(d.Ranges))
+	}
+	if d.Ranges[0].Off != 10 || len(d.Ranges[0].Data) != 4 {
+		t.Errorf("range = %+v", d.Ranges[0])
+	}
+}
+
+func TestComputeKeepsLongGaps(t *testing.T) {
+	base := pageOf(64, 0x00)
+	cur := pageOf(64, 0x00)
+	cur[10] = 1
+	cur[30] = 1
+	d, err := Compute(0, 0, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ranges) != 2 {
+		t.Fatalf("ranges = %d, want 2", len(d.Ranges))
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Paper section 4.1: "... aaaaaa ... -> ... bbbbba ... -> ... bcccba ...".
+	// The differential against the original contains only "bcccb", the net
+	// difference, not the history of both updates.
+	base := []byte("xxaaaaaaxx")
+	cur := []byte("xxbcccbaxx")
+	d, err := Compute(0, 0, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ranges) != 1 {
+		t.Fatalf("ranges = %d, want 1", len(d.Ranges))
+	}
+	if d.Ranges[0].Off != 2 || !bytes.Equal(d.Ranges[0].Data, []byte("bcccb")) {
+		t.Errorf("range = off %d data %q, want off 2 data \"bcccb\"", d.Ranges[0].Off, d.Ranges[0].Data)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	base := pageOf(2048, 0x11)
+	cur := pageOf(2048, 0x11)
+	copy(cur[0:], []byte("head"))
+	copy(cur[500:], []byte("middle-part"))
+	copy(cur[2040:], []byte("tailtail"))
+	d, err := Compute(42, 1234567890123, base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := d.AppendTo(nil)
+	if len(enc) != d.EncodedSize() {
+		t.Errorf("encoded len %d, want %d", len(enc), d.EncodedSize())
+	}
+	got, n, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d of %d", n, len(enc))
+	}
+	if got.PID != 42 || got.TS != 1234567890123 {
+		t.Errorf("metadata = %+v", got)
+	}
+	page := append([]byte(nil), base...)
+	if err := got.Apply(page); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page, cur) {
+		t.Error("apply(decode(encode)) != current page")
+	}
+}
+
+func TestDecodeAllPacked(t *testing.T) {
+	// Pack three differentials into a 2048-byte "differential page" whose
+	// tail is erased (0xFF), as PDL does with its write buffer.
+	page := pageOf(2048, 0xFF)
+	var off int
+	var want []uint32
+	for i := 0; i < 3; i++ {
+		base := pageOf(128, 0)
+		cur := pageOf(128, 0)
+		cur[i*7] = byte(i + 1)
+		d, err := Compute(uint32(i+10), uint64(i+100), base, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := d.AppendTo(nil)
+		copy(page[off:], enc)
+		off += len(enc)
+		want = append(want, d.PID)
+	}
+	got := DecodeAll(page)
+	if len(got) != 3 {
+		t.Fatalf("decoded %d differentials, want 3", len(got))
+	}
+	for i, d := range got {
+		if d.PID != want[i] {
+			t.Errorf("diff %d: pid = %d, want %d", i, d.PID, want[i])
+		}
+	}
+}
+
+func TestDecodeAllTornTail(t *testing.T) {
+	// A record whose size field survived but whose body was torn by a
+	// power failure must not be decoded as valid... but a torn record is
+	// detectable only if it fails structural checks. Build a record, then
+	// truncate the page right after the size field of a second record.
+	base := pageOf(64, 0)
+	cur := pageOf(64, 0)
+	cur[5] = 9
+	d, _ := Compute(1, 1, base, cur)
+	page := pageOf(256, 0xFF)
+	enc := d.AppendTo(nil)
+	copy(page, enc)
+	// Second record: a size field claiming 100 bytes, but body erased.
+	page[len(enc)] = 100
+	page[len(enc)+1] = 0
+	got := DecodeAll(page)
+	if len(got) != 1 {
+		t.Fatalf("decoded %d, want 1 (torn tail ignored)", len(got))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, _, err := Decode(pageOf(64, 0xFF)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("erased: %v", err)
+	}
+	// Size smaller than header.
+	b := make([]byte, 64)
+	b[0] = 5
+	if _, _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tiny size: %v", err)
+	}
+}
+
+func TestApplyOutOfBounds(t *testing.T) {
+	d := Differential{Ranges: []Range{{Off: 60, Data: make([]byte, 10)}}}
+	if err := d.Apply(make([]byte, 64)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Property: for random page pairs, Apply(Compute(base, cur)) onto a copy of
+// base reproduces cur exactly, and the decode of the encode equals the
+// original.
+func TestQuickComputeApplyRoundTrip(t *testing.T) {
+	f := func(seed int64, changes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 512
+		base := make([]byte, n)
+		rng.Read(base)
+		cur := append([]byte(nil), base...)
+		for i := 0; i < int(changes); i++ {
+			off := rng.Intn(n)
+			ln := 1 + rng.Intn(32)
+			if off+ln > n {
+				ln = n - off
+			}
+			rng.Read(cur[off : off+ln])
+		}
+		d, err := Compute(7, 7, base, cur)
+		if err != nil {
+			return false
+		}
+		enc := d.AppendTo(nil)
+		got, _, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		page := append([]byte(nil), base...)
+		if err := got.Apply(page); err != nil {
+			return false
+		}
+		return bytes.Equal(page, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranges are sorted, non-overlapping, and every range really
+// differs from the base somewhere.
+func TestQuickRangeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 256
+		base := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(base)
+		copy(cur, base)
+		for i := 0; i < 8; i++ {
+			cur[rng.Intn(n)] ^= byte(1 + rng.Intn(255))
+		}
+		d, err := Compute(0, 0, base, cur)
+		if err != nil {
+			return false
+		}
+		prevEnd := -1
+		for _, r := range d.Ranges {
+			if r.Off <= prevEnd || len(r.Data) == 0 {
+				return false
+			}
+			differs := false
+			for j, b := range r.Data {
+				if base[r.Off+j] != b {
+					differs = true
+					break
+				}
+			}
+			if !differs {
+				return false
+			}
+			prevEnd = r.Off + len(r.Data) - 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the encoded size is never larger than a whole-page rewrite
+// would suggest for a fully random pair... it can be (metadata overhead),
+// which is exactly the paper's Case 3; assert instead that EncodedSize is
+// consistent with the encoding.
+func TestQuickEncodedSizeConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 300
+		base := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(base)
+		rng.Read(cur)
+		d, err := Compute(0, 0, base, cur)
+		if err != nil {
+			return false
+		}
+		return len(d.AppendTo(nil)) == d.EncodedSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompute2Pct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 2048)
+	rng.Read(base)
+	cur := append([]byte(nil), base...)
+	// ~2% of the page changed in one run, like the paper's default.
+	off := 700
+	rng.Read(cur[off : off+41])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Compute(1, 1, base, cur)
+	}
+}

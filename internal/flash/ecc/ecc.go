@@ -1,0 +1,175 @@
+// Package ecc implements the single-error-correcting, double-error-
+// detecting (SEC-DED) Hamming code used by NAND flash drivers to protect
+// page data, in the 3-bytes-per-256-byte-sector layout popularized by
+// SmartMedia and used in the spare areas of the chips the paper models
+// (section 2: the spare area stores "auxiliary information such as ...
+// error correction check (ECC)").
+//
+// The code computes, for each 256-byte sector, 22 parity bits: 16 line
+// parity bits (8 even/odd pairs over the byte index) and 6 column parity
+// bits (3 even/odd pairs over the bit index), packed into 3 bytes. A
+// single-bit error yields a syndrome that directly addresses the flipped
+// bit; a failed address-pair consistency check signals an uncorrectable
+// multi-bit error.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// SectorSize is the data unit covered by one ECC triple.
+const SectorSize = 256
+
+// CodeSize is the ECC bytes per sector.
+const CodeSize = 3
+
+// Errors reported by Correct.
+var (
+	// ErrUncorrectable reports a multi-bit error.
+	ErrUncorrectable = errors.New("ecc: uncorrectable error (two or more bits)")
+	// ErrSectorSize reports a data slice that is not one sector.
+	ErrSectorSize = errors.New("ecc: data must be exactly one 256-byte sector")
+	// ErrCodeSize reports an ECC slice that is not 3 bytes.
+	ErrCodeSize = errors.New("ecc: code must be exactly 3 bytes")
+)
+
+// parity returns the even parity of b (1 if odd number of bits).
+func parity(b byte) byte {
+	return byte(bits.OnesCount8(b) & 1)
+}
+
+// Compute returns the 3-byte ECC of one 256-byte sector.
+//
+// Layout (matching the classic SmartMedia convention):
+//
+//	code[0] = line parity LP0..LP7   (address bits 0..3 of the byte index)
+//	code[1] = line parity LP8..LP15  (address bits 4..7 of the byte index)
+//	code[2] = column parity CP0..CP5 in bits 2..7, bits 0..1 set to 1
+func Compute(data []byte) ([CodeSize]byte, error) {
+	var code [CodeSize]byte
+	if len(data) != SectorSize {
+		return code, fmt.Errorf("%w: got %d bytes", ErrSectorSize, len(data))
+	}
+	var lp [16]byte    // LP0..LP15: 8 even/odd pairs over byte-index bits
+	var colAcc byte    // XOR of all bytes: basis for column parity
+	var colSel [6]byte // CP accumulators
+	for i, b := range data {
+		colAcc ^= b
+		for k := 0; k < 8; k++ {
+			if i&(1<<k) != 0 {
+				lp[2*k+1] ^= b // odd half
+			} else {
+				lp[2*k] ^= b // even half
+			}
+		}
+	}
+	// Column parity: pairs over bit index. CP0 covers even bits, CP1 odd
+	// bits, CP2 bits with bit1=0, CP3 bit1=1, CP4 bit2=0, CP5 bit2=1.
+	colSel[0] = colAcc & 0b01010101
+	colSel[1] = colAcc & 0b10101010
+	colSel[2] = colAcc & 0b00110011
+	colSel[3] = colAcc & 0b11001100
+	colSel[4] = colAcc & 0b00001111
+	colSel[5] = colAcc & 0b11110000
+	for k := 0; k < 16; k++ {
+		bit := parity(lp[k])
+		if k < 8 {
+			code[0] |= bit << k
+		} else {
+			code[1] |= bit << (k - 8)
+		}
+	}
+	for k := 0; k < 6; k++ {
+		code[2] |= parity(colSel[k]) << (k + 2)
+	}
+	code[2] |= 0x03 // unused low bits kept erased-compatible
+	return code, nil
+}
+
+// Correct verifies data against code, fixing a single flipped bit in place
+// if necessary. It returns the number of corrected bits (0 or 1), or
+// ErrUncorrectable for multi-bit corruption.
+func Correct(data []byte, code [CodeSize]byte) (int, error) {
+	if len(data) != SectorSize {
+		return 0, fmt.Errorf("%w: got %d bytes", ErrSectorSize, len(data))
+	}
+	fresh, err := Compute(data)
+	if err != nil {
+		return 0, err
+	}
+	// Syndrome: XOR of stored and recomputed codes.
+	s0 := fresh[0] ^ code[0]
+	s1 := fresh[1] ^ code[1]
+	s2 := (fresh[2] ^ code[2]) >> 2 // 6 column syndrome bits
+	if s0 == 0 && s1 == 0 && s2 == 0 {
+		return 0, nil
+	}
+	// For a single-bit error every even/odd parity pair disagrees in
+	// exactly one member: each pair of syndrome bits must be 01 or 10.
+	lineSyn := uint16(s0) | uint16(s1)<<8
+	byteAddr := 0
+	for k := 0; k < 8; k++ {
+		pair := (lineSyn >> (2 * k)) & 0b11
+		switch pair {
+		case 0b10: // odd half disagrees: address bit k is 1
+			byteAddr |= 1 << k
+		case 0b01: // even half disagrees: address bit k is 0
+		default:
+			return 0, ErrUncorrectable
+		}
+	}
+	bitAddr := 0
+	for k := 0; k < 3; k++ {
+		pair := (s2 >> (2 * k)) & 0b11
+		switch pair {
+		case 0b10:
+			bitAddr |= 1 << k
+		case 0b01:
+		default:
+			return 0, ErrUncorrectable
+		}
+	}
+	data[byteAddr] ^= 1 << bitAddr
+	return 1, nil
+}
+
+// ComputePage returns the concatenated ECC for a whole page data area
+// (one 3-byte code per 256-byte sector). The result fits comfortably in
+// the spare area: a 2048-byte page needs 8 sectors x 3 = 24 bytes of the
+// 64-byte spare.
+func ComputePage(data []byte) ([]byte, error) {
+	if len(data)%SectorSize != 0 {
+		return nil, fmt.Errorf("%w: page of %d bytes is not sector-aligned", ErrSectorSize, len(data))
+	}
+	out := make([]byte, 0, len(data)/SectorSize*CodeSize)
+	for off := 0; off < len(data); off += SectorSize {
+		c, err := Compute(data[off : off+SectorSize])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c[:]...)
+	}
+	return out, nil
+}
+
+// CorrectPage verifies a whole page against its concatenated ECC,
+// correcting up to one bit per sector. It returns the total corrected
+// bits.
+func CorrectPage(data, codes []byte) (int, error) {
+	if len(codes) != len(data)/SectorSize*CodeSize {
+		return 0, fmt.Errorf("%w: %d code bytes for %d data bytes", ErrCodeSize, len(codes), len(data))
+	}
+	total := 0
+	for i, off := 0, 0; off < len(data); i, off = i+1, off+SectorSize {
+		var c [CodeSize]byte
+		copy(c[:], codes[i*CodeSize:])
+		n, err := Correct(data[off:off+SectorSize], c)
+		if err != nil {
+			return total, fmt.Errorf("sector %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}

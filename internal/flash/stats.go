@@ -1,0 +1,103 @@
+package flash
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats accumulates operation counts and simulated I/O time for a chip.
+// All times are in simulated microseconds derived from Params; they are
+// what the paper calls "I/O time". Stats values form an additive group:
+// use Sub to attribute the cost of a code region (for example, to split
+// garbage-collection time out of write time as Figure 12(b) does).
+type Stats struct {
+	// Reads is the number of page read operations.
+	Reads int64
+	// Writes is the number of program operations (full-page, partial data,
+	// and spare-area programs all count; the paper counts obsolete-marking
+	// as a write operation).
+	Writes int64
+	// Erases is the number of block erase operations.
+	Erases int64
+	// TimeMicros is the accumulated simulated I/O time in microseconds.
+	TimeMicros int64
+}
+
+// Stats returns a snapshot of the chip's accumulated statistics.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the chip's accumulated statistics. Wear counters and
+// contents are unaffected.
+func (c *Chip) ResetStats() { c.stats = Stats{} }
+
+// Sub returns s - o, the cost of the region between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:      s.Reads - o.Reads,
+		Writes:     s.Writes - o.Writes,
+		Erases:     s.Erases - o.Erases,
+		TimeMicros: s.TimeMicros - o.TimeMicros,
+	}
+}
+
+// Add returns s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:      s.Reads + o.Reads,
+		Writes:     s.Writes + o.Writes,
+		Erases:     s.Erases + o.Erases,
+		TimeMicros: s.TimeMicros + o.TimeMicros,
+	}
+}
+
+// Ops returns the total number of flash operations.
+func (s Stats) Ops() int64 { return s.Reads + s.Writes + s.Erases }
+
+// Time returns the simulated I/O time as a time.Duration.
+func (s Stats) Time() time.Duration { return time.Duration(s.TimeMicros) * time.Microsecond }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d erases=%d io=%s",
+		s.Reads, s.Writes, s.Erases, s.Time())
+}
+
+// TimeOf recomputes the I/O time of s under different timing parameters.
+// Experiment 5 sweeps Tread and Twrite; recomputing from counts avoids
+// rerunning workloads per timing point when the access pattern itself is
+// unaffected by timing (it is: methods decide based on sizes, not times).
+func (s Stats) TimeOf(p Params) int64 {
+	return s.Reads*p.ReadMicros + s.Writes*p.WriteMicros + s.Erases*p.EraseMicros
+}
+
+// WearSummary describes the distribution of erase counts over blocks.
+type WearSummary struct {
+	MinErase  int
+	MaxErase  int
+	MeanErase float64
+	// TotalErases is the sum over all blocks (equals Stats.Erases if the
+	// stats were never reset).
+	TotalErases int64
+	// Limit is the nominal endurance of a block.
+	Limit int
+}
+
+// Wear returns the chip's erase-count distribution.
+func (c *Chip) Wear() WearSummary {
+	w := WearSummary{Limit: c.params.eraseLimit()}
+	if len(c.blocks) == 0 {
+		return w
+	}
+	w.MinErase = c.blocks[0].eraseCount
+	for i := range c.blocks {
+		ec := c.blocks[i].eraseCount
+		if ec < w.MinErase {
+			w.MinErase = ec
+		}
+		if ec > w.MaxErase {
+			w.MaxErase = ec
+		}
+		w.TotalErases += int64(ec)
+	}
+	w.MeanErase = float64(w.TotalErases) / float64(len(c.blocks))
+	return w
+}

@@ -1,0 +1,369 @@
+package ftl
+
+import (
+	"fmt"
+
+	"pdl/internal/flash"
+)
+
+// blockState tracks the allocator's view of one erase block.
+type blockState uint8
+
+const (
+	blockFree   blockState = iota // fully erased, on the free list
+	blockActive                   // currently being filled
+	blockFull                     // completely written (may hold obsolete pages)
+)
+
+type blockInfo struct {
+	state    blockState
+	written  int // pages programmed since erase
+	obsolete int // pages marked obsolete
+	// excluded blocks (checkpoint regions) are never allocated from and
+	// never chosen as garbage-collection victims.
+	excluded bool
+}
+
+// Relocator moves the still-valid contents of a victim block elsewhere
+// before the allocator erases it. Implementations allocate replacement
+// pages with Alloc (recursive garbage collection is suppressed while a
+// relocation runs) and update their own mapping tables. They must not
+// physically mark pages of the victim obsolete — the erase that follows
+// reclaims the whole block — but they must call MarkObsoleteInPlace for
+// bookkeeping if they track validity through the allocator.
+type Relocator func(victim int) error
+
+// VictimPolicy selects the garbage-collection victim block.
+type VictimPolicy int
+
+// Victim policies.
+const (
+	// VictimGreedy picks the full block with the most obsolete pages,
+	// the policy of Woodhouse's JFFS garbage collector the paper adopts
+	// for all methods (footnote 14). It maximizes reclaimed space per
+	// erase but ignores wear.
+	VictimGreedy VictimPolicy = iota
+	// VictimWearAware discounts blocks that have already sustained many
+	// erases, trading some reclamation efficiency for a narrower
+	// erase-count distribution. Wear-leveling is orthogonal to the
+	// page-update methods (paper footnote 4); this policy exists for the
+	// wear ablation in the benchmarks.
+	VictimWearAware
+)
+
+// Allocator hands out free flash pages in append order and reclaims space
+// with garbage collection under a configurable victim policy (greedy by
+// default).
+//
+// The allocator maintains a reserve of erased blocks so that relocation
+// during garbage collection always has somewhere to write; this is the
+// "new block, which is reserved for the garbage collection process" of
+// section 4.1.
+type Allocator struct {
+	chip     *flash.Chip
+	relocate Relocator
+
+	blocks    []blockInfo
+	freeList  []int
+	active    int // block being filled, -1 if none
+	nextPage  int // next page index within active
+	reserve   int // number of blocks kept erased for GC
+	inGC      bool
+	policy    VictimPolicy
+	gcStats   flash.Stats
+	gcRuns    int64
+	gcVictims map[int]int64 // victim block -> times collected (for steady-state checks)
+
+	// seq tracks each block's activation sequence number: a monotonic
+	// counter bumped whenever a block leaves the free list. Pages carry
+	// it in their spare headers, letting checkpointed recovery detect
+	// blocks rewritten since the checkpoint.
+	seq        []uint64
+	seqCounter uint64
+}
+
+// NewAllocator builds an allocator over chip keeping reserve erased blocks
+// for garbage collection (minimum 1; the paper reserves one block).
+func NewAllocator(chip *flash.Chip, reserve int) *Allocator {
+	if reserve < 1 {
+		reserve = 1
+	}
+	p := chip.Params()
+	a := &Allocator{
+		chip:      chip,
+		blocks:    make([]blockInfo, p.NumBlocks),
+		active:    -1,
+		reserve:   reserve,
+		gcVictims: make(map[int]int64),
+		seq:       make([]uint64, p.NumBlocks),
+	}
+	a.freeList = make([]int, 0, p.NumBlocks)
+	for b := p.NumBlocks - 1; b >= 0; b-- {
+		if !chip.IsBad(b) {
+			a.freeList = append(a.freeList, b)
+		}
+	}
+	return a
+}
+
+// SetRelocator installs the method-specific garbage-collection relocation
+// callback. It must be set before the first allocation that could trigger
+// garbage collection.
+func (a *Allocator) SetRelocator(r Relocator) { a.relocate = r }
+
+// SetVictimPolicy selects how garbage-collection victims are chosen.
+func (a *Allocator) SetVictimPolicy(p VictimPolicy) { a.policy = p }
+
+// Chip returns the underlying chip.
+func (a *Allocator) Chip() *flash.Chip { return a.chip }
+
+// FreeBlocks returns the number of fully erased blocks (including the
+// active block's unwritten tail pages is deliberately excluded; methods
+// size workloads by erased blocks).
+func (a *Allocator) FreeBlocks() int { return len(a.freeList) }
+
+// FreePages returns the number of unwritten pages available without
+// garbage collection.
+func (a *Allocator) FreePages() int {
+	n := len(a.freeList) * a.chip.Params().PagesPerBlock
+	if a.active >= 0 {
+		n += a.chip.Params().PagesPerBlock - a.nextPage
+	}
+	return n
+}
+
+// GCStats returns the flash cost accumulated inside garbage collection,
+// which the paper amortizes into the write cost (the slashed areas of
+// Figure 12(b)).
+func (a *Allocator) GCStats() flash.Stats { return a.gcStats }
+
+// GCRuns returns how many garbage collections have run.
+func (a *Allocator) GCRuns() int64 { return a.gcRuns }
+
+// MinVictimRounds returns the minimum number of times any single block has
+// been garbage-collected, the paper's steady-state criterion ("garbage
+// collection is invoked for each block at least ten times on the average
+// after loading the database").
+func (a *Allocator) MinVictimRounds() int64 {
+	if len(a.gcVictims) == 0 {
+		return 0
+	}
+	var min int64 = 1<<63 - 1
+	for b := range a.blocks {
+		v := a.gcVictims[b]
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MeanVictimRounds returns the mean number of garbage collections per block.
+func (a *Allocator) MeanVictimRounds() float64 {
+	return float64(a.gcRuns) / float64(len(a.blocks))
+}
+
+// ResetGCStats zeroes the garbage-collection accounting (used after the
+// steady-state conditioning phase of an experiment).
+func (a *Allocator) ResetGCStats() {
+	a.gcStats = flash.Stats{}
+	a.gcRuns = 0
+}
+
+// Alloc returns the physical page number of the next free page, running
+// garbage collection first if the erased-block reserve would be violated.
+// The returned page is accounted as written-and-valid; callers must
+// program it exactly once.
+func (a *Allocator) Alloc() (flash.PPN, error) {
+	p := a.chip.Params()
+	if (a.active < 0 || a.nextPage == p.PagesPerBlock) && !a.inGC {
+		// About to switch blocks: restore the erased-block reserve first.
+		// collect may recursively allocate (relocation), which can itself
+		// roll the active block over, so re-check the active block after.
+		for len(a.freeList) <= a.reserve {
+			if err := a.collect(); err != nil {
+				return flash.NilPPN, err
+			}
+		}
+	}
+	if a.active < 0 || a.nextPage == p.PagesPerBlock {
+		if a.active >= 0 {
+			a.blocks[a.active].state = blockFull
+			a.active = -1
+		}
+		if len(a.freeList) == 0 {
+			return flash.NilPPN, ErrNoSpace
+		}
+		a.active = a.freeList[len(a.freeList)-1]
+		a.freeList = a.freeList[:len(a.freeList)-1]
+		a.blocks[a.active].state = blockActive
+		a.nextPage = 0
+		a.seqCounter++
+		a.seq[a.active] = a.seqCounter
+	}
+	ppn := a.chip.PPNOf(a.active, a.nextPage)
+	a.nextPage++
+	a.blocks[a.active].written++
+	return ppn, nil
+}
+
+// MarkObsolete physically sets the page obsolete by partially programming
+// its spare area — which the paper counts as a write operation — and
+// updates validity bookkeeping.
+func (a *Allocator) MarkObsolete(ppn flash.PPN) error {
+	p := a.chip.Params()
+	if err := a.chip.ProgramSpare(ppn, ObsoleteSpare(p.SpareSize)); err != nil {
+		return fmt.Errorf("marking ppn %d obsolete: %w", ppn, err)
+	}
+	a.blocks[a.chip.BlockOf(ppn)].obsolete++
+	return nil
+}
+
+// MarkObsoleteInPlace updates validity bookkeeping without a physical
+// spare program. Garbage collection uses it for pages of a victim block
+// that is about to be erased, and crash recovery uses it when the physical
+// flag was already cleared before the crash.
+func (a *Allocator) MarkObsoleteInPlace(ppn flash.PPN) {
+	a.blocks[a.chip.BlockOf(ppn)].obsolete++
+}
+
+// NoteWritten informs the allocator that ppn was programmed outside Alloc
+// (crash recovery rebuilding state from a chip image).
+func (a *Allocator) NoteWritten(ppn flash.PPN) {
+	a.blocks[a.chip.BlockOf(ppn)].written++
+}
+
+// SeqOf returns the activation sequence number of blk (0 if never
+// activated since the allocator's creation or adoption).
+func (a *Allocator) SeqOf(blk int) uint64 { return a.seq[blk] }
+
+// AdoptSeq restores a block's activation sequence during recovery, and
+// raises the counter so future activations stay monotone.
+func (a *Allocator) AdoptSeq(blk int, seq uint64) {
+	a.seq[blk] = seq
+	if seq > a.seqCounter {
+		a.seqCounter = seq
+	}
+}
+
+// ExcludeBlocks permanently removes n blocks from the tail of the free
+// list, returning their ids. Checkpointing reserves its region this way
+// before any allocation happens.
+func (a *Allocator) ExcludeBlocks(n int) []int {
+	if n > len(a.freeList) {
+		n = len(a.freeList)
+	}
+	out := make([]int, n)
+	copy(out, a.freeList[len(a.freeList)-n:])
+	a.freeList = a.freeList[:len(a.freeList)-n]
+	for _, b := range out {
+		a.blocks[b].state = blockFull
+		a.blocks[b].excluded = true
+	}
+	return out
+}
+
+// AdoptCounts restores a block's written/obsolete bookkeeping from a
+// checkpoint during recovery.
+func (a *Allocator) AdoptCounts(blk, written, obsolete int) {
+	a.blocks[blk].written = written
+	a.blocks[blk].obsolete = obsolete
+}
+
+// AdoptFullBlock marks blk as fully written during recovery scans.
+func (a *Allocator) AdoptFullBlock(blk int) {
+	if a.blocks[blk].state == blockFree {
+		a.blocks[blk].state = blockFull
+		for i, b := range a.freeList {
+			if b == blk {
+				a.freeList = append(a.freeList[:i], a.freeList[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// collect performs one garbage collection: pick a victim block under the
+// configured policy, have the method relocate its valid contents, erase
+// it, and return it to the free list.
+func (a *Allocator) collect() error {
+	victim := a.pickVictim()
+	if victim < 0 {
+		return ErrNoSpace
+	}
+	before := a.chip.Stats()
+	a.inGC = true
+	var err error
+	if a.blocks[victim].obsolete < a.blocks[victim].written && a.relocate != nil {
+		err = a.relocate(victim)
+	}
+	if err == nil {
+		err = a.chip.Erase(victim)
+	}
+	a.inGC = false
+	a.gcStats = a.gcStats.Add(a.chip.Stats().Sub(before))
+	if err != nil {
+		return fmt.Errorf("garbage collecting block %d: %w", victim, err)
+	}
+	a.gcRuns++
+	a.gcVictims[victim]++
+	a.blocks[victim] = blockInfo{state: blockFree}
+	a.freeList = append(a.freeList, victim)
+	return nil
+}
+
+// pickVictim selects the garbage-collection victim, or -1 if no full
+// block holds any obsolete page.
+func (a *Allocator) pickVictim() int {
+	victim := -1
+	best := float64(0)
+	var minWear int
+	if a.policy == VictimWearAware {
+		minWear = 1 << 30
+		for b := range a.blocks {
+			if a.blocks[b].state == blockFull && !a.blocks[b].excluded && a.blocks[b].obsolete > 0 {
+				if ec := a.chip.EraseCount(b); ec < minWear {
+					minWear = ec
+				}
+			}
+		}
+	}
+	for b := range a.blocks {
+		bi := &a.blocks[b]
+		if bi.state != blockFull || bi.excluded || bi.obsolete == 0 {
+			continue
+		}
+		score := float64(bi.obsolete)
+		if a.policy == VictimWearAware {
+			// Penalize blocks ahead of the minimum wear: each extra erase
+			// costs one obsolete page of score. Heavily worn blocks are
+			// only collected when their garbage payoff dominates.
+			score -= float64(a.chip.EraseCount(b) - minWear)
+		}
+		if score > best {
+			best = score
+			victim = b
+		}
+	}
+	return victim
+}
+
+// BlockStats describes the allocator's bookkeeping for one block, exposed
+// for tests and debugging tools.
+type BlockStats struct {
+	Free     bool
+	Active   bool
+	Written  int
+	Obsolete int
+}
+
+// BlockStats returns the bookkeeping for block blk.
+func (a *Allocator) BlockStats(blk int) BlockStats {
+	bi := a.blocks[blk]
+	return BlockStats{
+		Free:     bi.state == blockFree,
+		Active:   bi.state == blockActive,
+		Written:  bi.written,
+		Obsolete: bi.obsolete,
+	}
+}

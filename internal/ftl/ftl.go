@@ -1,0 +1,170 @@
+// Package ftl provides the machinery shared by every flash page-update
+// method in this module: the Method interface that storage layers program
+// against, the spare-area header format used to type and identify physical
+// pages, and a free-page allocator with greedy garbage collection.
+//
+// The paper calls this layer the Flash Translation Layer (FTL) or "flash
+// memory driver"; page-differential logging's headline claim is that it can
+// be implemented entirely here, without touching the DBMS above (Figure 10).
+package ftl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pdl/internal/flash"
+)
+
+// Errors returned by this package.
+var (
+	// ErrNoSpace reports that the flash is full of valid data: no free
+	// page exists and garbage collection cannot reclaim any block.
+	ErrNoSpace = errors.New("ftl: flash memory is full (no reclaimable block)")
+	// ErrPageRange reports a logical page id outside the configured
+	// database size.
+	ErrPageRange = errors.New("ftl: logical page id out of range")
+	// ErrPageSize reports a logical page buffer whose size differs from
+	// the flash data-area size.
+	ErrPageSize = errors.New("ftl: logical page size does not match flash page size")
+	// ErrNotWritten reports a read of a logical page that has never been
+	// written to flash.
+	ErrNotWritten = errors.New("ftl: logical page has never been written")
+)
+
+// Method is a flash page-update method: a policy for storing logical pages
+// into physical flash pages. The four implementations in this module are
+// page-differential logging (internal/core), out-place update and in-place
+// update (internal/opu, internal/ipu), and in-page logging (internal/ipl).
+//
+// The interface is deliberately the one a disk driver exposes — read a page,
+// write a page, flush — which is what makes methods implementable below an
+// unmodified DBMS.
+type Method interface {
+	// Name identifies the method and its configuration, e.g. "PDL(256B)".
+	Name() string
+	// ReadPage recreates logical page pid into buf (len = page size).
+	ReadPage(pid uint32, buf []byte) error
+	// WritePage reflects the up-to-date logical page into flash memory.
+	WritePage(pid uint32, data []byte) error
+	// Flush forces any buffered state (e.g. PDL's differential write
+	// buffer, IPL's log buffers) out to flash; the paper's write-through.
+	Flush() error
+	// Chip returns the underlying emulated chip, for stats inspection.
+	Chip() *flash.Chip
+}
+
+// Page type tags stored in spare[0]. 0xFF is the erased value, so a free
+// page is distinguishable from every written page type.
+const (
+	// TypeFree marks a never-programmed page (erased spare).
+	TypeFree byte = 0xFF
+	// TypeData marks a whole-logical-page image written by page-based
+	// methods (OPU, IPU) and by IPL for its in-place data pages.
+	TypeData byte = 0xA0
+	// TypeBase marks a PDL base page.
+	TypeBase byte = 0xB0
+	// TypeDiff marks a PDL differential page.
+	TypeDiff byte = 0xD0
+	// TypeLog marks an IPL log page.
+	TypeLog byte = 0x90
+	// TypeCheckpoint marks a PDL mapping-table checkpoint chunk.
+	TypeCheckpoint byte = 0xC0
+)
+
+// Spare-area layout (within the 64-byte spare area of each page):
+//
+//	[0]      page type tag
+//	[1]      obsolete flag: 0xFF valid, 0x00 obsolete
+//	[2:6]    logical page id (PID), little endian
+//	[6:14]   creation time stamp, little endian
+//	[14:22]  block sequence number, little endian (the activation sequence
+//	         of the containing block; checkpointed recovery uses it to
+//	         detect blocks rewritten since the last checkpoint)
+//
+// The remaining bytes are left erased for ECC (see internal/flash/ecc) and
+// method-specific use.
+const (
+	sparePosType     = 0
+	sparePosObsolete = 1
+	sparePosPID      = 2
+	sparePosTS       = 6
+	sparePosSeq      = 14
+	// HeaderSpareBytes is the number of spare bytes the header consumes.
+	HeaderSpareBytes = 22
+)
+
+// NoPID is the PID stored for pages that do not belong to a single logical
+// page (differential pages, log pages); it is the erased value.
+const NoPID uint32 = 0xFFFFFFFF
+
+// Header is the decoded spare-area header of a physical page.
+type Header struct {
+	Type     byte
+	Obsolete bool
+	PID      uint32
+	TS       uint64
+	// Seq is the activation sequence number of the containing block at
+	// the time the page was programmed (0 when the writer does not track
+	// sequences).
+	Seq uint64
+}
+
+// EncodeHeader writes h into an erased spare image of the given size.
+func EncodeHeader(h Header, spareSize int) []byte {
+	spare := make([]byte, spareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	spare[sparePosType] = h.Type
+	if h.Obsolete {
+		spare[sparePosObsolete] = 0x00
+	}
+	binary.LittleEndian.PutUint32(spare[sparePosPID:], h.PID)
+	binary.LittleEndian.PutUint64(spare[sparePosTS:], h.TS)
+	binary.LittleEndian.PutUint64(spare[sparePosSeq:], h.Seq)
+	return spare
+}
+
+// DecodeHeader parses the spare-area header.
+func DecodeHeader(spare []byte) Header {
+	h := Header{
+		Type:     spare[sparePosType],
+		Obsolete: spare[sparePosObsolete] != 0xFF,
+		PID:      binary.LittleEndian.Uint32(spare[sparePosPID:]),
+		TS:       binary.LittleEndian.Uint64(spare[sparePosTS:]),
+		Seq:      binary.LittleEndian.Uint64(spare[sparePosSeq:]),
+	}
+	if h.Seq == ^uint64(0) { // erased field: writer did not track sequences
+		h.Seq = 0
+	}
+	return h
+}
+
+// ObsoleteSpare returns a spare image that, when partially programmed onto
+// a page, clears only the obsolete flag (paper footnote 6: "changing the
+// obsolete bit in the spare area of the page from 1 to 0").
+func ObsoleteSpare(spareSize int) []byte {
+	spare := make([]byte, spareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	spare[sparePosObsolete] = 0x00
+	return spare
+}
+
+// CheckPID validates a logical page id against the database size.
+func CheckPID(pid uint32, numPages int) error {
+	if int(pid) >= numPages {
+		return fmt.Errorf("%w: pid %d, database has %d pages", ErrPageRange, pid, numPages)
+	}
+	return nil
+}
+
+// CheckPageBuf validates a logical page buffer against the data-area size.
+func CheckPageBuf(buf []byte, dataSize int) error {
+	if len(buf) != dataSize {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrPageSize, len(buf), dataSize)
+	}
+	return nil
+}

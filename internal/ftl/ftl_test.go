@@ -1,0 +1,299 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pdl/internal/flash"
+)
+
+func smallChip(blocks int) *flash.Chip {
+	p := flash.DefaultParams()
+	p.NumBlocks = blocks
+	p.PagesPerBlock = 8
+	p.DataSize = 64
+	p.SpareSize = 32
+	return flash.NewChip(p)
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Type: TypeBase, PID: 12345, TS: 9876543210}
+	spare := EncodeHeader(h, 64)
+	got := DecodeHeader(spare)
+	if got != h {
+		t.Errorf("round trip: got %+v, want %+v", got, h)
+	}
+	if got.Obsolete {
+		t.Error("fresh header decoded as obsolete")
+	}
+}
+
+func TestHeaderObsolete(t *testing.T) {
+	h := Header{Type: TypeDiff, Obsolete: true, PID: 1, TS: 2}
+	got := DecodeHeader(EncodeHeader(h, 32))
+	if !got.Obsolete {
+		t.Error("obsolete flag lost")
+	}
+}
+
+func TestObsoleteSpareOnlyClearsFlag(t *testing.T) {
+	// Programming ObsoleteSpare onto a written header must flip only the
+	// obsolete flag (AND semantics on flash).
+	c := smallChip(2)
+	h := Header{Type: TypeBase, PID: 77, TS: 42}
+	data := make([]byte, c.Params().DataSize)
+	if err := c.Program(0, data, EncodeHeader(h, c.Params().SpareSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProgramSpare(0, ObsoleteSpare(c.Params().SpareSize)); err != nil {
+		t.Fatal(err)
+	}
+	spare := make([]byte, c.Params().SpareSize)
+	if err := c.ReadSpare(0, spare); err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeHeader(spare)
+	if !got.Obsolete {
+		t.Error("obsolete flag not set")
+	}
+	if got.Type != TypeBase || got.PID != 77 || got.TS != 42 {
+		t.Errorf("other header fields disturbed: %+v", got)
+	}
+}
+
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(typ byte, pid uint32, ts, seq uint64, obs bool) bool {
+		h := Header{Type: typ, Obsolete: obs, PID: pid, TS: ts, Seq: seq}
+		want := h
+		if seq == ^uint64(0) {
+			// The all-ones sequence is indistinguishable from an erased
+			// field and decodes as "untracked".
+			want.Seq = 0
+		}
+		return DecodeHeader(EncodeHeader(h, HeaderSpareBytes)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckHelpers(t *testing.T) {
+	if err := CheckPID(9, 10); err != nil {
+		t.Errorf("pid 9 of 10: %v", err)
+	}
+	if err := CheckPID(10, 10); !errors.Is(err, ErrPageRange) {
+		t.Errorf("pid 10 of 10: %v", err)
+	}
+	if err := CheckPageBuf(make([]byte, 64), 64); err != nil {
+		t.Errorf("exact buf: %v", err)
+	}
+	if err := CheckPageBuf(make([]byte, 63), 64); !errors.Is(err, ErrPageSize) {
+		t.Errorf("short buf: %v", err)
+	}
+}
+
+func TestAllocSequential(t *testing.T) {
+	c := smallChip(4)
+	a := NewAllocator(c, 1)
+	seen := map[flash.PPN]bool{}
+	// 3 blocks usable (1 reserved); 8 pages each => at least 16
+	// allocations before any GC is possible (and none is: no obsoletes).
+	for i := 0; i < 16; i++ {
+		ppn, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if seen[ppn] {
+			t.Fatalf("ppn %d handed out twice", ppn)
+		}
+		seen[ppn] = true
+		if err := c.Program(ppn, make([]byte, c.Params().DataSize), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllocExhaustionWithoutObsoletes(t *testing.T) {
+	c := smallChip(3)
+	a := NewAllocator(c, 1)
+	a.SetRelocator(func(victim int) error { return nil })
+	var err error
+	for i := 0; i < 3*8+1; i++ {
+		_, err = a.Alloc()
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace (all pages valid, nothing to collect)", err)
+	}
+}
+
+func TestGCReclaimsObsoleteBlock(t *testing.T) {
+	c := smallChip(3)
+	a := NewAllocator(c, 1)
+	relocated := 0
+	a.SetRelocator(func(victim int) error { relocated++; return nil })
+
+	// Fill two blocks (block with index from the tail of the free list is
+	// used first), marking every page obsolete immediately.
+	data := make([]byte, c.Params().DataSize)
+	var pages []flash.PPN
+	for i := 0; i < 16; i++ {
+		ppn, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if err := c.Program(ppn, data, EncodeHeader(Header{Type: TypeData, PID: uint32(i), TS: 1}, c.Params().SpareSize)); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, ppn)
+	}
+	for _, ppn := range pages {
+		if err := a.MarkObsolete(ppn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Continue allocating: GC must reclaim the fully obsolete blocks, and
+	// since they hold no valid pages the relocator must not be needed...
+	// it may still be invoked zero times.
+	for i := 0; i < 16; i++ {
+		if _, err := a.Alloc(); err != nil {
+			t.Fatalf("alloc after obsolete %d: %v", i, err)
+		}
+	}
+	if a.GCRuns() == 0 {
+		t.Error("no garbage collection ran")
+	}
+	if relocated != 0 {
+		t.Errorf("relocator invoked %d times on fully obsolete victims", relocated)
+	}
+	if a.GCStats().Erases == 0 {
+		t.Error("GC stats recorded no erase")
+	}
+}
+
+func TestGCInvokesRelocatorForValidPages(t *testing.T) {
+	c := smallChip(3)
+	a := NewAllocator(c, 1)
+	var victims []int
+	a.SetRelocator(func(victim int) error {
+		victims = append(victims, victim)
+		return nil
+	})
+	data := make([]byte, c.Params().DataSize)
+	var pages []flash.PPN
+	for i := 0; i < 16; i++ {
+		ppn, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Program(ppn, data, nil); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, ppn)
+	}
+	// Make the first block mostly obsolete (7 of 8), second untouched.
+	for _, ppn := range pages[:7] {
+		if err := a.MarkObsolete(ppn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := a.Alloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if len(victims) == 0 {
+		t.Fatal("relocator never invoked")
+	}
+	wantVictim := c.BlockOf(pages[0])
+	if victims[0] != wantVictim {
+		t.Errorf("first victim = %d, want %d (block with most obsoletes)", victims[0], wantVictim)
+	}
+}
+
+func TestGCStatsSeparateFromMutatorStats(t *testing.T) {
+	c := smallChip(3)
+	a := NewAllocator(c, 1)
+	a.SetRelocator(func(victim int) error { return nil })
+	data := make([]byte, c.Params().DataSize)
+	for i := 0; i < 16; i++ {
+		ppn, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Program(ppn, data, nil)
+		_ = a.MarkObsolete(ppn)
+	}
+	before := a.GCStats()
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	gc := a.GCStats().Sub(before)
+	if gc.Erases < 1 {
+		t.Errorf("gc stats = %+v, want at least one erase", gc)
+	}
+	a.ResetGCStats()
+	if a.GCStats() != (flash.Stats{}) || a.GCRuns() != 0 {
+		t.Error("ResetGCStats did not zero")
+	}
+}
+
+func TestFreePagesAccounting(t *testing.T) {
+	c := smallChip(4)
+	a := NewAllocator(c, 1)
+	total := 4 * 8
+	if got := a.FreePages(); got != total {
+		t.Errorf("FreePages = %d, want %d", got, total)
+	}
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FreePages(); got != total-1 {
+		t.Errorf("FreePages after one alloc = %d, want %d", got, total-1)
+	}
+}
+
+func TestAllocatorSkipsBadBlocks(t *testing.T) {
+	c := smallChip(4)
+	if err := c.MarkBad(2); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocator(c, 1)
+	if got := a.FreeBlocks(); got != 3 {
+		t.Errorf("FreeBlocks = %d, want 3 (bad block excluded)", got)
+	}
+	for i := 0; i < 16; i++ {
+		ppn, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.BlockOf(ppn) == 2 {
+			t.Fatal("allocated a page in the bad block")
+		}
+	}
+}
+
+func TestMeanVictimRounds(t *testing.T) {
+	c := smallChip(3)
+	a := NewAllocator(c, 1)
+	a.SetRelocator(func(int) error { return nil })
+	data := make([]byte, c.Params().DataSize)
+	// Churn: every written page is immediately obsolete, forcing steady GC.
+	for i := 0; i < 200; i++ {
+		ppn, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Program(ppn, data, nil)
+		_ = a.MarkObsolete(ppn)
+	}
+	if a.MeanVictimRounds() <= 0 {
+		t.Error("MeanVictimRounds = 0 after heavy churn")
+	}
+	if a.GCRuns() == 0 {
+		t.Error("GCRuns = 0 after heavy churn")
+	}
+}

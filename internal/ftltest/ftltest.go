@@ -1,0 +1,288 @@
+// Package ftltest provides a conformance test suite that every flash
+// page-update method in this module must pass. The suite drives a method
+// through load, random update, and read-back cycles while maintaining a
+// shadow copy of the database in memory, and fails on any divergence. It
+// deliberately sizes workloads to force garbage collection so relocation
+// bugs cannot hide.
+package ftltest
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+)
+
+// Factory builds a method instance over the chip for a database of
+// numPages logical pages.
+type Factory func(chip *flash.Chip, numPages int) (ftl.Method, error)
+
+// SmallParams returns a small chip geometry used by the conformance suite:
+// real page sizes but few blocks, so garbage collection happens quickly.
+func SmallParams(numBlocks int) flash.Params {
+	p := flash.DefaultParams()
+	p.NumBlocks = numBlocks
+	p.PagesPerBlock = 16
+	p.DataSize = 512
+	p.SpareSize = 32
+	return p
+}
+
+// RunMethodSuite runs the full conformance suite against the factory.
+func RunMethodSuite(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("LoadAndReadBack", func(t *testing.T) { testLoadAndReadBack(t, factory) })
+	t.Run("ReadUnwritten", func(t *testing.T) { testReadUnwritten(t, factory) })
+	t.Run("ArgumentValidation", func(t *testing.T) { testArgumentValidation(t, factory) })
+	t.Run("OverwriteVisibility", func(t *testing.T) { testOverwriteVisibility(t, factory) })
+	t.Run("RandomUpdatesMatchShadow", func(t *testing.T) { testRandomUpdates(t, factory, 42) })
+	t.Run("SmallRandomUpdatesMatchShadow", func(t *testing.T) { testSmallUpdates(t, factory, 7) })
+	t.Run("SurvivesHeavyGC", func(t *testing.T) { testHeavyGC(t, factory) })
+	t.Run("FlushThenRead", func(t *testing.T) { testFlushThenRead(t, factory) })
+	t.Run("PhysicalLegality", func(t *testing.T) { testPhysicalLegality(t, factory) })
+}
+
+func pagePattern(pid uint32, version int, size int) []byte {
+	data := make([]byte, size)
+	seed := int64(pid)<<20 | int64(version)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(data)
+	return data
+}
+
+func mustNew(t *testing.T, factory Factory, numBlocks, numPages int) (ftl.Method, *flash.Chip) {
+	t.Helper()
+	chip := flash.NewChip(SmallParams(numBlocks))
+	m, err := factory(chip, numPages)
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	return m, chip
+}
+
+func load(t *testing.T, m ftl.Method, numPages, size int) [][]byte {
+	t.Helper()
+	shadow := make([][]byte, numPages)
+	for pid := 0; pid < numPages; pid++ {
+		shadow[pid] = pagePattern(uint32(pid), 0, size)
+		if err := m.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatalf("loading pid %d: %v", pid, err)
+		}
+	}
+	return shadow
+}
+
+func verifyAll(t *testing.T, m ftl.Method, shadow [][]byte) {
+	t.Helper()
+	buf := make([]byte, len(shadow[0]))
+	for pid := range shadow {
+		if err := m.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatalf("reading pid %d: %v", pid, err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d: read-back differs from shadow", pid)
+		}
+	}
+}
+
+func testLoadAndReadBack(t *testing.T, factory Factory) {
+	const numPages = 64
+	m, chip := mustNew(t, factory, 16, numPages)
+	shadow := load(t, m, numPages, chip.Params().DataSize)
+	if err := m.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	verifyAll(t, m, shadow)
+}
+
+func testReadUnwritten(t *testing.T, factory Factory) {
+	m, chip := mustNew(t, factory, 8, 16)
+	buf := make([]byte, chip.Params().DataSize)
+	if err := m.ReadPage(3, buf); !errors.Is(err, ftl.ErrNotWritten) {
+		t.Errorf("read of unwritten page: err = %v, want ErrNotWritten", err)
+	}
+}
+
+func testArgumentValidation(t *testing.T, factory Factory) {
+	m, chip := mustNew(t, factory, 8, 16)
+	size := chip.Params().DataSize
+	if err := m.WritePage(16, make([]byte, size)); !errors.Is(err, ftl.ErrPageRange) {
+		t.Errorf("write pid out of range: %v", err)
+	}
+	if err := m.WritePage(0, make([]byte, size-1)); !errors.Is(err, ftl.ErrPageSize) {
+		t.Errorf("write short buffer: %v", err)
+	}
+	if err := m.ReadPage(16, make([]byte, size)); !errors.Is(err, ftl.ErrPageRange) {
+		t.Errorf("read pid out of range: %v", err)
+	}
+	if err := m.ReadPage(0, make([]byte, size+1)); !errors.Is(err, ftl.ErrPageSize) {
+		t.Errorf("read long buffer: %v", err)
+	}
+}
+
+func testOverwriteVisibility(t *testing.T, factory Factory) {
+	const numPages = 8
+	m, chip := mustNew(t, factory, 8, numPages)
+	size := chip.Params().DataSize
+	load(t, m, numPages, size)
+	// Overwrite page 3 five times; each version must be immediately
+	// visible without an intervening flush (the write buffer must serve
+	// reads, Step 2 of PDL_Reading).
+	buf := make([]byte, size)
+	for v := 1; v <= 5; v++ {
+		want := pagePattern(3, v, size)
+		if err := m.WritePage(3, want); err != nil {
+			t.Fatalf("version %d: %v", v, err)
+		}
+		if err := m.ReadPage(3, buf); err != nil {
+			t.Fatalf("read version %d: %v", v, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("version %d not visible after write", v)
+		}
+	}
+}
+
+func testRandomUpdates(t *testing.T, factory Factory, seed int64) {
+	const numPages = 48
+	m, chip := mustNew(t, factory, 24, numPages)
+	size := chip.Params().DataSize
+	shadow := load(t, m, numPages, size)
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, size)
+	for i := 0; i < 600; i++ {
+		pid := uint32(rng.Intn(numPages))
+		switch rng.Intn(3) {
+		case 0: // full overwrite
+			next := pagePattern(pid, i+1, size)
+			copy(shadow[pid], next)
+			if err := m.WritePage(pid, next); err != nil {
+				t.Fatalf("op %d write pid %d: %v", i, pid, err)
+			}
+		case 1: // partial update (the paper's update operation)
+			if err := m.ReadPage(pid, buf); err != nil {
+				t.Fatalf("op %d read pid %d: %v", i, pid, err)
+			}
+			if !bytes.Equal(buf, shadow[pid]) {
+				t.Fatalf("op %d: pid %d diverged before update", i, pid)
+			}
+			off := rng.Intn(size - 16)
+			rng.Read(buf[off : off+16])
+			copy(shadow[pid], buf)
+			if err := m.WritePage(pid, buf); err != nil {
+				t.Fatalf("op %d update pid %d: %v", i, pid, err)
+			}
+		case 2: // read check
+			if err := m.ReadPage(pid, buf); err != nil {
+				t.Fatalf("op %d read pid %d: %v", i, pid, err)
+			}
+			if !bytes.Equal(buf, shadow[pid]) {
+				t.Fatalf("op %d: pid %d read mismatch", i, pid)
+			}
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	verifyAll(t, m, shadow)
+}
+
+func testSmallUpdates(t *testing.T, factory Factory, seed int64) {
+	// Many tiny (2-byte) updates: exercises differential coalescing and
+	// log-sector packing paths.
+	const numPages = 16
+	m, chip := mustNew(t, factory, 16, numPages)
+	size := chip.Params().DataSize
+	shadow := load(t, m, numPages, size)
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, size)
+	for i := 0; i < 400; i++ {
+		pid := uint32(rng.Intn(numPages))
+		if err := m.ReadPage(pid, buf); err != nil {
+			t.Fatalf("op %d read: %v", i, err)
+		}
+		off := rng.Intn(size - 2)
+		buf[off] ^= 0x5A
+		buf[off+1] ^= 0xA5
+		copy(shadow[pid], buf)
+		if err := m.WritePage(pid, buf); err != nil {
+			t.Fatalf("op %d write: %v", i, err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, m, shadow)
+}
+
+func testHeavyGC(t *testing.T, factory Factory) {
+	// Database sized at ~45% of flash (small enough to fit methods that
+	// reserve half the chip, like IPL with a 50% log region); update
+	// volume many times flash capacity, forcing repeated garbage
+	// collection of every block.
+	const numBlocks = 12
+	params := SmallParams(numBlocks)
+	numPages := numBlocks * params.PagesPerBlock * 45 / 100
+	m, chip := mustNew(t, factory, numBlocks, numPages)
+	size := chip.Params().DataSize
+	shadow := load(t, m, numPages, size)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < numBlocks*params.PagesPerBlock*8; i++ {
+		pid := uint32(rng.Intn(numPages))
+		next := pagePattern(pid, i+1, size)
+		copy(shadow[pid], next)
+		if err := m.WritePage(pid, next); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, m, shadow)
+	if chip.Stats().Erases == 0 {
+		t.Error("no erases happened; GC was not exercised")
+	}
+}
+
+func testFlushThenRead(t *testing.T, factory Factory) {
+	const numPages = 8
+	m, chip := mustNew(t, factory, 8, numPages)
+	size := chip.Params().DataSize
+	shadow := load(t, m, numPages, size)
+	next := pagePattern(2, 1, size)
+	copy(shadow[2], next)
+	if err := m.WritePage(2, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flushing twice must be harmless.
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, m, shadow)
+}
+
+func testPhysicalLegality(t *testing.T, factory Factory) {
+	// The emulator returns ErrProgramConflict on any physically illegal
+	// program; a clean run of a write-heavy workload certifies that the
+	// method never overwrites programmed bits without an erase.
+	const numPages = 24
+	m, chip := mustNew(t, factory, 8, numPages)
+	size := chip.Params().DataSize
+	load(t, m, numPages, size)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		pid := uint32(rng.Intn(numPages))
+		if err := m.WritePage(pid, pagePattern(pid, i+1, size)); err != nil {
+			if errors.Is(err, flash.ErrProgramConflict) {
+				t.Fatalf("op %d: physically illegal program: %v", i, err)
+			}
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package ipl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+)
+
+func factory(chip *flash.Chip, numPages int) (ftl.Method, error) {
+	return New(chip, numPages, Options{})
+}
+
+func TestConformance(t *testing.T) {
+	ftltest.RunMethodSuite(t, factory)
+}
+
+func TestConformanceLargeLogRegion(t *testing.T) {
+	// Half the block as log pages, like the paper's IPL(64KB).
+	ftltest.RunMethodSuite(t, func(chip *flash.Chip, numPages int) (ftl.Method, error) {
+		return New(chip, numPages, Options{LogPagesPerBlock: chip.Params().PagesPerBlock / 2})
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(4))
+	if _, err := New(chip, 0, Options{}); err == nil {
+		t.Error("numPages=0 accepted")
+	}
+	if _, err := New(chip, 8, Options{LogPagesPerBlock: chip.Params().PagesPerBlock}); err == nil {
+		t.Error("all-log block accepted")
+	}
+	if _, err := New(chip, 8, Options{LogBufBytes: 4}); err == nil {
+		t.Error("tiny log buffer accepted")
+	}
+	// Too many pages for the flash (needs merge spare).
+	p := ftltest.SmallParams(2)
+	chip2 := flash.NewChip(p)
+	tooMany := 2 * p.PagesPerBlock
+	if _, err := New(chip2, tooMany, Options{}); err == nil {
+		t.Error("database with no merge spare accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	p := flash.DefaultParams()
+	p.NumBlocks = 4
+	chip := flash.NewChip(p)
+	s, err := New(chip, 16, Options{LogPagesPerBlock: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "IPL(18KB)" {
+		t.Errorf("Name = %q, want IPL(18KB) (9 x 2KB log pages)", s.Name())
+	}
+	s2, err := New(chip, 16, Options{LogPagesPerBlock: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name() != "IPL(64KB)" {
+		t.Errorf("Name = %q, want IPL(64KB)", s2.Name())
+	}
+}
+
+// setup builds an IPL store with loaded pages.
+func setup(t *testing.T, numBlocks, numPages int, opts Options) (*Store, *flash.Chip, [][]byte) {
+	t.Helper()
+	chip := flash.NewChip(ftltest.SmallParams(numBlocks))
+	s, err := New(chip, numPages, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	shadow := make([][]byte, numPages)
+	rng := rand.New(rand.NewSource(21))
+	for pid := 0; pid < numPages; pid++ {
+		shadow[pid] = make([]byte, size)
+		rng.Read(shadow[pid])
+		if err := s.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, chip, shadow
+}
+
+func TestLogUpdateAndEvictCost(t *testing.T) {
+	// One small update followed by an eviction costs exactly one write
+	// (the log sector) and no reads: the log-based write path never reads
+	// the page.
+	s, chip, shadow := setup(t, 8, 16, Options{})
+	shadow[3][100] ^= 0xFF
+	if err := s.LogUpdate(3, 100, shadow[3][100:101]); err != nil {
+		t.Fatal(err)
+	}
+	before := chip.Stats()
+	if err := s.Evict(3); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Writes != 1 || d.Reads != 0 || d.Erases != 0 {
+		t.Errorf("evict cost = %+v, want exactly 1 write", d)
+	}
+	buf := make([]byte, chip.Params().DataSize)
+	if err := s.ReadPage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, shadow[3]) {
+		t.Error("content mismatch after log replay")
+	}
+}
+
+func TestReadCostGrowsWithLogSectors(t *testing.T) {
+	// Each flush adds a log sector; once sectors span multiple log pages,
+	// recreating the page costs multiple reads (the log-based drawback:
+	// "log-based methods need to read multiple pages when recreating").
+	s, chip, shadow := setup(t, 8, 8, Options{LogBufBytes: 32})
+	size := chip.Params().DataSize
+	// Each update fills most of a 32-byte sector; 512/32 = 16 sectors per
+	// log page. Do 20 update+evict rounds: logs span two log pages.
+	for i := 0; i < 20; i++ {
+		off := (i * 24) % (size - 24)
+		for j := 0; j < 24; j++ {
+			shadow[1][off+j] ^= byte(i + 1)
+		}
+		if err := s.LogUpdate(1, off, shadow[1][off:off+24]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Evict(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, size)
+	before := chip.Stats()
+	if err := s.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Reads < 3 {
+		t.Errorf("read cost = %d reads, want >= 3 (data page + 2 log pages)", d.Reads)
+	}
+	if !bytes.Equal(buf, shadow[1]) {
+		t.Error("content mismatch")
+	}
+}
+
+func TestMergeOnLogRegionFull(t *testing.T) {
+	// Filling the log region forces a merge: data pages are rewritten into
+	// a fresh block, logs fold in, the old block is erased.
+	opts := Options{LogPagesPerBlock: 4, LogBufBytes: 32}
+	s, chip, shadow := setup(t, 8, 12, opts)
+	size := chip.Params().DataSize
+	sectors := 4 * (size / 32) // sectors per block
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < sectors+8; i++ {
+		pid := uint32(rng.Intn(12))
+		off := rng.Intn(size - 8)
+		rng.Read(shadow[pid][off : off+8])
+		if err := s.LogUpdate(pid, off, shadow[pid][off:off+8]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Evict(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Merges() == 0 {
+		t.Fatal("no merge happened despite log region overflow")
+	}
+	if s.GCStats().Erases == 0 {
+		t.Error("merge cost recorded no erase")
+	}
+	buf := make([]byte, size)
+	for pid := 0; pid < 12; pid++ {
+		if err := s.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d mismatch after merge", pid)
+		}
+	}
+}
+
+func TestStepwiseWriteCost(t *testing.T) {
+	// Experiment 2's explanation: the number of writes per reflected page
+	// is ceil(size of update logs / size of log buffer). With a 32-byte
+	// buffer and 12-byte records (4 header + 8 data), 3 updates before
+	// eviction need ceil(36/32) = 2 sector writes.
+	s, chip, shadow := setup(t, 8, 8, Options{LogBufBytes: 32})
+	before := chip.Stats()
+	for u := 0; u < 3; u++ {
+		off := 64 * u
+		for j := 0; j < 8; j++ {
+			shadow[2][off+j] ^= 0x77
+		}
+		if err := s.LogUpdate(2, off, shadow[2][off:off+8]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Evict(2); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Writes != 2 {
+		t.Errorf("3 updates + evict = %d writes, want 2 (ceil(36/32))", d.Writes)
+	}
+	buf := make([]byte, chip.Params().DataSize)
+	if err := s.ReadPage(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, shadow[2]) {
+		t.Error("content mismatch")
+	}
+}
+
+func TestInMemoryBufferServesReads(t *testing.T) {
+	// An update still in the in-memory log buffer must be visible to reads
+	// without extra flash I/O beyond the normal recreate.
+	s, chip, shadow := setup(t, 8, 8, Options{})
+	shadow[4][9] ^= 0x0F
+	if err := s.LogUpdate(4, 9, shadow[4][9:10]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chip.Params().DataSize)
+	before := chip.Stats()
+	if err := s.ReadPage(4, buf); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Reads != 1 {
+		t.Errorf("read cost = %d reads, want 1 (no flushed logs yet)", d.Reads)
+	}
+	if !bytes.Equal(buf, shadow[4]) {
+		t.Error("in-memory log not applied to read")
+	}
+}
+
+func TestOversizedUpdateLogSplit(t *testing.T) {
+	// An update larger than the log buffer is split across records and
+	// sectors without loss.
+	s, chip, shadow := setup(t, 8, 8, Options{LogBufBytes: 32})
+	size := chip.Params().DataSize
+	for i := 0; i < 200; i++ {
+		shadow[5][50+i] = byte(i)
+	}
+	if err := s.LogUpdate(5, 50, shadow[5][50:250]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Evict(5); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if err := s.ReadPage(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, shadow[5]) {
+		t.Error("oversized update lost data")
+	}
+}
+
+func TestFlushWritesAllPendingBuffers(t *testing.T) {
+	s, chip, shadow := setup(t, 8, 8, Options{})
+	for pid := uint32(0); pid < 4; pid++ {
+		shadow[pid][0] ^= 1
+		if err := s.LogUpdate(pid, 0, shadow[pid][0:1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := chip.Stats()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Writes != 4 {
+		t.Errorf("flush wrote %d sectors, want 4", d.Writes)
+	}
+	buf := make([]byte, chip.Params().DataSize)
+	for pid := uint32(0); pid < 4; pid++ {
+		if err := s.ReadPage(pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d mismatch", pid)
+		}
+	}
+}
+
+func TestMergePreservesPendingBuffers(t *testing.T) {
+	// A merge folds only flushed logs; in-memory buffers stay pending and
+	// still apply afterwards.
+	opts := Options{LogPagesPerBlock: 4, LogBufBytes: 32}
+	s, chip, shadow := setup(t, 8, 8, opts)
+	size := chip.Params().DataSize
+	// Pending (unflushed) update on pid 0.
+	shadow[0][499] ^= 0xAA
+	if err := s.LogUpdate(0, 499, shadow[0][499:500]); err != nil {
+		t.Fatal(err)
+	}
+	// Force a merge via pid 1 traffic.
+	sectors := 4 * (size / 32)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < sectors+2; i++ {
+		off := rng.Intn(size - 8)
+		rng.Read(shadow[1][off : off+8])
+		if err := s.LogUpdate(1, off, shadow[1][off:off+8]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Evict(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Merges() == 0 {
+		t.Fatal("merge did not trigger")
+	}
+	buf := make([]byte, size)
+	if err := s.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, shadow[0]) {
+		t.Error("pending buffer lost across merge")
+	}
+}

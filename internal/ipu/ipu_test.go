@@ -1,0 +1,99 @@
+package ipu
+
+import (
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+)
+
+func factory(chip *flash.Chip, numPages int) (ftl.Method, error) {
+	return New(chip, numPages)
+}
+
+func TestConformance(t *testing.T) {
+	ftltest.RunMethodSuite(t, factory)
+}
+
+func TestNewValidation(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(4))
+	if _, err := New(chip, 0); err == nil {
+		t.Error("numPages=0 accepted")
+	}
+	if _, err := New(chip, chip.Params().NumPages()+1); err == nil {
+		t.Error("oversized database accepted")
+	}
+}
+
+func TestOverwriteCycleCost(t *testing.T) {
+	// Section 3: overwriting a page in a fully loaded block costs
+	// (Npage-1) reads + 1 erase + Npage writes.
+	params := ftltest.SmallParams(4)
+	chip := flash.NewChip(params)
+	numPages := params.PagesPerBlock // exactly one block's worth
+	s, err := New(chip, numPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, params.DataSize)
+	for pid := 0; pid < numPages; pid++ {
+		if err := s.WritePage(uint32(pid), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := chip.Stats()
+	if err := s.WritePage(3, data); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	n := int64(params.PagesPerBlock)
+	if d.Reads != n-1 {
+		t.Errorf("reads = %d, want %d", d.Reads, n-1)
+	}
+	if d.Writes != n {
+		t.Errorf("writes = %d, want %d", d.Writes, n)
+	}
+	if d.Erases != 1 {
+		t.Errorf("erases = %d, want 1", d.Erases)
+	}
+}
+
+func TestInitialLoadIsCheap(t *testing.T) {
+	params := ftltest.SmallParams(4)
+	chip := flash.NewChip(params)
+	s, err := New(chip, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, params.DataSize)
+	if err := s.WritePage(0, data); err != nil {
+		t.Fatal(err)
+	}
+	st := chip.Stats()
+	if st.Writes != 1 || st.Erases != 0 || st.Reads != 0 {
+		t.Errorf("initial load cost = %+v, want exactly 1 write", st)
+	}
+}
+
+func TestFixedPlacement(t *testing.T) {
+	params := ftltest.SmallParams(4)
+	chip := flash.NewChip(params)
+	s, err := New(chip, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, params.DataSize)
+	data[0] = 0xAB
+	if err := s.WritePage(5, data); err != nil {
+		t.Fatal(err)
+	}
+	// The logical page must live at physical page 5.
+	got := make([]byte, params.DataSize)
+	if err := chip.ReadData(flash.PPN(5), got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Error("logical page 5 not stored at physical page 5")
+	}
+}

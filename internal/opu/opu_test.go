@@ -1,0 +1,122 @@
+package opu
+
+import (
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+)
+
+func factory(chip *flash.Chip, numPages int) (ftl.Method, error) {
+	return New(chip, numPages, 2)
+}
+
+func TestConformance(t *testing.T) {
+	ftltest.RunMethodSuite(t, factory)
+}
+
+func TestNewValidation(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(4))
+	if _, err := New(chip, 0, 1); err == nil {
+		t.Error("numPages=0 accepted")
+	}
+	if _, err := New(chip, chip.Params().NumPages()+1, 1); err == nil {
+		t.Error("oversized database accepted")
+	}
+}
+
+func TestWriteCostTwoWritesPerUpdate(t *testing.T) {
+	// Figure 12(b): "for an update operation, OPU requires two write
+	// operations: one for writing the updated page into flash memory and
+	// another for setting the original page to obsolete."
+	chip := flash.NewChip(ftltest.SmallParams(16))
+	s, err := New(chip, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	data := make([]byte, size)
+	for pid := 0; pid < 32; pid++ {
+		if err := s.WritePage(uint32(pid), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := chip.Stats()
+	if err := s.WritePage(5, data); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Writes != 2 {
+		t.Errorf("update cost %d writes, want 2 (page + obsolete mark)", d.Writes)
+	}
+	if d.Reads != 0 {
+		t.Errorf("update cost %d reads, want 0", d.Reads)
+	}
+}
+
+func TestReadCostOneRead(t *testing.T) {
+	// Figure 12(a): OPU reads exactly one physical page per recreate.
+	chip := flash.NewChip(ftltest.SmallParams(16))
+	s, err := New(chip, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	data := make([]byte, size)
+	if err := s.WritePage(0, data); err != nil {
+		t.Fatal(err)
+	}
+	before := chip.Stats()
+	if err := s.ReadPage(0, data); err != nil {
+		t.Fatal(err)
+	}
+	d := chip.Stats().Sub(before)
+	if d.Reads != 1 || d.Writes != 0 {
+		t.Errorf("read cost = %+v, want exactly 1 read", d)
+	}
+}
+
+func TestGCPreservesMapping(t *testing.T) {
+	// Overwrite a small set of pages until GC must have relocated pages
+	// belonging to untouched pids; those must still read back.
+	params := ftltest.SmallParams(6)
+	chip := flash.NewChip(params)
+	numPages := 4 * params.PagesPerBlock
+	s, err := New(chip, numPages, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := params.DataSize
+	mark := func(pid uint32, v byte) []byte {
+		d := make([]byte, size)
+		for i := range d {
+			d[i] = v
+		}
+		d[0] = byte(pid)
+		return d
+	}
+	for pid := 0; pid < numPages; pid++ {
+		if err := s.WritePage(uint32(pid), mark(uint32(pid), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hammer one page to force GC cycles.
+	for i := 0; i < numPages*4; i++ {
+		if err := s.WritePage(0, mark(0, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Allocator().GCRuns() == 0 {
+		t.Fatal("expected garbage collection")
+	}
+	buf := make([]byte, size)
+	for pid := 1; pid < numPages; pid++ {
+		if err := s.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatalf("pid %d after GC: %v", pid, err)
+		}
+		if buf[0] != byte(pid) || buf[1] != 1 {
+			t.Fatalf("pid %d content lost after GC", pid)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package storage implements a slotted-page heap file layer over the
+// buffer pool, standing in for the storage system (the paper used the
+// Odysseus ORDBMS) that sits above the flash driver. Records live in
+// slotted pages; a heap file owns a contiguous range of logical pages and
+// supports insert, get, update, delete, and scan.
+//
+// Nothing in this package knows which page-update method lies below — that
+// is the paper's DBMS-independence: the storage layer sees ReadPage and
+// WritePage and nothing else.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the storage layer.
+var (
+	// ErrRecordTooLarge reports a record that cannot fit a page.
+	ErrRecordTooLarge = errors.New("storage: record too large for a page")
+	// ErrNoSpace reports a full heap file.
+	ErrNoSpace = errors.New("storage: heap file is full")
+	// ErrInvalidRID reports a record id that does not name a live record.
+	ErrInvalidRID = errors.New("storage: invalid record id")
+)
+
+// Slotted-page layout within the logical page:
+//
+//	[0:2]  number of slots
+//	[2:4]  free-space tail pointer (records grow down from page end)
+//	[4:..] slot directory, 4 bytes per slot: offset(2), length(2)
+//	....   free space
+//	[tail:end] record data
+//
+// A slot with offset 0xFFFF is dead (deleted record).
+const (
+	pageHdrSize  = 4
+	slotSize     = 4
+	deadOffset   = 0xFFFF
+	maxSlotCount = 0x7FFF
+)
+
+// page wraps a slotted page image for manipulation.
+type page struct {
+	buf []byte
+}
+
+// initPage formats an all-zero frame as an empty slotted page.
+func initPage(buf []byte) page {
+	p := page{buf}
+	p.setSlotCount(0)
+	p.setFreeTail(len(buf))
+	return p
+}
+
+// asPage interprets an existing frame as a slotted page, normalizing a
+// zeroed (never formatted) frame.
+func asPage(buf []byte) page {
+	p := page{buf}
+	if p.freeTail() == 0 { // fresh zeroed frame
+		p.setFreeTail(len(buf))
+	}
+	return p
+}
+
+func (p page) slotCount() int      { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+func (p page) setSlotCount(n int)  { binary.LittleEndian.PutUint16(p.buf[0:], uint16(n)) }
+func (p page) freeTail() int       { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+func (p page) setFreeTail(off int) { binary.LittleEndian.PutUint16(p.buf[2:], uint16(off)) }
+
+func (p page) slot(i int) (off, length int) {
+	base := pageHdrSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.buf[base:])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2:]))
+}
+
+func (p page) setSlot(i, off, length int) {
+	base := pageHdrSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
+}
+
+// freeSpace returns the bytes available between the slot directory and the
+// record data region.
+func (p page) freeSpace() int {
+	return p.freeTail() - (pageHdrSize + p.slotCount()*slotSize)
+}
+
+// insert places rec in the page, reusing a dead slot if one exists.
+// It returns the slot index, or -1 if the page lacks room.
+func (p page) insert(rec []byte) int {
+	need := len(rec)
+	slot := -1
+	for i := 0; i < p.slotCount(); i++ {
+		if off, _ := p.slot(i); off == deadOffset {
+			slot = i
+			break
+		}
+	}
+	extra := 0
+	if slot == -1 {
+		extra = slotSize
+		if p.slotCount() >= maxSlotCount {
+			return -1
+		}
+	}
+	if p.freeSpace() < need+extra {
+		return -1
+	}
+	tail := p.freeTail() - need
+	copy(p.buf[tail:], rec)
+	p.setFreeTail(tail)
+	if slot == -1 {
+		slot = p.slotCount()
+		p.setSlotCount(slot + 1)
+	}
+	p.setSlot(slot, tail, need)
+	return slot
+}
+
+// get returns the record bytes of slot i (aliasing the page buffer).
+func (p page) get(i int) ([]byte, error) {
+	if i < 0 || i >= p.slotCount() {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrInvalidRID, i, p.slotCount())
+	}
+	off, length := p.slot(i)
+	if off == deadOffset {
+		return nil, fmt.Errorf("%w: slot %d is dead", ErrInvalidRID, i)
+	}
+	if off+length > len(p.buf) {
+		return nil, fmt.Errorf("%w: slot %d out of bounds", ErrInvalidRID, i)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// update overwrites slot i with rec. Same-size updates happen in place;
+// size-changing updates release the old bytes (compacting the page through
+// scratch when fragmentation demands it) and re-place the record. It
+// reports whether the update succeeded (false = the new size genuinely
+// does not fit the page even after compaction).
+func (p page) update(i int, rec []byte, scratch []byte) (bool, error) {
+	cur, err := p.get(i)
+	if err != nil {
+		return false, err
+	}
+	if len(rec) == len(cur) {
+		copy(cur, rec)
+		return true, nil
+	}
+	// The old bytes are dead the moment the slot is re-pointed, so they
+	// count as available space.
+	if p.freeSpace()+len(cur) < len(rec) {
+		return false, nil
+	}
+	p.setSlot(i, deadOffset, 0)
+	if p.freeSpace() < len(rec) {
+		p.compact(scratch)
+	}
+	tail := p.freeTail() - len(rec)
+	copy(p.buf[tail:], rec)
+	p.setFreeTail(tail)
+	p.setSlot(i, tail, len(rec))
+	return true, nil
+}
+
+// del kills slot i.
+func (p page) del(i int) error {
+	if _, err := p.get(i); err != nil {
+		return err
+	}
+	p.setSlot(i, deadOffset, 0)
+	return nil
+}
+
+// compact rewrites the record region to squeeze out dead space, preserving
+// slot numbers. Used when updates outgrow the free space. scratch must be
+// at least as large as the page; the compacted record region is staged
+// there first so that source and destination ranges cannot overlap.
+func (p page) compact(scratch []byte) {
+	tail := len(p.buf)
+	for i := 0; i < p.slotCount(); i++ {
+		off, length := p.slot(i)
+		if off == deadOffset {
+			continue
+		}
+		tail -= length
+		copy(scratch[tail:tail+length], p.buf[off:off+length])
+		p.setSlot(i, tail, length)
+	}
+	copy(p.buf[tail:], scratch[tail:])
+	p.setFreeTail(tail)
+}

@@ -1,0 +1,114 @@
+package tpcc
+
+import (
+	"testing"
+
+	"pdl/internal/flash"
+)
+
+func TestTxTypeString(t *testing.T) {
+	want := map[TxType]string{
+		TxNewOrder:    "NewOrder",
+		TxPayment:     "Payment",
+		TxOrderStatus: "OrderStatus",
+		TxDelivery:    "Delivery",
+		TxStockLevel:  "StockLevel",
+	}
+	for tt, s := range want {
+		if tt.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(tt), tt.String(), s)
+		}
+	}
+	if TxType(99).String() == "" {
+		t.Error("unknown tx type should still stringify")
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	db := newDB(t, opuMethod, 64)
+	// Run deliveries until every district's initial undelivered orders are
+	// gone; further deliveries must be harmless no-ops.
+	for i := 0; i < 100; i++ {
+		if err := db.Run(TxDelivery); err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+	}
+	if len(db.newOrderRH) != 0 {
+		t.Errorf("%d undelivered orders remain after exhaustive delivery", len(db.newOrderRH))
+	}
+	if err := db.Run(TxDelivery); err != nil {
+		t.Errorf("delivery on drained database: %v", err)
+	}
+}
+
+func TestNewOrderAdvancesDistrictCounter(t *testing.T) {
+	db := newDB(t, opuMethod, 64)
+	dk := districtKey{0, 0}
+	before := db.nextOID[dk]
+	// Run enough NewOrders that district (0,0) statistically gets some.
+	for i := 0; i < 60; i++ {
+		if err := db.Run(TxNewOrder); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for d := 0; d < db.scale.DistrictsPerWarehouse; d++ {
+		total += db.nextOID[districtKey{0, d}] - db.scale.InitialOrdersPerDistrict
+	}
+	if total != 60 {
+		t.Errorf("district counters advanced by %d, want 60", total)
+	}
+	_ = before
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	db := newDB(t, pdlMethod, 64)
+	wrecBefore, err := db.warehouses.Get(db.warehouseRID[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ytdBefore := getU64(wrecBefore, offWarehouseYTD)
+	for i := 0; i < 30; i++ {
+		if err := db.Run(TxPayment); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrecAfter, err := db.warehouses.Get(db.warehouseRID[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getU64(wrecAfter, offWarehouseYTD) <= ytdBefore {
+		t.Error("30 payments did not raise warehouse YTD")
+	}
+}
+
+func TestLoadRejectsTinyPages(t *testing.T) {
+	p := flash.DefaultParams()
+	p.NumBlocks = 8
+	p.DataSize = 512 // too small for a 655-byte customer record
+	chip := flash.NewChip(p)
+	m, err := opuMethod(chip, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(m, tinyScale(), 16, 1); err == nil {
+		t.Error("load accepted pages smaller than a customer record")
+	}
+}
+
+func TestNURandHotSkew(t *testing.T) {
+	db := newDB(t, opuMethod, 64)
+	hot := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if db.nurand(90) < 30 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// 60% land in the first third by construction, plus 1/3 of the
+	// remaining uniform 40%: expect ~73%.
+	if frac < 0.65 {
+		t.Errorf("hot fraction = %.2f, want >= 0.65 (~0.73 expected)", frac)
+	}
+}

@@ -1,0 +1,323 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+
+	"pdl/internal/storage"
+)
+
+// TxType enumerates the five TPC-C transactions.
+type TxType int
+
+// The five TPC-C transaction types.
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+	numTxTypes
+)
+
+// String names the transaction type.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "NewOrder"
+	case TxPayment:
+		return "Payment"
+	case TxOrderStatus:
+		return "OrderStatus"
+	case TxDelivery:
+		return "Delivery"
+	case TxStockLevel:
+		return "StockLevel"
+	default:
+		return fmt.Sprintf("TxType(%d)", int(t))
+	}
+}
+
+// ErrExhausted reports that the database's growth headroom
+// (Scale.MaxNewTransactions) is used up.
+var ErrExhausted = errors.New("tpcc: transaction headroom exhausted (increase Scale.MaxNewTransactions)")
+
+// NextTx draws a transaction type from the standard TPC-C mix:
+// 45% New-Order, 43% Payment, 4% Order-Status, 4% Delivery, 4% Stock-Level.
+func (db *DB) NextTx() TxType {
+	r := db.rng.Intn(100)
+	switch {
+	case r < 45:
+		return TxNewOrder
+	case r < 88:
+		return TxPayment
+	case r < 92:
+		return TxOrderStatus
+	case r < 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// Run executes one transaction of the given type.
+func (db *DB) Run(t TxType) error {
+	switch t {
+	case TxNewOrder:
+		return db.newOrderTx()
+	case TxPayment:
+		return db.paymentTx()
+	case TxOrderStatus:
+		return db.orderStatusTx()
+	case TxDelivery:
+		return db.deliveryTx()
+	case TxStockLevel:
+		return db.stockLevelTx()
+	default:
+		return fmt.Errorf("tpcc: unknown transaction %v", t)
+	}
+}
+
+// randomDistrict picks a uniformly random district.
+func (db *DB) randomDistrict() districtKey {
+	return districtKey{
+		w: db.rng.Intn(db.scale.Warehouses),
+		d: db.rng.Intn(db.scale.DistrictsPerWarehouse),
+	}
+}
+
+// nurand approximates TPC-C's NURand skewed customer/item selection with a
+// simple 60/40 hot-set rule: 60% of picks land in the first 1/3 of ids.
+func (db *DB) nurand(n int) int {
+	if db.rng.Intn(100) < 60 {
+		return db.rng.Intn((n + 2) / 3)
+	}
+	return db.rng.Intn(n)
+}
+
+// newOrderTx: read warehouse & customer, bump the district's next order
+// id, insert ORDER (+NEW-ORDER) and 5-15 ORDER-LINEs, updating STOCK for
+// each line.
+func (db *DB) newOrderTx() error {
+	dk := db.randomDistrict()
+	cid := db.nurand(db.scale.CustomersPerDistrict)
+
+	if _, err := db.warehouses.Get(db.warehouseRID[dk.w], nil); err != nil {
+		return err
+	}
+	if _, err := db.customers.Get(db.customerRID[customerKey{dk.w, dk.d, cid}], nil); err != nil {
+		return err
+	}
+	drec, err := db.districts.Get(db.districtRID[dk], nil)
+	if err != nil {
+		return err
+	}
+	oid := int(getU32(drec, offDistrictNextOID))
+	putU32(drec, offDistrictNextOID, uint32(oid+1))
+	if err := db.districts.Update(db.districtRID[dk], drec); err != nil {
+		return err
+	}
+	if oid-db.scale.InitialOrdersPerDistrict >= db.perDistrictHeadroom() {
+		return ErrExhausted
+	}
+	db.nextOID[dk] = oid + 1
+
+	if err := db.insertOrder(dk, oid, cid, true); err != nil {
+		if errors.Is(err, storage.ErrNoSpace) {
+			return fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+		return err
+	}
+	// Stock updates for the lines just inserted.
+	ok := orderKey{dk.w, dk.d, oid}
+	for range db.orderLines4[ok] {
+		item := db.nurand(db.scale.ItemCount)
+		if _, err := db.items.Get(db.itemRID[item], nil); err != nil {
+			return err
+		}
+		sk := stockKey{dk.w, item}
+		srec, err := db.stock.Get(db.stockRID[sk], nil)
+		if err != nil {
+			return err
+		}
+		q := getU32(srec, offStockQuantity)
+		if q > 10 {
+			q -= 5
+		} else {
+			q += 86
+		}
+		putU32(srec, offStockQuantity, q)
+		putU64(srec, offStockYTD, getU64(srec, offStockYTD)+5)
+		putU32(srec, offStockOrderCnt, getU32(srec, offStockOrderCnt)+1)
+		if err := db.stock.Update(db.stockRID[sk], srec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perDistrictHeadroom is how many new orders each district may take before
+// the grown heaps risk exhaustion.
+func (db *DB) perDistrictHeadroom() int {
+	D := db.scale.Warehouses * db.scale.DistrictsPerWarehouse
+	return db.scale.MaxNewTransactions / D
+}
+
+// paymentTx: update warehouse YTD, district YTD, customer balance; insert
+// a HISTORY row.
+func (db *DB) paymentTx() error {
+	dk := db.randomDistrict()
+	cid := db.nurand(db.scale.CustomersPerDistrict)
+	amount := uint64(100 + db.rng.Intn(500000))
+
+	wrec, err := db.warehouses.Get(db.warehouseRID[dk.w], nil)
+	if err != nil {
+		return err
+	}
+	putU64(wrec, offWarehouseYTD, getU64(wrec, offWarehouseYTD)+amount)
+	if err := db.warehouses.Update(db.warehouseRID[dk.w], wrec); err != nil {
+		return err
+	}
+	drec, err := db.districts.Get(db.districtRID[dk], nil)
+	if err != nil {
+		return err
+	}
+	putU64(drec, offDistrictYTD, getU64(drec, offDistrictYTD)+amount)
+	if err := db.districts.Update(db.districtRID[dk], drec); err != nil {
+		return err
+	}
+	ck := customerKey{dk.w, dk.d, cid}
+	crec, err := db.customers.Get(db.customerRID[ck], nil)
+	if err != nil {
+		return err
+	}
+	putU64(crec, offCustBalance, getU64(crec, offCustBalance)-amount)
+	putU64(crec, offCustYTDPayment, getU64(crec, offCustYTDPayment)+amount)
+	putU32(crec, offCustPaymentCnt, getU32(crec, offCustPaymentCnt)+1)
+	if err := db.customers.Update(db.customerRID[ck], crec); err != nil {
+		return err
+	}
+	hrec := fillRecord(db.rng, historySize)
+	if _, err := db.history.Insert(hrec); err != nil {
+		if errors.Is(err, storage.ErrNoSpace) {
+			return fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// orderStatusTx: read customer, their most recent order, and its lines.
+func (db *DB) orderStatusTx() error {
+	dk := db.randomDistrict()
+	cid := db.nurand(db.scale.CustomersPerDistrict)
+	if _, err := db.customers.Get(db.customerRID[customerKey{dk.w, dk.d, cid}], nil); err != nil {
+		return err
+	}
+	// Most recent order of the district (customer-scan is approximated by
+	// the latest order, which is what dominates the page accesses).
+	oid := db.nextOID[dk] - 1
+	ok := orderKey{dk.w, dk.d, oid}
+	rid, exists := db.orderRID[ok]
+	if !exists {
+		return nil
+	}
+	if _, err := db.orders.Get(rid, nil); err != nil {
+		return err
+	}
+	for _, lrid := range db.orderLines4[ok] {
+		if _, err := db.orderLines.Get(lrid, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliveryTx: for each district of one warehouse, deliver the oldest
+// undelivered order: delete its NEW-ORDER row, set O_CARRIER_ID, stamp the
+// lines' delivery dates, and bump the customer's balance.
+func (db *DB) deliveryTx() error {
+	w := db.rng.Intn(db.scale.Warehouses)
+	carrier := uint32(1 + db.rng.Intn(10))
+	for d := 0; d < db.scale.DistrictsPerWarehouse; d++ {
+		dk := districtKey{w, d}
+		oid := db.oldestNewO[dk]
+		ok := orderKey{w, d, oid}
+		norid, exists := db.newOrderRH[ok]
+		if !exists {
+			continue // nothing undelivered in this district
+		}
+		if err := db.newOrders.Delete(norid); err != nil {
+			return err
+		}
+		delete(db.newOrderRH, ok)
+		db.oldestNewO[dk] = oid + 1
+
+		orec, err := db.orders.Get(db.orderRID[ok], nil)
+		if err != nil {
+			return err
+		}
+		putU32(orec, offOrderCarrierID, carrier)
+		if err := db.orders.Update(db.orderRID[ok], orec); err != nil {
+			return err
+		}
+		var total uint64
+		for _, lrid := range db.orderLines4[ok] {
+			lrec, err := db.orderLines.Get(lrid, nil)
+			if err != nil {
+				return err
+			}
+			total += getU64(lrec, offOLAmount)
+			putU64(lrec, offOLDeliveryD, uint64(oid))
+			if err := db.orderLines.Update(lrid, lrec); err != nil {
+				return err
+			}
+		}
+		cid := int(getU32(orec, offOrderCID))
+		ck := customerKey{w, d, cid}
+		crec, err := db.customers.Get(db.customerRID[ck], nil)
+		if err != nil {
+			return err
+		}
+		putU64(crec, offCustBalance, getU64(crec, offCustBalance)+total)
+		putU32(crec, offCustDeliveryCnt, getU32(crec, offCustDeliveryCnt)+1)
+		if err := db.customers.Update(db.customerRID[ck], crec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stockLevelTx: read the district, examine the items of the last 20
+// orders' lines, and count stocks below a threshold.
+func (db *DB) stockLevelTx() error {
+	dk := db.randomDistrict()
+	if _, err := db.districts.Get(db.districtRID[dk], nil); err != nil {
+		return err
+	}
+	threshold := uint32(10 + db.rng.Intn(11))
+	low := 0
+	last := db.nextOID[dk]
+	for oid := last - 20; oid < last; oid++ {
+		if oid < 0 {
+			continue
+		}
+		ok := orderKey{dk.w, dk.d, oid}
+		for _, lrid := range db.orderLines4[ok] {
+			lrec, err := db.orderLines.Get(lrid, nil)
+			if err != nil {
+				return err
+			}
+			item := int(getU32(lrec, offOLItemID))
+			srec, err := db.stock.Get(db.stockRID[stockKey{dk.w, item}], nil)
+			if err != nil {
+				return err
+			}
+			if getU32(srec, offStockQuantity) < threshold {
+				low++
+			}
+		}
+	}
+	_ = low
+	return nil
+}

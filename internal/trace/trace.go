@@ -1,0 +1,266 @@
+// Package trace records and replays page-access traces. The paper's
+// evaluation uses synthetic workloads and TPC-C because page-level
+// production traces are proprietary; this package makes the substitution
+// explicit and reversible: any workload run against a Recorder produces a
+// portable trace file, and Replay drives any page-update method through a
+// trace — synthetic today, a real captured trace whenever one is
+// available — for apples-to-apples method comparisons.
+//
+// The format is a line-oriented text format, one operation per line:
+//
+//	# comment
+//	R <pid>
+//	W <pid> <off> <len>      one update run within a reflection cycle
+//	F                        flush (write-through)
+//
+// W lines between an R and the next R/W of a different pid form one
+// read-change-write update operation; Replay merges consecutive W lines of
+// one pid into a single reflection, matching the experiment methodology.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ipl"
+)
+
+// Op is one trace operation.
+type Op struct {
+	// Kind is 'R' (read), 'W' (write/update run), or 'F' (flush).
+	Kind byte
+	// PID is the logical page (R and W).
+	PID uint32
+	// Off and Len describe the changed range (W only).
+	Off, Len int
+}
+
+// ErrSyntax reports a malformed trace line.
+var ErrSyntax = errors.New("trace: syntax error")
+
+// Writer records operations to an output stream.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w for trace output.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Comment emits a comment line.
+func (t *Writer) Comment(s string) error {
+	_, err := fmt.Fprintf(t.w, "# %s\n", strings.ReplaceAll(s, "\n", " "))
+	return err
+}
+
+// Read records a read-only operation.
+func (t *Writer) Read(pid uint32) error {
+	_, err := fmt.Fprintf(t.w, "R %d\n", pid)
+	return err
+}
+
+// Write records one update run.
+func (t *Writer) Write(pid uint32, off, length int) error {
+	_, err := fmt.Fprintf(t.w, "W %d %d %d\n", pid, off, length)
+	return err
+}
+
+// Flush records a write-through.
+func (t *Writer) Flush() error {
+	if _, err := fmt.Fprintln(t.w, "F"); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Close flushes buffered output.
+func (t *Writer) Close() error { return t.w.Flush() }
+
+// Parse reads a whole trace.
+func Parse(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var op Op
+		switch {
+		case strings.HasPrefix(text, "R "):
+			if _, err := fmt.Sscanf(text, "R %d", &op.PID); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, line, text)
+			}
+			op.Kind = 'R'
+		case strings.HasPrefix(text, "W "):
+			if _, err := fmt.Sscanf(text, "W %d %d %d", &op.PID, &op.Off, &op.Len); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, line, text)
+			}
+			op.Kind = 'W'
+		case text == "F":
+			op.Kind = 'F'
+		default:
+			return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, line, text)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Result summarizes a replay.
+type Result struct {
+	Reads, Updates, Flushes int64
+	Cost                    flash.Stats
+}
+
+// Replay drives method through the trace. Page content for writes is
+// deterministic pseudo-random data derived from seed, so two replays of
+// one trace over different methods perform identical logical work. The
+// database must already be loaded (every pid in the trace written once);
+// use Load for that.
+func Replay(method ftl.Method, ops []Op, seed int64) (Result, error) {
+	chip := method.Chip()
+	size := chip.Params().DataSize
+	page := make([]byte, size)
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	before := chip.Stats()
+
+	logger, _ := method.(*ipl.Store)
+	i := 0
+	for i < len(ops) {
+		op := ops[i]
+		switch op.Kind {
+		case 'R':
+			if err := method.ReadPage(op.PID, page); err != nil {
+				return res, fmt.Errorf("trace: replay read pid %d: %w", op.PID, err)
+			}
+			res.Reads++
+			i++
+		case 'F':
+			if err := method.Flush(); err != nil {
+				return res, err
+			}
+			res.Flushes++
+			i++
+		case 'W':
+			// One reflection cycle: read the page, apply every consecutive
+			// W of this pid, write back.
+			pid := op.PID
+			if err := method.ReadPage(pid, page); err != nil {
+				return res, fmt.Errorf("trace: replay update pid %d: %w", pid, err)
+			}
+			for i < len(ops) && ops[i].Kind == 'W' && ops[i].PID == pid {
+				w := ops[i]
+				off, length := clampRange(w.Off, w.Len, size)
+				rng.Read(page[off : off+length])
+				if logger != nil {
+					if err := logger.LogUpdate(pid, off, page[off:off+length]); err != nil {
+						return res, err
+					}
+				}
+				i++
+			}
+			var err error
+			if logger != nil {
+				err = logger.Evict(pid)
+			} else {
+				err = method.WritePage(pid, page)
+			}
+			if err != nil {
+				return res, fmt.Errorf("trace: replay reflect pid %d: %w", pid, err)
+			}
+			res.Updates++
+		default:
+			return res, fmt.Errorf("%w: op kind %q", ErrSyntax, op.Kind)
+		}
+	}
+	res.Cost = chip.Stats().Sub(before)
+	return res, nil
+}
+
+// Load writes every page referenced by the trace once, with deterministic
+// content, so a replay starts from a fully populated database.
+func Load(method ftl.Method, ops []Op, seed int64) error {
+	maxPID := uint32(0)
+	seen := false
+	for _, op := range ops {
+		if op.Kind == 'F' {
+			continue
+		}
+		seen = true
+		if op.PID > maxPID {
+			maxPID = op.PID
+		}
+	}
+	if !seen {
+		return nil
+	}
+	size := method.Chip().Params().DataSize
+	page := make([]byte, size)
+	rng := rand.New(rand.NewSource(seed))
+	for pid := uint32(0); pid <= maxPID; pid++ {
+		rng.Read(page)
+		if err := method.WritePage(pid, page); err != nil {
+			return fmt.Errorf("trace: loading pid %d: %w", pid, err)
+		}
+	}
+	return method.Flush()
+}
+
+func clampRange(off, length, size int) (int, int) {
+	if off < 0 {
+		off = 0
+	}
+	if off >= size {
+		off = size - 1
+	}
+	if length < 1 {
+		length = 1
+	}
+	if off+length > size {
+		length = size - off
+	}
+	return off, length
+}
+
+// Synthesize generates a trace with the paper's workload parameters:
+// numOps operations, pctUpdate percent update operations, each update
+// changing pctChanged percent of the page at a random offset, grouped in
+// reflection cycles of nUpdates.
+func Synthesize(numPages, numOps int, pctUpdate, pctChanged float64, nUpdates int, pageSize int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	changeLen := int(float64(pageSize) * pctChanged / 100)
+	if changeLen < 1 {
+		changeLen = 1
+	}
+	if changeLen > pageSize {
+		changeLen = pageSize
+	}
+	var ops []Op
+	for len(ops) < numOps {
+		pid := uint32(rng.Intn(numPages))
+		if rng.Float64()*100 < pctUpdate {
+			for u := 0; u < nUpdates; u++ {
+				off := 0
+				if changeLen < pageSize {
+					off = rng.Intn(pageSize - changeLen + 1)
+				}
+				ops = append(ops, Op{Kind: 'W', PID: pid, Off: off, Len: changeLen})
+			}
+		} else {
+			ops = append(ops, Op{Kind: 'R', PID: pid})
+		}
+	}
+	return ops
+}

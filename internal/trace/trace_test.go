@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"pdl/internal/core"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+	"pdl/internal/ipl"
+	"pdl/internal/opu"
+)
+
+func TestWriterParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Comment("test trace\nwith newline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Read(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(7, 100, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Kind: 'R', PID: 5},
+		{Kind: 'W', PID: 7, Off: 100, Len: 41},
+		{Kind: 'F'},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"X 1", "R", "W 1 2", "read 5"} {
+		if _, err := Parse(strings.NewReader(bad)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("%q: err = %v, want ErrSyntax", bad, err)
+		}
+	}
+	// Blank lines and comments are fine.
+	ops, err := Parse(strings.NewReader("\n# hi\n\nR 1\n"))
+	if err != nil || len(ops) != 1 {
+		t.Errorf("ops = %v, err = %v", ops, err)
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	ops := Synthesize(64, 1000, 50, 2, 3, 2048, 1)
+	if len(ops) < 1000 {
+		t.Fatalf("synthesized %d ops", len(ops))
+	}
+	reads, writes := 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case 'R':
+			reads++
+		case 'W':
+			writes++
+			if op.Len != 40 { // 2% of 2048
+				t.Fatalf("W len = %d, want 40", op.Len)
+			}
+			if op.Off < 0 || op.Off+op.Len > 2048 {
+				t.Fatalf("W range [%d,%d) out of page", op.Off, op.Off+op.Len)
+			}
+		default:
+			t.Fatalf("unexpected kind %q", op.Kind)
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Errorf("reads=%d writes=%d; mix missing a side", reads, writes)
+	}
+	// Update runs come in bursts of nUpdates on one pid.
+	for i := 0; i+2 < len(ops); i++ {
+		if ops[i].Kind == 'W' && (i == 0 || ops[i-1].Kind != 'W' || ops[i-1].PID != ops[i].PID) {
+			if ops[i+1].Kind != 'W' || ops[i+1].PID != ops[i].PID ||
+				ops[i+2].Kind != 'W' || ops[i+2].PID != ops[i].PID {
+				t.Fatalf("update burst at %d not grouped in threes", i)
+			}
+			break
+		}
+	}
+}
+
+func replayOver(t *testing.T, build func(chip *flash.Chip) (ftl.Method, error), ops []Op) Result {
+	t.Helper()
+	chip := flash.NewChip(ftltest.SmallParams(24))
+	m, err := build(chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(m, ops, 9); err != nil {
+		t.Fatal(err)
+	}
+	chip.ResetStats()
+	res, err := Replay(m, ops, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReplayAcrossMethods(t *testing.T) {
+	ops := Synthesize(48, 800, 60, 3, 1, 512, 2)
+	ops = append(ops, Op{Kind: 'F'})
+	pdlRes := replayOver(t, func(c *flash.Chip) (ftl.Method, error) {
+		return core.New(c, 48, core.Options{MaxDifferentialSize: 64, ReserveBlocks: 2})
+	}, ops)
+	opuRes := replayOver(t, func(c *flash.Chip) (ftl.Method, error) {
+		return opu.New(c, 48, 2)
+	}, ops)
+	iplRes := replayOver(t, func(c *flash.Chip) (ftl.Method, error) {
+		return ipl.New(c, 48, ipl.Options{})
+	}, ops)
+
+	// Identical logical work...
+	if pdlRes.Updates != opuRes.Updates || pdlRes.Reads != opuRes.Reads {
+		t.Errorf("op counts differ: pdl %+v vs opu %+v", pdlRes, opuRes)
+	}
+	if pdlRes.Updates != iplRes.Updates {
+		t.Errorf("op counts differ: pdl %+v vs ipl %+v", pdlRes, iplRes)
+	}
+	// ...different flash cost, with PDL cheapest on this update-heavy mix.
+	if pdlRes.Cost.TimeMicros >= opuRes.Cost.TimeMicros {
+		t.Errorf("PDL (%d us) not cheaper than OPU (%d us) on update-heavy trace",
+			pdlRes.Cost.TimeMicros, opuRes.Cost.TimeMicros)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	ops := Synthesize(32, 300, 50, 2, 1, 512, 3)
+	a := replayOver(t, func(c *flash.Chip) (ftl.Method, error) { return opu.New(c, 32, 2) }, ops)
+	b := replayOver(t, func(c *flash.Chip) (ftl.Method, error) { return opu.New(c, 32, 2) }, ops)
+	if a != b {
+		t.Errorf("replays diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayContentConsistency(t *testing.T) {
+	// Replaying the same trace with the same seed over two methods must
+	// leave identical logical content.
+	ops := Synthesize(32, 400, 70, 2, 2, 512, 4)
+	ops = append(ops, Op{Kind: 'F'})
+	build := []func(c *flash.Chip) (ftl.Method, error){
+		func(c *flash.Chip) (ftl.Method, error) {
+			return core.New(c, 32, core.Options{MaxDifferentialSize: 64, ReserveBlocks: 2})
+		},
+		func(c *flash.Chip) (ftl.Method, error) { return opu.New(c, 32, 2) },
+	}
+	var contents [][]byte
+	for _, b := range build {
+		chip := flash.NewChip(ftltest.SmallParams(24))
+		m, err := b(chip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Load(m, ops, 9); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(m, ops, 10); err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		page := make([]byte, chip.Params().DataSize)
+		for pid := uint32(0); pid < 32; pid++ {
+			if err := m.ReadPage(pid, page); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, page...)
+		}
+		contents = append(contents, all)
+	}
+	if !bytes.Equal(contents[0], contents[1]) {
+		t.Error("methods diverged in logical content after identical replay")
+	}
+}
+
+func TestClampRange(t *testing.T) {
+	cases := []struct{ off, length, size, wantOff, wantLen int }{
+		{0, 10, 100, 0, 10},
+		{-5, 10, 100, 0, 10},
+		{95, 10, 100, 95, 5},
+		{200, 10, 100, 99, 1},
+		{50, 0, 100, 50, 1},
+	}
+	for _, c := range cases {
+		off, length := clampRange(c.off, c.length, c.size)
+		if off != c.wantOff || length != c.wantLen {
+			t.Errorf("clampRange(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.off, c.length, c.size, off, length, c.wantOff, c.wantLen)
+		}
+	}
+}

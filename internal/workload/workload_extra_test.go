@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftltest"
+	"pdl/internal/ipl"
+	"pdl/internal/opu"
+)
+
+func TestTotalsHelpers(t *testing.T) {
+	var z Totals
+	if z.MicrosPerOp() != 0 || z.ErasesPerOp() != 0 {
+		t.Error("zero totals should report zero rates")
+	}
+	tt := Totals{
+		Ops:        10,
+		ReadPhase:  flash.Stats{Reads: 10, TimeMicros: 1100},
+		WritePhase: flash.Stats{Writes: 5, Erases: 2, TimeMicros: 8050},
+	}
+	if got := tt.MicrosPerOp(); got != 915 {
+		t.Errorf("MicrosPerOp = %g, want 915", got)
+	}
+	if got := tt.ErasesPerOp(); got != 0.2 {
+		t.Errorf("ErasesPerOp = %g, want 0.2", got)
+	}
+	o := tt.Overall()
+	if o.Reads != 10 || o.Writes != 5 || o.Erases != 2 {
+		t.Errorf("Overall = %+v", o)
+	}
+}
+
+func TestMutateRespectsPctChanged(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range []float64{0.1, 2, 50, 100} {
+		cfg := testConfig(16)
+		cfg.PctChanged = pct
+		d, err := NewDriver(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(float64(chip.Params().DataSize) * pct / 100)
+		if want < 1 {
+			want = 1
+		}
+		_, length := d.mutate()
+		if length != want {
+			t.Errorf("pct %g: changed %d bytes, want %d", pct, length, want)
+		}
+	}
+}
+
+func TestConditionMaxOpsBound(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(64)) // big flash: GC never triggers
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(m, testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := d.Condition(100, 1024) // unreachable target, small budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops > 1024+512 {
+		t.Errorf("conditioning ran %d ops beyond the %d budget", ops, 1024)
+	}
+}
+
+func TestIPLDriverUsesLogUpdates(t *testing.T) {
+	// When driving IPL, the reading step must not pay for the write step:
+	// the driver goes through LogUpdate/Evict, so a light update costs one
+	// log-sector write and zero extra reads.
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := ipl.New(chip, 16, ipl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(m, testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	tot, err := d.RunUpdateOps(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.WritePhase.Reads != 0 {
+		t.Errorf("IPL write phase performed %d reads; the tightly-coupled path should not read",
+			tot.WritePhase.Reads)
+	}
+	if tot.WritePhase.Writes == 0 {
+		t.Error("IPL write phase performed no writes")
+	}
+}
+
+func TestMixedOpsZeroAndFull(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(16))
+	m, err := opu.New(chip, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(32)
+	cfg.PctUpdateOps = 100
+	d, err := NewDriver(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	tot, err := d.RunMixedOps(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.UpdateOps != tot.Ops {
+		t.Errorf("at 100%% updates, UpdateOps %d != Ops %d", tot.UpdateOps, tot.Ops)
+	}
+}
+
+func TestRunBeforeLoadFails(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(m, testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunMixedOps(5); err == nil {
+		t.Error("RunMixedOps before Load succeeded")
+	}
+	if _, err := d.Condition(1, 100); err == nil {
+		t.Error("Condition before Load succeeded")
+	}
+}

@@ -1,0 +1,113 @@
+package pdl_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pdl"
+)
+
+// eightKParams builds the Figure 13(b) geometry: 8-Kbyte logical pages
+// (with a proportionally scaled spare area), as Lee and Moon also tested.
+func eightKParams(blocks int) pdl.FlashParams {
+	p := pdl.ScaledFlashParams(blocks)
+	p.DataSize = 8192
+	p.SpareSize = 256
+	return p
+}
+
+// TestEightKBPagesAllMethods runs a shadow-checked workload on 8-Kbyte
+// pages over every method family.
+func TestEightKBPagesAllMethods(t *testing.T) {
+	const numPages = 48
+	builders := map[string]func(*pdl.Chip) (pdl.Method, error){
+		"PDL(1KB)": func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.Open(c, numPages, pdl.Options{MaxDifferentialSize: 1024})
+		},
+		"OPU": func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenOPU(c, numPages) },
+		"IPU": func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenIPU(c, numPages) },
+		"IPL": func(c *pdl.Chip) (pdl.Method, error) {
+			return pdl.OpenIPL(c, numPages, pdl.IPLOptions{})
+		},
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			chip := pdl.NewChip(eightKParams(12))
+			m, err := build(chip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := chip.Params().DataSize
+			if size != 8192 {
+				t.Fatalf("page size %d", size)
+			}
+			rng := rand.New(rand.NewSource(11))
+			shadow := make([][]byte, numPages)
+			for pid := 0; pid < numPages; pid++ {
+				shadow[pid] = make([]byte, size)
+				rng.Read(shadow[pid])
+				if err := m.WritePage(uint32(pid), shadow[pid]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 300; i++ {
+				pid := rng.Intn(numPages)
+				off := rng.Intn(size - 160)
+				rng.Read(shadow[pid][off : off+160]) // ~2% of 8 KB
+				if err := m.WritePage(uint32(pid), shadow[pid]); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			if err := m.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, size)
+			for pid := 0; pid < numPages; pid++ {
+				if err := m.ReadPage(uint32(pid), buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf, shadow[pid]) {
+					t.Fatalf("pid %d mismatch", pid)
+				}
+			}
+		})
+	}
+}
+
+// TestEightKBRecovery: crash recovery must be page-size independent.
+func TestEightKBRecovery(t *testing.T) {
+	chip := pdl.NewChip(eightKParams(12))
+	opts := pdl.Options{MaxDifferentialSize: 1024}
+	store, err := pdl.Open(chip, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	rng := rand.New(rand.NewSource(13))
+	shadow := make([][]byte, 32)
+	for pid := 0; pid < 32; pid++ {
+		shadow[pid] = make([]byte, size)
+		rng.Read(shadow[pid])
+		if err := store.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pdl.Recover(chip, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	for pid := 0; pid < 32; pid++ {
+		if err := r.ReadPage(uint32(pid), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, shadow[pid]) {
+			t.Fatalf("pid %d mismatch after recovery", pid)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package pdl is a Go implementation of page-differential logging (PDL),
+// the flash page-update method of Kim, Whang, and Song, "Page-Differential
+// Logging: An Efficient and DBMS-independent Approach for Storing Data
+// into Flash Memory" (SIGMOD 2010), together with the complete substrate
+// the paper evaluates it on: a bit-accurate NAND flash emulator, the
+// page-based (OPU, IPU) and log-based (IPL) baseline methods, an LRU
+// buffer pool, a slotted-page heap, a B+-tree, and workload generators
+// including a scaled TPC-C.
+//
+// # Quick start
+//
+//	chip := pdl.NewChip(pdl.ScaledFlashParams(256)) // 32 MB emulated NAND
+//	store, err := pdl.Open(chip, 4096, pdl.Options{MaxDifferentialSize: 256})
+//	if err != nil { ... }
+//	page := make([]byte, store.Chip().Params().DataSize)
+//	...fill page...
+//	store.WritePage(42, page) // buffers only the page-differential
+//	store.Flush()             // write-through of the differential buffer
+//	store.ReadPage(42, page)  // base page + differential, at most 2 reads
+//	fmt.Println(chip.Stats()) // simulated I/O time and op counts
+//
+// A Store implements the same Method interface as the baseline methods
+// (OpenOPU, OpenIPU, OpenIPL), so higher layers — the buffer pool, heap
+// files, B+-trees, TPC-C — run unchanged over any of them. That interface
+// boundary is the paper's point: page-differential logging needs only the
+// flash driver, never the DBMS above it.
+//
+// All flash timing is simulated: each read, program, and erase advances
+// the chip's clock by the configured datasheet latency (Table 1 of the
+// paper), so performance comparisons are deterministic and reproducible.
+package pdl
+
+import (
+	"pdl/internal/btree"
+	"pdl/internal/buffer"
+	"pdl/internal/core"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/ipl"
+	"pdl/internal/ipu"
+	"pdl/internal/opu"
+	"pdl/internal/storage"
+	"pdl/internal/tpcc"
+)
+
+// Chip is an emulated NAND flash chip. See NewChip.
+type Chip = flash.Chip
+
+// FlashParams configures a chip's geometry and timing.
+type FlashParams = flash.Params
+
+// FlashStats carries operation counts and simulated I/O time.
+type FlashStats = flash.Stats
+
+// PPN is a physical page number on the chip.
+type PPN = flash.PPN
+
+// DefaultFlashParams returns the Samsung K9L8G08U0M 2-Gbyte MLC NAND
+// parameters of the paper's Table 1. The full-size chip allocates about
+// 2 GB of memory; ScaledFlashParams builds smaller chips with identical
+// per-operation costs.
+func DefaultFlashParams() FlashParams { return flash.DefaultParams() }
+
+// ScaledFlashParams returns the datasheet parameters with the block count
+// replaced (each block is 132 KB: 64 pages of 2048+64 bytes).
+func ScaledFlashParams(numBlocks int) FlashParams { return flash.ScaledParams(numBlocks) }
+
+// NewChip allocates an emulated chip in the erased state.
+func NewChip(p FlashParams) *Chip { return flash.NewChip(p) }
+
+// Method is the flash page-update method interface: what a disk driver
+// exposes to the storage system above. PDL, OPU, IPU, and IPL all
+// implement it.
+type Method = ftl.Method
+
+// Errors shared by all methods.
+var (
+	// ErrNotWritten reports a read of a logical page never written.
+	ErrNotWritten = ftl.ErrNotWritten
+	// ErrPageRange reports a logical page id outside the database.
+	ErrPageRange = ftl.ErrPageRange
+	// ErrPageSize reports a mis-sized page buffer.
+	ErrPageSize = ftl.ErrPageSize
+	// ErrNoSpace reports flash memory full of valid data.
+	ErrNoSpace = ftl.ErrNoSpace
+	// ErrPowerLoss reports that a scheduled (simulated) power failure
+	// interrupted a flash operation; see Chip.SchedulePowerFailure.
+	ErrPowerLoss = flash.ErrPowerLoss
+)
+
+// Store is a page-differential logging store (the paper's contribution).
+type Store = core.Store
+
+// Options configures a PDL store.
+type Options = core.Options
+
+// Open builds a PDL store for a database of numPages logical pages over a
+// fresh chip. Use Recover to rebuild a store from a chip that already
+// holds data (e.g. after a crash).
+func Open(chip *Chip, numPages int, opts Options) (*Store, error) {
+	return core.New(chip, numPages, opts)
+}
+
+// Recover reconstructs a PDL store from flash contents after a system
+// failure by one scan through the physical pages (the paper's
+// PDL_RecoveringfromCrash algorithm). Differentials that were only in the
+// in-memory write buffer at the time of the failure are lost, exactly as
+// the paper specifies.
+func Recover(chip *Chip, numPages int, opts Options) (*Store, error) {
+	return core.Recover(chip, numPages, opts)
+}
+
+// ErrNoCheckpoint reports that RecoverWithCheckpoint found no complete
+// checkpoint; fall back to Recover.
+var ErrNoCheckpoint = core.ErrNoCheckpoint
+
+// RecoverWithCheckpoint rebuilds a PDL store from the newest complete
+// mapping-table checkpoint, scanning in full only the blocks rewritten
+// since then — the fast-recovery extension the paper leaves as further
+// study. The store must have been opened with Options.CheckpointBlocks > 0
+// and have called Store.WriteCheckpoint at least once; otherwise it fails
+// with ErrNoCheckpoint.
+func RecoverWithCheckpoint(chip *Chip, numPages int, opts Options) (*Store, error) {
+	return core.RecoverWithCheckpoint(chip, numPages, opts)
+}
+
+// OPUStore is the out-place update page-based baseline.
+type OPUStore = opu.Store
+
+// OpenOPU builds the paper's primary baseline: a page-based FTL with
+// page-level mapping and out-place updates.
+func OpenOPU(chip *Chip, numPages int) (*OPUStore, error) {
+	return opu.New(chip, numPages, 2)
+}
+
+// IPUStore is the in-place update baseline.
+type IPUStore = ipu.Store
+
+// OpenIPU builds the in-place update baseline (read block, erase,
+// rewrite; the worst case of section 3).
+func OpenIPU(chip *Chip, numPages int) (*IPUStore, error) {
+	return ipu.New(chip, numPages)
+}
+
+// IPLStore is the in-page logging baseline (Lee & Moon, SIGMOD 2007).
+type IPLStore = ipl.Store
+
+// IPLOptions configures the in-page logging baseline.
+type IPLOptions = ipl.Options
+
+// OpenIPL builds the log-based baseline. Tightly-coupled callers can feed
+// it individual update logs through its LogUpdate method; through the
+// plain Method interface it derives logs by comparison.
+func OpenIPL(chip *Chip, numPages int, opts IPLOptions) (*IPLStore, error) {
+	return ipl.New(chip, numPages, opts)
+}
+
+// Pool is an LRU buffer pool over any Method (the DBMS buffer of the
+// paper's Figure 10).
+type Pool = buffer.Pool
+
+// NewPool builds a buffer pool of capacity pages over method.
+func NewPool(method Method, capacity int) (*Pool, error) {
+	return buffer.NewPool(method, capacity)
+}
+
+// Heap is a slotted-page heap file over a buffer pool.
+type Heap = storage.Heap
+
+// RID identifies a heap record.
+type RID = storage.RID
+
+// NewHeap builds a heap file over logical pages [first, first+numPages).
+func NewHeap(pool *Pool, first, numPages uint32) (*Heap, error) {
+	return storage.NewHeap(pool, first, numPages)
+}
+
+// BTree is a B+-tree index over a buffer pool with uint64 keys and values.
+type BTree = btree.Tree
+
+// NewBTree builds an empty B+-tree over logical pages
+// [first, first+numPages).
+func NewBTree(pool *Pool, first, numPages uint32) (*BTree, error) {
+	return btree.New(pool, first, numPages)
+}
+
+// TPCC is a loaded, scaled TPC-C database over a method — the workload of
+// the paper's Experiment 7.
+type TPCC = tpcc.DB
+
+// TPCCScale sizes a TPC-C database.
+type TPCCScale = tpcc.Scale
+
+// TxType enumerates the five TPC-C transactions.
+type TxType = tpcc.TxType
+
+// DefaultTPCCScale returns a laptop-scale TPC-C sizing for the given
+// warehouse count.
+func DefaultTPCCScale(warehouses int) TPCCScale { return tpcc.DefaultScale(warehouses) }
+
+// TPCCPagesNeeded estimates the logical pages a TPC-C database of the
+// given scale occupies, for sizing the flash chip and method.
+func TPCCPagesNeeded(s TPCCScale, pageSize int) (int, error) {
+	return tpcc.PagesNeeded(s, pageSize)
+}
+
+// LoadTPCC builds and populates a TPC-C database over method with a DBMS
+// buffer of bufferPages frames.
+func LoadTPCC(method Method, s TPCCScale, bufferPages int, seed int64) (*TPCC, error) {
+	return tpcc.Load(method, s, bufferPages, seed)
+}

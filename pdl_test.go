@@ -1,0 +1,156 @@
+package pdl_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pdl"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	chip := pdl.NewChip(pdl.ScaledFlashParams(32))
+	store, err := pdl.Open(chip, 256, pdl.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	page := make([]byte, size)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(page)
+	if err := store.WritePage(42, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	if err := store.ReadPage(42, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Error("round trip failed")
+	}
+	if chip.Stats().Ops() == 0 {
+		t.Error("no simulated I/O recorded")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	size := pdl.DefaultFlashParams().DataSize
+	page := make([]byte, size)
+	builders := map[string]func(*pdl.Chip) (pdl.Method, error){
+		"PDL": func(c *pdl.Chip) (pdl.Method, error) { return pdl.Open(c, 64, pdl.Options{}) },
+		"OPU": func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenOPU(c, 64) },
+		"IPU": func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenIPU(c, 64) },
+		"IPL": func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenIPL(c, 64, pdl.IPLOptions{}) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			chip := pdl.NewChip(pdl.ScaledFlashParams(8))
+			m, err := build(chip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.WritePage(0, page); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, size)
+			if err := m.ReadPage(0, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.ReadPage(63, got); !errors.Is(err, pdl.ErrNotWritten) {
+				t.Errorf("unwritten read: %v", err)
+			}
+			if m.Name() == "" {
+				t.Error("empty method name")
+			}
+		})
+	}
+}
+
+func TestPublicAPIRecover(t *testing.T) {
+	chip := pdl.NewChip(pdl.ScaledFlashParams(16))
+	store, err := pdl.Open(chip, 64, pdl.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := chip.Params().DataSize
+	pages := make([][]byte, 64)
+	rng := rand.New(rand.NewSource(2))
+	for pid := range pages {
+		pages[pid] = make([]byte, size)
+		rng.Read(pages[pid])
+		if err := store.WritePage(uint32(pid), pages[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := pdl.Recover(chip, 64, pdl.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	for pid := range pages {
+		if err := recovered.ReadPage(uint32(pid), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pages[pid]) {
+			t.Fatalf("pid %d mismatch after recovery", pid)
+		}
+	}
+}
+
+func TestPublicAPIPoolHeapBTree(t *testing.T) {
+	chip := pdl.NewChip(pdl.ScaledFlashParams(32))
+	store, err := pdl.Open(chip, 1024, pdl.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := pdl.NewPool(store, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := pdl.NewHeap(pool, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := pdl.NewBTree(pool, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index heap records by key through the tree.
+	for k := uint64(0); k < 300; k++ {
+		rid, err := heap.Insert([]byte{byte(k), byte(k >> 8), 0xEE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := uint64(rid.Page)<<16 | uint64(rid.Slot)
+		if err := tree.Insert(k, packed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 300; k += 17 {
+		packed, err := tree.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid := pdl.RID{Page: uint32(packed >> 16), Slot: uint16(packed & 0xFFFF)}
+		rec, err := heap.Get(rid, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec[0] != byte(k) || rec[1] != byte(k>>8) {
+			t.Fatalf("key %d resolved to wrong record", k)
+		}
+	}
+}
