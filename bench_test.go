@@ -16,6 +16,7 @@ import (
 	"pdl/internal/bench"
 	"pdl/internal/flash"
 	"pdl/internal/tpcc"
+	"pdl/internal/workload"
 )
 
 // benchGeometry is the reduced geometry used by the Go benchmarks: a
@@ -272,6 +273,99 @@ func BenchmarkPDLWritePage(b *testing.B) {
 		if err := store.WritePage(pid, page); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// parallelWorkerCounts are the goroutine counts the parallel benchmarks
+// compare (the tentpole scaling claim is measured at 1 vs 16).
+var parallelWorkerCounts = []int{1, 4, 16}
+
+// benchmarkParallelUpdates measures aggregate host-side throughput of full
+// update cycles (read, mutate, write) executed by a fixed number of worker
+// goroutines, through the workload package's parallel driver — the same
+// harness pdlbench's parallel experiment uses (disjoint pid partitions;
+// non-concurrency-safe methods serialized behind a mutex). b.N is the
+// total operation count, so ns/op is directly comparable across worker
+// counts: scaling shows up as ns/op shrinking as workers grow. Speedups
+// require GOMAXPROCS > 1; on a single-core host the numbers only measure
+// locking overhead.
+func benchmarkParallelUpdates(b *testing.B, open func(chip *pdl.Chip, numPages int) (pdl.Method, error), workers int) {
+	const numPages = 2048
+	chip := pdl.NewChip(pdl.ScaledFlashParams(256))
+	method, err := open(chip, numPages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := workload.NewDriver(method, workload.Config{
+		NumPages:          numPages,
+		PctChanged:        2,
+		NUpdatesTillWrite: 1,
+		Seed:              1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Load(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := d.RunParallelUpdateOps(workers, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.OpsPerSecond(), "ops/s")
+}
+
+// BenchmarkParallelPDLWritePage measures PDL aggregate update throughput
+// at 1, 4, and 16 worker goroutines. The store is opened with a fixed 16
+// write-buffer shards for every worker count, so the three points differ
+// only in parallelism, not in store configuration.
+func BenchmarkParallelPDLWritePage(b *testing.B) {
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkParallelUpdates(b, func(chip *pdl.Chip, numPages int) (pdl.Method, error) {
+				return pdl.Open(chip, numPages, pdl.Options{MaxDifferentialSize: 256, Shards: 16})
+			}, workers)
+		})
+	}
+}
+
+// BenchmarkParallelOPUWritePage is the page-based baseline under the same
+// parallel harness (serialized: OPU is not concurrency-safe).
+func BenchmarkParallelOPUWritePage(b *testing.B) {
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkParallelUpdates(b, func(chip *pdl.Chip, numPages int) (pdl.Method, error) {
+				return pdl.OpenOPU(chip, numPages)
+			}, workers)
+		})
+	}
+}
+
+// BenchmarkParallelIPLWritePage is the log-based baseline under the same
+// parallel harness (serialized).
+func BenchmarkParallelIPLWritePage(b *testing.B) {
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkParallelUpdates(b, func(chip *pdl.Chip, numPages int) (pdl.Method, error) {
+				return pdl.OpenIPL(chip, numPages, pdl.IPLOptions{LogPagesPerBlock: 9 * chip.Params().PagesPerBlock / 64})
+			}, workers)
+		})
+	}
+}
+
+// BenchmarkParallelIPUWritePage is the in-place-update baseline under the
+// same parallel harness (serialized). IPU rewrites a whole block per page
+// write, so b.N iterations are expensive; the harness is identical.
+func BenchmarkParallelIPUWritePage(b *testing.B) {
+	for _, workers := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkParallelUpdates(b, func(chip *pdl.Chip, numPages int) (pdl.Method, error) {
+				return pdl.OpenIPU(chip, numPages)
+			}, workers)
+		})
 	}
 }
 

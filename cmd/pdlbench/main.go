@@ -1,5 +1,6 @@
 // Command pdlbench reproduces the paper's evaluation (Experiments 1-7,
-// Figures 12-18) and prints the measured tables.
+// Figures 12-18) and prints the measured tables, plus a parallel
+// scalability experiment beyond the paper.
 //
 // Usage:
 //
@@ -7,9 +8,16 @@
 //	pdlbench -exp 2 -blocks 1024     # Figure 13 on a 128-MB chip
 //	pdlbench -exp all -gcrounds 10   # everything, paper-grade conditioning
 //	pdlbench -exp 3 -csv             # CSV for external plotting
+//	pdlbench -exp par -workers 16    # parallel update throughput, PDL vs baselines
 //
-// All reported times are simulated flash I/O times derived from the
-// datasheet parameters (Table 1), so runs are deterministic for a seed.
+// All reported times of experiments 1-7 are simulated flash I/O times
+// derived from the datasheet parameters (Table 1), so those runs are
+// deterministic for a seed. The parallel experiment additionally reports
+// host wall-clock throughput, which is hardware dependent: PDL runs its
+// sharded concurrent write path, while the baselines serialize behind a
+// mutex. With more than one worker its simulated columns are
+// scheduling-dependent too (goroutine interleaving decides when each
+// shard's buffer fills and flushes).
 package main
 
 import (
@@ -36,6 +44,7 @@ func main() {
 		pageSize  = flag.Int("pagesize", flash.DefaultDataSize, "logical/physical page size in bytes (Figure 13(b) uses 8192)")
 		nupdates  = flag.Int("n", 1, "N_updates_till_write for experiments 3 and 4")
 		warehouse = flag.Int("warehouses", 1, "TPC-C warehouses for experiment 7")
+		workers   = flag.Int("workers", 4, "max worker goroutines for the parallel experiment (-exp par)")
 	)
 	flag.Parse()
 
@@ -137,13 +146,19 @@ func main() {
 				return err
 			}
 			bench.WriteExp7Table(os.Stdout, points)
+		case "par":
+			if err := runParallel(g, *workers, *ops); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want 1..7 or all)", id)
+			return fmt.Errorf("unknown experiment %q (want 1..7, par, or all)", id)
 		}
 		fmt.Println()
 		return nil
 	}
 
+	// "all" covers the paper's deterministic experiments; the parallel
+	// experiment is host-dependent and must be requested explicitly.
 	ids := []string{*exp}
 	if strings.EqualFold(*exp, "all") {
 		ids = []string{"1", "2", "3", "4", "5", "6", "7"}
@@ -154,4 +169,52 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runParallel runs bench.ExpParallel — the sharded PDL store against the
+// serialized baselines as worker goroutines grow — and prints the table.
+// Host throughput (ops/s) depends on the machine; with several workers
+// the simulated columns are scheduling-dependent too.
+func runParallel(g bench.Geometry, maxWorkers, ops int) error {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	fmt.Printf("Parallel experiment: update throughput at 1..%d workers (PDL sharded vs serialized baselines)\n", maxWorkers)
+	if g.NumPages() < maxWorkers {
+		return fmt.Errorf("database of %d pages too small for %d workers", g.NumPages(), maxWorkers)
+	}
+	var workerCounts []int
+	for w := 1; w < maxWorkers; w *= 2 {
+		workerCounts = append(workerCounts, w)
+	}
+	workerCounts = append(workerCounts, maxWorkers)
+
+	specs := []bench.MethodSpec{
+		{Kind: bench.KindPDL, Param: g.Params.DataSize, Shards: maxWorkers},
+		{Kind: bench.KindPDL, Param: g.Params.DataSize / 8, Shards: maxWorkers},
+		{Kind: bench.KindOPU},
+		{Kind: bench.KindIPU},
+		{Kind: bench.KindIPL, Param: 9 * g.Params.PagesPerBlock / 64},
+	}
+	fmt.Printf("# geometry: %s, DB = %d pages, %d ops per point, conditioning %.1f GC rounds/block\n",
+		g.Params, g.NumPages(), ops, g.GCRounds)
+	points, err := bench.ExpParallel(g, specs, workerCounts, ops)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %12s %12s %14s %s\n",
+		"method", "workers", "wall-ms", "ops/s", "sim-us/op", "mode")
+	for _, p := range points {
+		mode := "parallel"
+		if p.Result.Serialized {
+			mode = "serialized"
+		}
+		fmt.Printf("%-12s %8d %12.1f %12.0f %14.1f %s\n",
+			p.Method, p.Workers,
+			float64(p.Result.Elapsed.Microseconds())/1000,
+			p.Result.OpsPerSecond(),
+			float64(p.Result.Flash.TimeMicros)/float64(p.Result.Ops),
+			mode)
+	}
+	return nil
 }

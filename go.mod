@@ -1,0 +1,3 @@
+module pdl
+
+go 1.24

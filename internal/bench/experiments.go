@@ -42,8 +42,9 @@ func DefaultGeometry() Geometry {
 	}
 }
 
-// numPages returns the database size in logical pages.
-func (g Geometry) numPages() int {
+// NumPages returns the database size in logical pages (DBFrac of the
+// flash capacity), the sizing rule every experiment shares.
+func (g Geometry) NumPages() int {
 	return int(float64(g.Params.NumPages()) * g.DBFrac)
 }
 
@@ -113,7 +114,7 @@ func Exp1(g Geometry, specs []MethodSpec) ([]Row, error) {
 	var rows []Row
 	for _, spec := range specs {
 		cfg := workload.Config{
-			NumPages:          g.numPages(),
+			NumPages:          g.NumPages(),
 			PctChanged:        2,
 			NUpdatesTillWrite: 1,
 			Seed:              g.Seed,
@@ -141,7 +142,7 @@ func Exp2(g Geometry, specs []MethodSpec, nValues []int) ([]Row, error) {
 	for _, spec := range specs {
 		for _, n := range nValues {
 			cfg := workload.Config{
-				NumPages:          g.numPages(),
+				NumPages:          g.NumPages(),
 				PctChanged:        2,
 				NUpdatesTillWrite: n,
 				Seed:              g.Seed,
@@ -170,7 +171,7 @@ func Exp3(g Geometry, specs []MethodSpec, pcts []float64, nUpdates int) ([]Row, 
 	for _, spec := range specs {
 		for _, pct := range pcts {
 			cfg := workload.Config{
-				NumPages:          g.numPages(),
+				NumPages:          g.NumPages(),
 				PctChanged:        pct,
 				NUpdatesTillWrite: nUpdates,
 				Seed:              g.Seed,
@@ -199,7 +200,7 @@ func Exp4(g Geometry, specs []MethodSpec, pcts []float64, nUpdates int) ([]Row, 
 	for _, spec := range specs {
 		for _, pct := range pcts {
 			cfg := workload.Config{
-				NumPages:          g.numPages(),
+				NumPages:          g.NumPages(),
 				PctChanged:        2,
 				NUpdatesTillWrite: nUpdates,
 				PctUpdateOps:      pct,

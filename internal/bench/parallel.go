@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"pdl/internal/workload"
+)
+
+// ParallelPoint is one measured point of the parallel scalability
+// experiment: a method configuration driven by a fixed number of worker
+// goroutines.
+type ParallelPoint struct {
+	Method  string
+	Workers int
+	Result  workload.ParallelResult
+}
+
+// ExpParallel measures aggregate update throughput as worker goroutines
+// grow — an experiment beyond the paper, enabled by the PDL store's
+// sharded concurrency layer. Every point goes through the same
+// build/load/condition pipeline as Experiments 1-7 (Geometry.prepare), so
+// the simulated columns are measured at the same garbage-collection steady
+// state. Conditioning runs sequentially; only the measured operations run
+// on the worker goroutines. Host throughput is hardware dependent, and
+// with more than one worker the simulated cost is scheduling-dependent
+// too (goroutine interleaving decides when shard buffers fill, flush, and
+// trigger garbage collection).
+func ExpParallel(g Geometry, specs []MethodSpec, workerCounts []int, ops int) ([]ParallelPoint, error) {
+	var points []ParallelPoint
+	for _, spec := range specs {
+		for _, w := range workerCounts {
+			cfg := workload.Config{
+				NumPages:          g.NumPages(),
+				PctChanged:        2,
+				NUpdatesTillWrite: 1,
+				Seed:              g.Seed,
+			}
+			d, err := g.prepare(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := d.RunParallelUpdateOps(w, ops)
+			if err != nil {
+				return nil, fmt.Errorf("bench: parallel %s workers=%d: %w",
+					spec.Name(g.Params), w, err)
+			}
+			points = append(points, ParallelPoint{
+				Method:  spec.Name(g.Params),
+				Workers: w,
+				Result:  res,
+			})
+		}
+	}
+	return points, nil
+}

@@ -38,6 +38,9 @@ type MethodSpec struct {
 	Param int
 	// Label overrides the method's own Name for reporting (optional).
 	Label string
+	// Shards is the PDL write-buffer shard count for concurrent runs
+	// (0 means 1, the paper's single buffer). Ignored for other kinds.
+	Shards int
 }
 
 // StandardMethods returns the six configurations of Figure 12, scaled to
@@ -63,6 +66,7 @@ func (s MethodSpec) Build(chip *flash.Chip, numPages int) (ftl.Method, error) {
 		return core.New(chip, numPages, core.Options{
 			MaxDifferentialSize: s.Param,
 			ReserveBlocks:       2,
+			Shards:              s.Shards,
 		})
 	case KindOPU:
 		return opu.New(chip, numPages, 2)

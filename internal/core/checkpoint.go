@@ -105,7 +105,7 @@ func (s *Store) serializeCheckpoint(id uint64) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
 	buf = binary.LittleEndian.AppendUint16(buf, 0) // chunk count patched below
 	buf = binary.LittleEndian.AppendUint64(buf, id)
-	buf = binary.LittleEndian.AppendUint64(buf, s.ts)
+	buf = binary.LittleEndian.AppendUint64(buf, s.ts.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, 0) // reserved
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.numPages))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.NumBlocks))
@@ -151,10 +151,15 @@ func (s *Store) isCkptBlock(b int) bool {
 	return false
 }
 
-// WriteCheckpoint flushes the differential write buffer and persists the
+// WriteCheckpoint flushes the differential write buffers and persists the
 // mapping tables into the checkpoint region. It returns the number of
 // checkpoint pages written. Checkpoints are only available when the store
 // was opened with Options.CheckpointBlocks > 0.
+//
+// WriteCheckpoint is safe to call concurrently with reads and writes: the
+// serialized tables are captured under the device lock, so they describe a
+// flash-consistent state (differentials buffered after the flush are simply
+// not part of the checkpoint, exactly like differentials lost to a crash).
 func (s *Store) WriteCheckpoint() (int, error) {
 	if s.ckpt == nil {
 		return 0, errors.New("core: store opened without a checkpoint region")
@@ -164,6 +169,8 @@ func (s *Store) WriteCheckpoint() (int, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
+	s.dev.Lock()
+	defer s.dev.Unlock()
 	s.ckpt.nextID++
 	payload := s.serializeCheckpoint(s.ckpt.nextID)
 	p := s.chip.Params()
@@ -375,7 +382,7 @@ func (s *Store) loadCheckpoint(payload []byte) ([]uint64, []byte, error) {
 	if v := binary.LittleEndian.Uint16(payload[4:]); v != ckptVersion {
 		return nil, nil, fmt.Errorf("core: unsupported checkpoint version %d", v)
 	}
-	s.ts = binary.LittleEndian.Uint64(payload[16:])
+	s.ts.Store(binary.LittleEndian.Uint64(payload[16:]))
 	numPages := int(binary.LittleEndian.Uint32(payload[32:]))
 	numBlocks := int(binary.LittleEndian.Uint32(payload[36:]))
 	if numPages != s.numPages || numBlocks != p.NumBlocks {
@@ -575,6 +582,7 @@ func (s *Store) scanBlocks(blocks []int) error {
 
 // rebuildDerived reconstructs reverseBase and vdct from the mapping table.
 func (s *Store) rebuildDerived() {
+	maxTS := s.ts.Load()
 	for pid := range s.ppmt {
 		if s.ppmt[pid].base != flash.NilPPN {
 			s.reverseBase[s.ppmt[pid].base] = uint32(pid)
@@ -582,11 +590,12 @@ func (s *Store) rebuildDerived() {
 		if s.ppmt[pid].dif != flash.NilPPN {
 			s.vdct[s.ppmt[pid].dif]++
 		}
-		if s.baseTS[pid] > s.ts {
-			s.ts = s.baseTS[pid]
+		if s.baseTS[pid] > maxTS {
+			maxTS = s.baseTS[pid]
 		}
-		if s.diffTS[pid] > s.ts {
-			s.ts = s.diffTS[pid]
+		if s.diffTS[pid] > maxTS {
+			maxTS = s.diffTS[pid]
 		}
 	}
+	s.ts.Store(maxTS)
 }

@@ -44,7 +44,9 @@ func (b *writeBuffer) add(d diff.Differential) {
 	b.used += d.EncodedSize()
 }
 
-// remove drops the buffered differential for pid, if present.
+// remove drops the buffered differential for pid, if present. The vacated
+// tail slot is zeroed so the backing array does not retain the removed
+// differential's Range.Data byte slices (up to a page of dead data).
 func (b *writeBuffer) remove(pid uint32) {
 	i, ok := b.index[pid]
 	if !ok {
@@ -56,17 +58,19 @@ func (b *writeBuffer) remove(pid uint32) {
 		b.diffs[i] = b.diffs[last]
 		b.index[b.diffs[i].PID] = i
 	}
+	b.diffs[last] = diff.Differential{}
 	b.diffs = b.diffs[:last]
 	delete(b.index, pid)
 }
 
-// clear empties the buffer.
+// clear empties the buffer, zeroing the backing array so flushed
+// differentials (and their Range.Data slices) become collectable instead
+// of living on indefinitely behind the truncated slice.
 func (b *writeBuffer) clear() {
+	clear(b.diffs)
 	b.diffs = b.diffs[:0]
 	b.used = 0
-	for pid := range b.index {
-		delete(b.index, pid)
-	}
+	clear(b.index)
 }
 
 // encode packs the buffered differentials into a full page image, padding

@@ -13,6 +13,10 @@ import (
 // valid differentials of the victim's differential pages are compacted
 // into new differential pages ("we move only valid differentials into a
 // new differential page, i.e., we do compaction here").
+//
+// It runs inside the allocator's collect, which is only reached while the
+// device lock is held, so it may touch the mapping tables freely — and it
+// must never take a shard lock (shard locks order before the device lock).
 func (s *Store) relocate(victim int) error {
 	p := s.chip.Params()
 
@@ -60,7 +64,9 @@ func (s *Store) relocate(victim int) error {
 // relocateBasePage copies one valid base page out of a victim block.
 func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 	p := s.chip.Params()
-	if err := s.chip.ReadData(ppn, s.scratch); err != nil {
+	scratch := s.getPage()
+	defer s.putPage(scratch)
+	if err := s.chip.ReadData(ppn, scratch); err != nil {
 		return err
 	}
 	dst, err := s.alloc.Alloc()
@@ -72,7 +78,7 @@ func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 	// differential as the winner.
 	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.baseTS[pid],
 		Seq: s.alloc.SeqOf(s.chip.BlockOf(dst))}, p.SpareSize)
-	if err := s.chip.Program(dst, s.scratch, hdr); err != nil {
+	if err := s.chip.Program(dst, scratch, hdr); err != nil {
 		return err
 	}
 	delete(s.reverseBase, ppn)
@@ -85,11 +91,13 @@ func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 // differentials that are still current (the mapping table still points at
 // this page for their pid).
 func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
-	if err := s.chip.ReadData(ppn, s.scratch); err != nil {
+	scratch := s.getPage()
+	defer s.putPage(scratch)
+	if err := s.chip.ReadData(ppn, scratch); err != nil {
 		return nil, err
 	}
 	var out []diff.Differential
-	for _, d := range diff.DecodeAll(s.scratch) {
+	for _, d := range diff.DecodeAll(scratch) {
 		if int(d.PID) < s.numPages && s.ppmt[d.PID].dif == ppn && s.diffTS[d.PID] == d.TS {
 			out = append(out, d)
 		}

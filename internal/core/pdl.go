@@ -18,10 +18,33 @@
 // Because the differential is computed by comparing the updated logical
 // page with its base page — not by intercepting update operations — PDL
 // lives entirely inside the flash driver and requires no DBMS changes.
+//
+// # Concurrency model
+//
+// A Store is safe for concurrent use by multiple goroutines. The
+// differential write buffer is partitioned into Options.Shards independent
+// buffers; a logical page is hashed by pid onto one shard. Two locks
+// cooperate:
+//
+//   - each shard has its own RWMutex serializing the write buffer and all
+//     writes to the pids it owns (so per-pid write order is well defined);
+//   - a coarse device mutex guards the emulated chip, the allocator
+//     (including garbage collection), and the global mapping tables
+//     (ppmt, baseTS, diffTS, vdct, reverseBase).
+//
+// The lock order is always shard lock before device lock, and the
+// relocation callback that runs inside garbage collection takes no shard
+// locks, so the hierarchy is deadlock free. The expensive CPU work of the
+// write path — computing the differential by comparing two page images —
+// runs outside the device lock, which is what lets writers on different
+// shards proceed in parallel. Scratch page buffers come from a sync.Pool
+// so concurrent operations never share buffer state.
 package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pdl/internal/diff"
 	"pdl/internal/flash"
@@ -49,6 +72,15 @@ type Options struct {
 	// instead of pure greedy selection (a longevity ablation; see
 	// internal/ftl).
 	WearAwareGC bool
+	// Shards is the number of differential write buffer shards. Zero means
+	// 1, which preserves the paper's single one-page write buffer exactly.
+	// Concurrent workloads should use roughly one shard per worker
+	// goroutine: writers hashing to different shards compute and buffer
+	// their differentials in parallel. Each shard buffers up to one page
+	// of differentials and spills to its own differential page, so the
+	// at-most-one-page-writing principle holds per reflection regardless
+	// of the shard count.
+	Shards int
 }
 
 // pageEntry is one row of the physical page mapping table: the pair
@@ -58,7 +90,17 @@ type pageEntry struct {
 	dif  flash.PPN
 }
 
-// Store is a page-differential logging flash translation layer.
+// shard is one partition of the differential write buffer, with the lock
+// that serializes writes to the pids hashed onto it. The padding keeps
+// hot shard locks on separate cache lines.
+type shard struct {
+	mu  sync.RWMutex
+	dwb writeBuffer
+	_   [64]byte
+}
+
+// Store is a page-differential logging flash translation layer. It is safe
+// for concurrent use; see the package comment for the locking model.
 type Store struct {
 	chip  *flash.Chip
 	alloc *ftl.Allocator
@@ -66,6 +108,10 @@ type Store struct {
 	numPages int
 	maxDiff  int
 
+	// dev is the coarse device lock: it guards the chip, the allocator
+	// (and therefore garbage collection), the mapping tables below, and
+	// the telemetry counters.
+	dev sync.Mutex
 	// ppmt is the physical page mapping table: pid -> <base, differential>.
 	ppmt []pageEntry
 	// baseTS caches the creation time stamp of each pid's base page, and
@@ -77,16 +123,17 @@ type Store struct {
 	// vdct is the valid differential count table: differential page ->
 	// number of valid differentials it holds.
 	vdct map[flash.PPN]int
-	// dwb is the one-page differential write buffer.
-	dwb writeBuffer
-	// ts is the creation time stamp counter.
-	ts uint64
+	tel  Telemetry
+
+	// shards partitions the differential write buffer by pid hash.
+	shards []shard
+	// ts is the creation time stamp counter (atomic: writers on different
+	// shards stamp differentials without holding the device lock).
+	ts atomic.Uint64
+	// pages pools scratch page buffers for the read and write paths.
+	pages sync.Pool
 	// ckpt is the checkpoint region manager (nil unless enabled).
 	ckpt *ckptRegion
-
-	tel Telemetry
-
-	scratch []byte // one page, for base-page reads on the write path
 }
 
 // Telemetry counts PDL-internal events, exposed for analysis and tests.
@@ -132,6 +179,13 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 	if reserve == 0 {
 		reserve = 2
 	}
+	numShards := opts.Shards
+	if numShards == 0 {
+		numShards = 1
+	}
+	if numShards < 0 {
+		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", numShards)
+	}
 	s := &Store{
 		chip:        chip,
 		alloc:       ftl.NewAllocator(chip, reserve),
@@ -142,12 +196,15 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 		diffTS:      make([]uint64, numPages),
 		reverseBase: make(map[flash.PPN]uint32, numPages),
 		vdct:        make(map[flash.PPN]int),
-		scratch:     make([]byte, p.DataSize),
+		shards:      make([]shard, numShards),
 	}
+	s.pages.New = func() any { return make([]byte, p.DataSize) }
 	for i := range s.ppmt {
 		s.ppmt[i] = pageEntry{base: flash.NilPPN, dif: flash.NilPPN}
 	}
-	s.dwb.init(p.DataSize)
+	for i := range s.shards {
+		s.shards[i].dwb.init(p.DataSize)
+	}
 	s.alloc.SetRelocator(s.relocate)
 	if opts.WearAwareGC {
 		s.alloc.SetVictimPolicy(ftl.VictimWearAware)
@@ -177,14 +234,31 @@ func (s *Store) NumPages() int { return s.numPages }
 // MaxDifferentialSize returns the configured Max_Differential_Size.
 func (s *Store) MaxDifferentialSize() int { return s.maxDiff }
 
+// Shards returns the number of differential write buffer shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ConcurrencySafe marks the store safe for concurrent use by multiple
+// goroutines; the workload driver's parallel mode dispatches on exactly
+// this method (methods without it are serialized behind a mutex).
+func (s *Store) ConcurrencySafe() bool { return true }
+
 // Allocator exposes the allocator for stats inspection.
 func (s *Store) Allocator() *ftl.Allocator { return s.alloc }
 
 // nextTS returns the next creation time stamp.
-func (s *Store) nextTS() uint64 {
-	s.ts++
-	return s.ts
+func (s *Store) nextTS() uint64 { return s.ts.Add(1) }
+
+// shardOf maps a pid onto its write buffer shard (Fibonacci hashing, so
+// strided pid patterns still spread across shards).
+func (s *Store) shardOf(pid uint32) *shard {
+	return &s.shards[(uint64(pid)*0x9E3779B97F4A7C15>>33)%uint64(len(s.shards))]
 }
+
+// getPage borrows a scratch page buffer from the pool.
+func (s *Store) getPage() []byte { return s.pages.Get().([]byte) }
+
+// putPage returns a scratch page buffer to the pool.
+func (s *Store) putPage(b []byte) { s.pages.Put(b) } //nolint:staticcheck // []byte header alloc is fine here
 
 // WritePage implements ftl.Method with the PDL_Writing algorithm
 // (Figure 7): read the base page, create the differential by comparison,
@@ -198,37 +272,61 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	if err := ftl.CheckPageBuf(data, p.DataSize); err != nil {
 		return err
 	}
+	sh := s.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// Step 1: read the base page. The device lock covers the mapping
+	// lookup and the flash read so garbage collection cannot move or erase
+	// the base page mid-read.
+	base := s.getPage()
+	defer s.putPage(base)
+	s.dev.Lock()
 	e := s.ppmt[pid]
 	if e.base == flash.NilPPN {
 		// Initial load: no base page exists yet, so there is nothing to
 		// diff against; the logical page itself becomes the base page.
-		return s.writeNewBasePage(pid, data)
+		err := s.writeNewBasePage(pid, data)
+		s.dev.Unlock()
+		return err
 	}
-
-	// Step 1: read the base page.
-	if err := s.chip.ReadData(e.base, s.scratch); err != nil {
+	err := s.chip.ReadData(e.base, base)
+	s.dev.Unlock()
+	if err != nil {
 		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
 	}
 
-	// Step 2: create the differential.
-	d, err := diff.Compute(pid, s.nextTS(), s.scratch, data)
+	// Step 2: create the differential. This is the expensive comparison of
+	// two page images; it runs outside the device lock. (GC may relocate
+	// the base page concurrently, but relocation preserves its content.)
+	d, err := diff.Compute(pid, s.nextTS(), base, data)
 	if err != nil {
 		return fmt.Errorf("core: computing differential of pid %d: %w", pid, err)
 	}
 
 	// Step 3: write the differential into the differential write buffer.
-	s.dwb.remove(pid)
+	sh.dwb.remove(pid)
+	if d.Empty() && e.dif == flash.NilPPN {
+		// The page is byte-identical to its base and no differential page
+		// exists on flash: the write is a no-op. (If a differential page
+		// does exist, the empty differential must still be written so its
+		// newer time stamp supersedes the stale one durably.)
+		return nil
+	}
 	size := d.EncodedSize()
 	switch {
-	case size <= s.dwb.free(): // Case 1
-		s.dwb.add(d)
+	case size <= sh.dwb.free(): // Case 1
+		sh.dwb.add(d)
 	case size <= s.maxDiff: // Case 2
-		if err := s.flushWriteBuffer(); err != nil {
+		if err := s.flushShard(sh); err != nil {
 			return err
 		}
-		s.dwb.add(d)
+		sh.dwb.add(d)
 	default: // Case 3
-		return s.writeNewBasePage(pid, data)
+		s.dev.Lock()
+		err := s.writeNewBasePage(pid, data)
+		s.dev.Unlock()
+		return err
 	}
 	return nil
 }
@@ -244,26 +342,41 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	if err := ftl.CheckPageBuf(buf, p.DataSize); err != nil {
 		return err
 	}
+	sh := s.shardOf(pid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+
+	s.dev.Lock()
 	e := s.ppmt[pid]
 	if e.base == flash.NilPPN {
+		s.dev.Unlock()
 		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
 	}
 	// Step 1: read the base page.
 	if err := s.chip.ReadData(e.base, buf); err != nil {
+		s.dev.Unlock()
 		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
 	}
 	// Step 2: find the differential.
-	if d, ok := s.dwb.get(pid); ok {
-		// The differential still resides in the write buffer.
+	if d, ok := sh.dwb.get(pid); ok {
+		// The differential still resides in the write buffer. The shard
+		// read lock keeps it alive while we merge outside the device lock.
+		s.dev.Unlock()
 		return d.Apply(buf)
 	}
 	if e.dif == flash.NilPPN {
+		s.dev.Unlock()
 		return nil // no differential page; the base page is current
 	}
-	if err := s.chip.ReadData(e.dif, s.scratch); err != nil {
+	scratch := s.getPage()
+	err := s.chip.ReadData(e.dif, scratch)
+	s.dev.Unlock()
+	if err != nil {
+		s.putPage(scratch)
 		return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
 	}
-	d, ok := findDifferential(s.scratch, pid)
+	d, ok := findDifferential(scratch, pid)
+	s.putPage(scratch) // decoded ranges are copies; the scratch can go back
 	if !ok {
 		return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
 	}
@@ -271,14 +384,20 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	return d.Apply(buf)
 }
 
-// Flush implements ftl.Method: it writes the differential write buffer out
-// to flash, the action the paper ties to the storage device's
+// Flush implements ftl.Method: it writes every shard's differential write
+// buffer out to flash, the action the paper ties to the storage device's
 // write-through command.
 func (s *Store) Flush() error {
-	if s.dwb.empty() {
-		return nil
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := s.flushShard(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	return s.flushWriteBuffer()
+	return nil
 }
 
 // findDifferential locates the newest differential for pid in a
@@ -301,6 +420,7 @@ func findDifferential(pageData []byte, pid uint32) (diff.Differential, bool) {
 // writeNewBasePage implements the writingNewBasePage procedure (Figure 8):
 // the logical page itself is written into a newly allocated base page, the
 // old base page is set obsolete, and any old differential is released.
+// The caller holds the device lock (and the pid's shard lock).
 func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
 	p := s.chip.Params()
 	q, err := s.alloc.Alloc()
@@ -333,11 +453,23 @@ func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
 	return nil
 }
 
-// flushWriteBuffer implements the writingDifferentialWriteBuffer procedure
-// (Figure 8): the buffer's contents become a new differential page, and the
-// mapping and valid-count tables are updated for every differential in it.
-func (s *Store) flushWriteBuffer() error {
-	if s.dwb.empty() {
+// flushShard acquires the device lock and writes one shard's buffer out.
+// The caller holds the shard lock.
+func (s *Store) flushShard(sh *shard) error {
+	if sh.dwb.empty() {
+		return nil
+	}
+	s.dev.Lock()
+	defer s.dev.Unlock()
+	return s.flushShardLocked(sh)
+}
+
+// flushShardLocked implements the writingDifferentialWriteBuffer procedure
+// (Figure 8) for one shard: the buffer's contents become a new differential
+// page, and the mapping and valid-count tables are updated for every
+// differential in it. The caller holds the shard lock and the device lock.
+func (s *Store) flushShardLocked(sh *shard) error {
+	if sh.dwb.empty() {
 		return nil
 	}
 	p := s.chip.Params()
@@ -347,13 +479,13 @@ func (s *Store) flushWriteBuffer() error {
 	}
 	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
 		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
-	if err := s.chip.Program(q, s.dwb.encode(), hdr); err != nil {
+	if err := s.chip.Program(q, sh.dwb.encode(), hdr); err != nil {
 		return fmt.Errorf("core: writing differential page: %w", err)
 	}
 	s.tel.BufferFlushes++
-	s.tel.DiffsWritten += int64(len(s.dwb.diffs))
-	s.tel.DiffBytesWritten += int64(s.dwb.used)
-	for _, d := range s.dwb.diffs {
+	s.tel.DiffsWritten += int64(len(sh.dwb.diffs))
+	s.tel.DiffBytesWritten += int64(sh.dwb.used)
+	for _, d := range sh.dwb.diffs {
 		old := s.ppmt[d.PID].dif
 		if old != flash.NilPPN {
 			if err := s.decreaseValidDifferentialCount(old); err != nil {
@@ -364,13 +496,13 @@ func (s *Store) flushWriteBuffer() error {
 		s.diffTS[d.PID] = d.TS
 		s.vdct[q]++
 	}
-	s.dwb.clear()
+	sh.dwb.clear()
 	return nil
 }
 
 // decreaseValidDifferentialCount implements the procedure of Figure 8:
 // decrement the valid differential count of dp and set the page obsolete
-// when it reaches zero.
+// when it reaches zero. The caller holds the device lock.
 func (s *Store) decreaseValidDifferentialCount(dp flash.PPN) error {
 	s.vdct[dp]--
 	if s.vdct[dp] > 0 {
@@ -383,16 +515,52 @@ func (s *Store) decreaseValidDifferentialCount(dp flash.PPN) error {
 	return nil
 }
 
-// WriteBufferBytes returns the used bytes of the differential write buffer
-// (for tests and tooling).
-func (s *Store) WriteBufferBytes() int { return s.dwb.used }
+// WriteBufferBytes returns the used bytes of the differential write buffer,
+// summed across shards (for tests and tooling).
+func (s *Store) WriteBufferBytes() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.dwb.used
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
-// WriteBufferLen returns the number of differentials currently buffered.
-func (s *Store) WriteBufferLen() int { return len(s.dwb.diffs) }
+// WriteBufferLen returns the number of differentials currently buffered
+// across all shards.
+func (s *Store) WriteBufferLen() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.dwb.diffs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// bufferedDifferential returns the buffered differential for pid, if any
+// (for tests).
+func (s *Store) bufferedDifferential(pid uint32) (diff.Differential, bool) {
+	sh := s.shardOf(pid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.dwb.get(pid)
+}
 
 // ValidDifferentialPages returns the number of differential pages holding
 // at least one valid differential (for tests and tooling).
-func (s *Store) ValidDifferentialPages() int { return len(s.vdct) }
+func (s *Store) ValidDifferentialPages() int {
+	s.dev.Lock()
+	defer s.dev.Unlock()
+	return len(s.vdct)
+}
 
 // Telemetry returns the store's internal event counters.
-func (s *Store) Telemetry() Telemetry { return s.tel }
+func (s *Store) Telemetry() Telemetry {
+	s.dev.Lock()
+	defer s.dev.Unlock()
+	return s.tel
+}

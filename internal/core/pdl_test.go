@@ -275,7 +275,7 @@ func TestDifferentialGrowsAgainstFixedBase(t *testing.T) {
 		if err := s.WritePage(2, shadow[2]); err != nil {
 			t.Fatal(err)
 		}
-		d, ok := s.dwb.get(2)
+		d, ok := s.bufferedDifferential(2)
 		if !ok {
 			t.Fatal("differential not in buffer")
 		}

@@ -114,20 +114,22 @@ func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 			s.diffTS[pid] = dl.d.TS
 		}
 	}
+	maxTS := s.ts.Load()
 	for pid := range s.ppmt {
 		if s.ppmt[pid].base != flash.NilPPN {
 			s.reverseBase[s.ppmt[pid].base] = uint32(pid)
-			if s.baseTS[pid] > s.ts {
-				s.ts = s.baseTS[pid]
+			if s.baseTS[pid] > maxTS {
+				maxTS = s.baseTS[pid]
 			}
 		}
 		if s.ppmt[pid].dif != flash.NilPPN {
 			s.vdct[s.ppmt[pid].dif]++
-			if s.diffTS[pid] > s.ts {
-				s.ts = s.diffTS[pid]
+			if s.diffTS[pid] > maxTS {
+				maxTS = s.diffTS[pid]
 			}
 		}
 	}
+	s.ts.Store(maxTS)
 
 	// Set the useless pages obsolete: base pages that lost arbitration and
 	// differential pages holding no valid differential (the two kinds of

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pdl/internal/flash"
+)
+
+// concurrencySafe marks a method safe for concurrent use. The PDL store
+// advertises safety through this deliberately explicit marker method (an
+// incidental accessor cannot match it by accident); the page-based and
+// log-based baselines do not implement it, and are serialized behind a
+// mutex so the parallel driver can still compare against them honestly.
+type concurrencySafe interface {
+	ConcurrencySafe() bool
+}
+
+// ParallelResult reports a parallel workload run. Simulated flash cost is
+// aggregate only: with operations in flight on several goroutines, the
+// paper's read-phase/write-phase split of a single operation is no longer
+// observable from the shared chip counters.
+type ParallelResult struct {
+	// Ops is the number of update operations executed across all workers.
+	Ops int64
+	// Workers is the number of worker goroutines used.
+	Workers int
+	// Elapsed is the host wall-clock time of the run, the throughput
+	// metric. (The simulated flash cost below is scheduling-dependent
+	// when workers > 1: goroutine interleaving decides when shard
+	// buffers fill, flush, and trigger garbage collection.)
+	Elapsed time.Duration
+	// Flash is the aggregate simulated flash cost of the run.
+	Flash flash.Stats
+	// Serialized reports that the method was not concurrency-safe and ran
+	// behind a global mutex.
+	Serialized bool
+}
+
+// OpsPerSecond returns host-side update operations per wall-clock second.
+func (r ParallelResult) OpsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunParallelUpdateOps executes numOps update operations (full
+// read-change-write reflection cycles, as in RunUpdateOps) spread over
+// workers goroutines. The pid space is partitioned by worker (worker w owns
+// pids with pid % workers == w), so every page has exactly one writer and
+// per-page content stays well defined; each worker draws from its own
+// deterministic rng seeded with Config.Seed and its worker index.
+//
+// Methods that advertise concurrency safety (the PDL store's sharded
+// write-buffer layer) run fully in parallel; other methods are transparently
+// serialized behind a mutex, which is the honest baseline comparison: a
+// single-threaded flash driver serves one request at a time.
+func (d *Driver) RunParallelUpdateOps(workers, numOps int) (ParallelResult, error) {
+	if !d.loaded {
+		return ParallelResult{}, fmt.Errorf("workload: database not loaded")
+	}
+	if workers < 1 {
+		return ParallelResult{}, fmt.Errorf("workload: workers must be >= 1, got %d", workers)
+	}
+	if workers > d.cfg.NumPages {
+		return ParallelResult{}, fmt.Errorf("workload: %d workers exceed %d pages (no pids to partition)",
+			workers, d.cfg.NumPages)
+	}
+	var opMu *sync.Mutex
+	safe := false
+	if m, ok := d.method.(concurrencySafe); ok && m.ConcurrencySafe() {
+		safe = true
+	} else {
+		opMu = &sync.Mutex{}
+	}
+
+	chip := d.method.Chip()
+	before := chip.Stats()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		share := numOps / workers
+		if w < numOps%workers {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			if err := d.workerLoop(w, workers, share, opMu); err != nil {
+				errCh <- fmt.Errorf("workload: worker %d: %w", w, err)
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	close(errCh)
+	elapsed := time.Since(start)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if err := errors.Join(errs...); err != nil {
+		return ParallelResult{}, err
+	}
+	return ParallelResult{
+		Ops:        int64(numOps),
+		Workers:    workers,
+		Elapsed:    elapsed,
+		Flash:      chip.Stats().Sub(before),
+		Serialized: !safe,
+	}, nil
+}
+
+// workerLoop runs one worker's share of update cycles over its pid
+// partition. When opMu is non-nil every method call is serialized.
+func (d *Driver) workerLoop(w, workers, ops int, opMu *sync.Mutex) error {
+	rng := rand.New(rand.NewSource(d.cfg.Seed + int64(w)*0x9E37))
+	size := d.method.Chip().Params().DataSize
+	page := make([]byte, size)
+	partition := d.cfg.NumPages / workers
+	if w < d.cfg.NumPages%workers {
+		partition++
+	}
+	var zipf *rand.Zipf
+	if d.cfg.ZipfS > 1 && partition > 1 {
+		zipf = rand.NewZipf(rng, d.cfg.ZipfS, 1, uint64(partition-1))
+	}
+	for i := 0; i < ops; i++ {
+		var slot int
+		if zipf != nil {
+			slot = int(zipf.Uint64())
+		} else {
+			slot = rng.Intn(partition)
+		}
+		pid := uint32(slot*workers + w)
+
+		if err := d.readPage(pid, page, opMu); err != nil {
+			return err
+		}
+		for u := 0; u < d.cfg.NUpdatesTillWrite; u++ {
+			off, length := d.cfg.mutateInto(rng, page)
+			if d.logger != nil {
+				if err := d.logUpdate(pid, off, page[off:off+length], opMu); err != nil {
+					return err
+				}
+			}
+		}
+		if err := d.writePage(pid, page, opMu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) readPage(pid uint32, page []byte, opMu *sync.Mutex) error {
+	if opMu != nil {
+		opMu.Lock()
+		defer opMu.Unlock()
+	}
+	return d.method.ReadPage(pid, page)
+}
+
+func (d *Driver) writePage(pid uint32, page []byte, opMu *sync.Mutex) error {
+	if opMu != nil {
+		opMu.Lock()
+		defer opMu.Unlock()
+	}
+	if d.logger != nil {
+		return d.logger.Evict(pid)
+	}
+	return d.method.WritePage(pid, page)
+}
+
+func (d *Driver) logUpdate(pid uint32, off int, data []byte, opMu *sync.Mutex) error {
+	if opMu != nil {
+		opMu.Lock()
+		defer opMu.Unlock()
+	}
+	return d.logger.LogUpdate(pid, off, data)
+}

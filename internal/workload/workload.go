@@ -163,41 +163,44 @@ func (d *Driver) pickPage() uint32 {
 	return uint32(d.rng.Intn(d.cfg.NumPages))
 }
 
-// changeBytes returns the number of bytes one update operation changes.
-func (d *Driver) changeBytes() int {
-	n := int(float64(len(d.page)) * d.cfg.PctChanged / 100.0)
-	if n < 1 {
-		n = 1
-	}
-	if n > len(d.page) {
-		n = len(d.page)
-	}
-	return n
-}
-
-// mutate applies one update operation's change to the in-memory page,
+// mutateInto applies one update operation's change to page using rng,
 // returning the changed range for methods that consume update logs: one
 // contiguous run of %ChangedByOneU_Op of the page at a uniformly random
-// offset ("the portion of data to be changed is randomly selected").
-func (d *Driver) mutate() (off int, length int) {
-	length = d.changeBytes()
-	off = 0
-	if length < len(d.page) {
-		off = d.rng.Intn(len(d.page) - length + 1)
+// offset ("the portion of data to be changed is randomly selected"). It is
+// the single mutation rule shared by the sequential and parallel drivers.
+func (c Config) mutateInto(rng *rand.Rand, page []byte) (off int, length int) {
+	length = int(float64(len(page)) * c.PctChanged / 100.0)
+	if length < 1 {
+		length = 1
 	}
-	d.rng.Read(d.page[off : off+length])
+	if length > len(page) {
+		length = len(page)
+	}
+	off = 0
+	if length < len(page) {
+		off = rng.Intn(len(page) - length + 1)
+	}
+	rng.Read(page[off : off+length])
 	return off, length
+}
+
+// mutate applies one update operation's change to the driver's in-memory
+// page.
+func (d *Driver) mutate() (off int, length int) {
+	return d.cfg.mutateInto(d.rng, d.page)
 }
 
 // updateCycle performs one reflection cycle: read the page, apply
 // NUpdatesTillWrite update operations, write the page back. It returns the
-// cost split between the reading and writing steps.
+// cost split between the reading and writing steps. The read/log/write
+// dispatch is shared with the parallel driver (readPage, logUpdate,
+// writePage in parallel.go), called here without serialization.
 func (d *Driver) updateCycle() (readCost, writeCost flash.Stats, err error) {
 	chip := d.method.Chip()
 	pid := d.pickPage()
 
 	before := chip.Stats()
-	if err := d.method.ReadPage(pid, d.page); err != nil {
+	if err := d.readPage(pid, d.page, nil); err != nil {
 		return flash.Stats{}, flash.Stats{}, err
 	}
 	readCost = chip.Stats().Sub(before)
@@ -206,17 +209,12 @@ func (d *Driver) updateCycle() (readCost, writeCost flash.Stats, err error) {
 	for u := 0; u < d.cfg.NUpdatesTillWrite; u++ {
 		off, length := d.mutate()
 		if d.logger != nil {
-			if err := d.logger.LogUpdate(pid, off, d.page[off:off+length]); err != nil {
+			if err := d.logUpdate(pid, off, d.page[off:off+length], nil); err != nil {
 				return flash.Stats{}, flash.Stats{}, err
 			}
 		}
 	}
-	if d.logger != nil {
-		err = d.logger.Evict(pid)
-	} else {
-		err = d.method.WritePage(pid, d.page)
-	}
-	if err != nil {
+	if err := d.writePage(pid, d.page, nil); err != nil {
 		return flash.Stats{}, flash.Stats{}, err
 	}
 	writeCost = chip.Stats().Sub(before)

@@ -25,6 +25,29 @@
 // boundary is the paper's point: page-differential logging needs only the
 // flash driver, never the DBMS above it.
 //
+// # Concurrency
+//
+// A Store is safe for concurrent use by multiple goroutines; the baseline
+// methods (OPU, IPU, IPL) are not and must be driven from one goroutine or
+// behind a caller-supplied lock. The store partitions its differential
+// write buffer into Options.Shards pid-hashed shards, each with its own
+// lock and its own one-page buffer, so writers to different shards compute
+// and buffer their page-differentials in parallel; a coarse device lock
+// serializes the emulated chip, the allocator, garbage collection, and the
+// mapping tables. The default of one shard preserves the paper's single
+// write buffer exactly; concurrent workloads should set Shards to roughly
+// the number of worker goroutines:
+//
+//	store, err := pdl.Open(chip, 4096, pdl.Options{
+//		MaxDifferentialSize: 256,
+//		Shards:              16, // concurrent writers land on distinct buffers
+//	})
+//
+// Crash recovery (Recover, RecoverWithCheckpoint) rebuilds a store with
+// whatever shard count the Options request; the on-flash format is
+// identical for every shard count, so a multi-shard store recovers the
+// same logical state a single-shard store would.
+//
 // All flash timing is simulated: each read, program, and erase advances
 // the chip's clock by the configured datasheet latency (Table 1 of the
 // paper), so performance comparisons are deterministic and reproducible.
