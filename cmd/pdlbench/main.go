@@ -9,6 +9,7 @@
 //	pdlbench -exp all -gcrounds 10   # everything, paper-grade conditioning
 //	pdlbench -exp 3 -csv             # CSV for external plotting
 //	pdlbench -exp par -workers 16    # parallel update throughput, PDL vs baselines
+//	pdlbench -exp 1 -backend file    # same experiment on the persistent backend
 //
 // All reported times of experiments 1-7 are simulated flash I/O times
 // derived from the datasheet parameters (Table 1), so those runs are
@@ -24,13 +25,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"pdl/internal/bench"
 	"pdl/internal/flash"
+	"pdl/internal/flash/filedev"
 	"pdl/internal/tpcc"
 )
+
+// sanitize turns a method label into a file-name-safe fragment.
+func sanitize(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+}
 
 func main() {
 	var (
@@ -45,6 +60,8 @@ func main() {
 		nupdates  = flag.Int("n", 1, "N_updates_till_write for experiments 3 and 4")
 		warehouse = flag.Int("warehouses", 1, "TPC-C warehouses for experiment 7")
 		workers   = flag.Int("workers", 4, "max worker goroutines for the parallel experiment (-exp par)")
+		backend   = flag.String("backend", "emu", "flash backend: emu (in-memory) or file (persistent)")
+		path      = flag.String("path", "", "directory for -backend file device files (default: a temp dir)")
 	)
 	flag.Parse()
 
@@ -59,6 +76,31 @@ func main() {
 	g.ConditionMaxOps = 20_000_000
 	g.MeasureOps = *ops
 	g.Seed = *seed
+	switch *backend {
+	case "emu":
+		// Default: fresh emulated chips.
+	case "file":
+		dir := *path
+		if dir == "" {
+			d, err := os.MkdirTemp("", "pdlbench-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pdlbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		var runSeq int
+		g.NewDevice = func(p flash.Params, label string) (flash.Device, error) {
+			runSeq++
+			name := fmt.Sprintf("run%03d-%s.flash", runSeq, sanitize(label))
+			return filedev.Open(filepath.Join(dir, name), filedev.Options{Params: p, Reset: true})
+		}
+		fmt.Printf("# backend: file-backed devices under %s\n", dir)
+	default:
+		fmt.Fprintf(os.Stderr, "pdlbench: unknown backend %q (want emu or file)\n", *backend)
+		os.Exit(1)
+	}
 	specs := bench.StandardMethods(g.Params)
 
 	run := func(id string) error {

@@ -6,6 +6,7 @@
 //	pdlsim -method opu -updates 20000            # same workload over OPU
 //	pdlsim -crash-at 5000                        # power loss + recovery
 //	pdlsim -maxdiff 256 -pct 10                  # PDL(256B), 10% updates
+//	pdlsim -backend file -path db.flash          # persistent file backend
 package main
 
 import (
@@ -30,38 +31,64 @@ func main() {
 		pct     = flag.Float64("pct", 2, "%ChangedByOneU_Op")
 		n       = flag.Int("n", 1, "N_updates_till_write")
 		seed    = flag.Int64("seed", 1, "workload seed")
-		crashAt = flag.Int64("crash-at", 0, "schedule a power failure after this many program/erase operations (0 = none)")
+		crashAt = flag.Int64("crash-at", 0, "schedule a power failure after this many program/erase operations (0 = none, emu backend only)")
+		backend = flag.String("backend", "emu", "flash backend: emu (in-memory) or file (persistent)")
+		path    = flag.String("path", "pdlsim.flash", "device file for -backend file")
 	)
 	flag.Parse()
 
-	if err := run(*blocks, *pages, *method, *maxdiff, *updates, *pct, *n, *seed, *crashAt); err != nil {
+	if err := run(*blocks, *pages, *method, *maxdiff, *updates, *pct, *n, *seed, *crashAt, *backend, *path); err != nil {
 		fmt.Fprintf(os.Stderr, "pdlsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks, pages int, method string, maxdiff, updates int, pct float64, n int, seed, crashAt int64) error {
-	chip := pdl.NewChip(pdl.ScaledFlashParams(blocks))
+func run(blocks, pages int, method string, maxdiff, updates int, pct float64, n int, seed, crashAt int64, backend, path string) error {
+	var dev pdl.Device
+	var chip *pdl.Chip // non-nil only for the emulator (power-failure control)
+	switch backend {
+	case "emu":
+		chip = pdl.NewChip(pdl.ScaledFlashParams(blocks))
+		dev = chip
+	case "file":
+		if crashAt > 0 {
+			return fmt.Errorf("-crash-at needs the emu backend (scheduled power failures are an emulator feature)")
+		}
+		// pdlsim always builds a fresh store, so the device file is
+		// reinitialized (a fresh store over a dirty file cannot program).
+		fd, err := pdl.OpenFileDevice(path, pdl.FileDeviceOptions{
+			Params: pdl.ScaledFlashParams(blocks),
+			Reset:  true,
+		})
+		if err != nil {
+			return err
+		}
+		defer fd.Close()
+		dev = fd
+		fmt.Printf("backend: file-backed device at %s (reinitialized)\n", path)
+	default:
+		return fmt.Errorf("unknown backend %q (want emu or file)", backend)
+	}
 	var m pdl.Method
 	var err error
 	switch method {
 	case "pdl":
-		m, err = pdl.Open(chip, pages, pdl.Options{MaxDifferentialSize: maxdiff})
+		m, err = pdl.Open(dev, pages, pdl.Options{MaxDifferentialSize: maxdiff})
 	case "opu":
-		m, err = pdl.OpenOPU(chip, pages)
+		m, err = pdl.OpenOPU(dev, pages)
 	case "ipu":
-		m, err = pdl.OpenIPU(chip, pages)
+		m, err = pdl.OpenIPU(dev, pages)
 	case "ipl":
-		m, err = pdl.OpenIPL(chip, pages, pdl.IPLOptions{})
+		m, err = pdl.OpenIPL(dev, pages, pdl.IPLOptions{})
 	default:
 		return fmt.Errorf("unknown method %q", method)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("chip:    %s\n", chip.Params())
+	fmt.Printf("chip:    %s\n", dev.Params())
 	fmt.Printf("method:  %s, database %d pages (%.1f%% of flash)\n",
-		m.Name(), pages, float64(pages)/float64(chip.Params().NumPages())*100)
+		m.Name(), pages, float64(pages)/float64(dev.Params().NumPages())*100)
 
 	d, err := workload.NewDriver(m, workload.Config{
 		NumPages:          pages,
@@ -75,18 +102,18 @@ func run(blocks, pages int, method string, maxdiff, updates int, pct float64, n 
 	if err := d.Load(); err != nil {
 		return err
 	}
-	loadStats := chip.Stats()
+	loadStats := dev.Stats()
 	fmt.Printf("load:    %v\n", loadStats)
 
 	if crashAt > 0 {
 		chip.SchedulePowerFailure(crashAt)
 	}
-	chip.ResetStats()
+	dev.ResetStats()
 	tot, err := d.RunUpdateOps(updates)
 	if err != nil && !errors.Is(err, flash.ErrPowerLoss) {
 		return err
 	}
-	crashed := errors.Is(err, flash.ErrPowerLoss) || chip.PowerFailed()
+	crashed := errors.Is(err, flash.ErrPowerLoss) || (chip != nil && chip.PowerFailed())
 	fmt.Printf("run:     %d update operations (%%changed=%g, N=%d)\n", tot.Ops, pct, n)
 	fmt.Printf("  read phase:  %v\n", tot.ReadPhase)
 	fmt.Printf("  write phase: %v\n", tot.WritePhase)
@@ -96,7 +123,7 @@ func run(blocks, pages int, method string, maxdiff, updates int, pct float64, n 
 		fmt.Printf("  pdl:         %d buffer flushes, %d new base pages, avg differential %d B\n",
 			tel.BufferFlushes, tel.NewBasePages, safeDiv(tel.DiffBytesWritten, tel.DiffsWritten))
 	}
-	w := chip.Wear()
+	w := dev.Wear()
 	fmt.Printf("wear:    erases min=%d max=%d mean=%.2f (limit %d)\n",
 		w.MinErase, w.MaxErase, w.MeanErase, w.Limit)
 
@@ -106,14 +133,14 @@ func run(blocks, pages int, method string, maxdiff, updates int, pct float64, n 
 			fmt.Println("(crash recovery is implemented for the pdl method; other methods stop here)")
 			return nil
 		}
-		before := chip.Stats()
-		r, err := pdl.Recover(chip, pages, pdl.Options{MaxDifferentialSize: maxdiff})
+		before := dev.Stats()
+		r, err := pdl.Recover(dev, pages, pdl.Options{MaxDifferentialSize: maxdiff})
 		if err != nil {
 			return err
 		}
-		cost := chip.Stats().Sub(before)
+		cost := dev.Stats().Sub(before)
 		fmt.Printf("recover: %v (%.1f ms simulated scan time)\n", cost, float64(cost.TimeMicros)/1000)
-		buf := make([]byte, chip.Params().DataSize)
+		buf := make([]byte, r.PageSize())
 		readable := 0
 		for pid := 0; pid < pages; pid++ {
 			if err := r.ReadPage(uint32(pid), buf); err == nil {

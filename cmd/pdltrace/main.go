@@ -6,6 +6,7 @@
 //
 //	pdltrace -gen -ops 20000 > workload.trace
 //	pdltrace -replay workload.trace
+//	pdltrace -replay workload.trace -backend file -path /tmp/traces
 //	pdltrace -gen -update 90 -changed 10 | pdltrace -replay -
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"pdl"
 	"pdl/internal/trace"
@@ -30,6 +32,8 @@ func main() {
 		n       = flag.Int("n", 1, "N_updates_till_write of the generated trace")
 		blocks  = flag.Int("blocks", 0, "flash blocks for replay (0 = 2.5x the database)")
 		seed    = flag.Int64("seed", 1, "seed for trace content and generation")
+		backend = flag.String("backend", "emu", "flash backend for replay: emu or file")
+		path    = flag.String("path", "", "directory for -backend file device files (default: a temp dir)")
 	)
 	flag.Parse()
 
@@ -39,7 +43,7 @@ func main() {
 			fatal(err)
 		}
 	case *replay != "":
-		if err := replayAll(*replay, *pages, *blocks, *seed); err != nil {
+		if err := replayAll(*replay, *pages, *blocks, *seed, *backend, *path); err != nil {
 			fatal(err)
 		}
 	default:
@@ -76,7 +80,7 @@ func generate(pages, ops int, update, changed float64, n int, seed int64) error 
 	return w.Close()
 }
 
-func replayAll(path string, pages, blocks int, seed int64) error {
+func replayAll(path string, pages, blocks int, seed int64, backend, devDir string) error {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -102,34 +106,58 @@ func replayAll(path string, pages, blocks int, seed int64) error {
 	if blocks == 0 {
 		blocks = pages*5/2/pdl.DefaultFlashParams().PagesPerBlock + 4
 	}
-	fmt.Printf("trace: %d ops over %d pages; replaying on %d-block chips\n\n", len(ops), pages, blocks)
+	if backend == "file" && devDir == "" {
+		dir, err := os.MkdirTemp("", "pdltrace-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		devDir = dir
+	}
+	fmt.Printf("trace: %d ops over %d pages; replaying on %d-block devices (%s backend)\n\n",
+		len(ops), pages, blocks, backend)
 	fmt.Printf("%-12s %10s %10s %10s %14s\n", "method", "reads", "writes", "erases", "sim I/O time")
 
 	builders := []struct {
 		name  string
-		build func(*pdl.Chip) (pdl.Method, error)
+		build func(pdl.Device) (pdl.Method, error)
 	}{
-		{"PDL(256B)", func(c *pdl.Chip) (pdl.Method, error) {
-			return pdl.Open(c, pages, pdl.Options{MaxDifferentialSize: 256})
+		{"PDL(256B)", func(d pdl.Device) (pdl.Method, error) {
+			return pdl.Open(d, pages, pdl.Options{MaxDifferentialSize: 256})
 		}},
-		{"PDL(2KB)", func(c *pdl.Chip) (pdl.Method, error) {
-			return pdl.Open(c, pages, pdl.Options{MaxDifferentialSize: 2048})
+		{"PDL(2KB)", func(d pdl.Device) (pdl.Method, error) {
+			return pdl.Open(d, pages, pdl.Options{MaxDifferentialSize: 2048})
 		}},
-		{"OPU", func(c *pdl.Chip) (pdl.Method, error) { return pdl.OpenOPU(c, pages) }},
-		{"IPL(18KB)", func(c *pdl.Chip) (pdl.Method, error) {
-			return pdl.OpenIPL(c, pages, pdl.IPLOptions{LogPagesPerBlock: 9})
+		{"OPU", func(d pdl.Device) (pdl.Method, error) { return pdl.OpenOPU(d, pages) }},
+		{"IPL(18KB)", func(d pdl.Device) (pdl.Method, error) {
+			return pdl.OpenIPL(d, pages, pdl.IPLOptions{LogPagesPerBlock: 9})
 		}},
 	}
-	for _, b := range builders {
-		chip := pdl.NewChip(pdl.ScaledFlashParams(blocks))
-		m, err := b.build(chip)
+	for i, b := range builders {
+		var dev pdl.Device
+		switch backend {
+		case "emu":
+			dev = pdl.NewChip(pdl.ScaledFlashParams(blocks))
+		case "file":
+			fd, err := pdl.OpenFileDevice(
+				filepath.Join(devDir, fmt.Sprintf("replay-%d.flash", i)),
+				pdl.FileDeviceOptions{Params: pdl.ScaledFlashParams(blocks), Reset: true})
+			if err != nil {
+				return err
+			}
+			defer fd.Close()
+			dev = fd
+		default:
+			return fmt.Errorf("unknown backend %q (want emu or file)", backend)
+		}
+		m, err := b.build(dev)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.name, err)
 		}
 		if err := trace.Load(m, ops, seed); err != nil {
 			return fmt.Errorf("%s: %w", b.name, err)
 		}
-		chip.ResetStats()
+		dev.ResetStats()
 		res, err := trace.Replay(m, ops, seed+1)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.name, err)

@@ -27,6 +27,20 @@ type Geometry struct {
 	MeasureOps int
 	// Seed drives all randomness.
 	Seed int64
+	// NewDevice builds the flash backend for one method run; label is a
+	// unique human-readable tag for the run (backends that allocate files
+	// can derive names from it). Nil means a fresh in-memory emulated
+	// chip with the run's params.
+	NewDevice func(p flash.Params, label string) (flash.Device, error)
+}
+
+// device builds one run's backend through the NewDevice hook (or the
+// emulator default).
+func (g Geometry) device(p flash.Params, label string) (flash.Device, error) {
+	if g.NewDevice == nil {
+		return flash.NewChip(p), nil
+	}
+	return g.NewDevice(p, label)
 }
 
 // DefaultGeometry returns a laptop-scale default: a 64-Mbyte chip with the
@@ -49,10 +63,13 @@ func (g Geometry) NumPages() int {
 }
 
 // prepare builds, loads, and conditions one method instance, leaving the
-// chip and GC stats zeroed, ready for measurement.
+// device and GC stats zeroed, ready for measurement.
 func (g Geometry) prepare(spec MethodSpec, cfg workload.Config) (*workload.Driver, error) {
-	chip := flash.NewChip(g.Params)
-	m, err := spec.Build(chip, cfg.NumPages)
+	dev, err := g.device(g.Params, spec.Name(g.Params))
+	if err != nil {
+		return nil, fmt.Errorf("bench: device for %s: %w", spec.Name(g.Params), err)
+	}
+	m, err := spec.Build(dev, cfg.NumPages)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building %s: %w", spec.Name(g.Params), err)
 	}
@@ -66,9 +83,19 @@ func (g Geometry) prepare(spec MethodSpec, cfg workload.Config) (*workload.Drive
 	if _, err := d.Condition(g.GCRounds, g.ConditionMaxOps); err != nil {
 		return nil, fmt.Errorf("bench: conditioning %s: %w", spec.Name(g.Params), err)
 	}
-	chip.ResetStats()
+	dev.ResetStats()
 	ResetGCStatsOf(m)
 	return d, nil
+}
+
+// releaseDevice closes the device behind a prepared driver once its
+// measurement is done: file-backed backends hold an open file descriptor
+// (and an unsynced file under SyncOnClose) per run; Close is a no-op for
+// the emulator.
+func releaseDevice(d *workload.Driver) {
+	if d != nil {
+		d.Method().Device().Close()
+	}
 }
 
 // Row is one measured point of an experiment.
@@ -124,6 +151,7 @@ func Exp1(g Geometry, specs []MethodSpec) ([]Row, error) {
 			return nil, err
 		}
 		row, err := measureUpdateOps(d, g.MeasureOps, 0)
+		releaseDevice(d)
 		if err != nil {
 			return nil, fmt.Errorf("bench: exp1 %s: %w", spec.Name(g.Params), err)
 		}
@@ -152,6 +180,7 @@ func Exp2(g Geometry, specs []MethodSpec, nValues []int) ([]Row, error) {
 				return nil, err
 			}
 			row, err := measureUpdateOps(d, g.MeasureOps, float64(n))
+			releaseDevice(d)
 			if err != nil {
 				return nil, fmt.Errorf("bench: exp2 %s N=%d: %w", spec.Name(g.Params), n, err)
 			}
@@ -181,6 +210,7 @@ func Exp3(g Geometry, specs []MethodSpec, pcts []float64, nUpdates int) ([]Row, 
 				return nil, err
 			}
 			row, err := measureUpdateOps(d, g.MeasureOps, pct)
+			releaseDevice(d)
 			if err != nil {
 				return nil, fmt.Errorf("bench: exp3 %s pct=%g: %w", spec.Name(g.Params), pct, err)
 			}
@@ -211,6 +241,7 @@ func Exp4(g Geometry, specs []MethodSpec, pcts []float64, nUpdates int) ([]Row, 
 				return nil, err
 			}
 			t, err := d.RunMixedOps(g.MeasureOps)
+			releaseDevice(d)
 			if err != nil {
 				return nil, fmt.Errorf("bench: exp4 %s pct=%g: %w", spec.Name(g.Params), pct, err)
 			}
@@ -328,8 +359,11 @@ func Exp7(g Geometry, specs []MethodSpec, cfg Exp7Config) ([]Exp7Point, error) {
 			if bufPages < 4 {
 				bufPages = 4
 			}
-			chip := flash.NewChip(params)
-			m, err := spec.Build(chip, pages)
+			dev, err := g.device(params, fmt.Sprintf("%s-buf%g", spec.Name(params), pct))
+			if err != nil {
+				return nil, err
+			}
+			m, err := spec.Build(dev, pages)
 			if err != nil {
 				return nil, err
 			}
@@ -342,7 +376,7 @@ func Exp7(g Geometry, specs []MethodSpec, cfg Exp7Config) ([]Exp7Point, error) {
 					return nil, fmt.Errorf("bench: exp7 warmup: %w", err)
 				}
 			}
-			chip.ResetStats()
+			dev.ResetStats()
 			for i := 0; i < cfg.MeasureTxn; i++ {
 				if err := db.Run(db.NextTx()); err != nil {
 					return nil, fmt.Errorf("bench: exp7 measure: %w", err)
@@ -351,7 +385,7 @@ func Exp7(g Geometry, specs []MethodSpec, cfg Exp7Config) ([]Exp7Point, error) {
 			points = append(points, Exp7Point{
 				Method:       m.Name(),
 				BufferPct:    pct,
-				MicrosPerTxn: float64(chip.Stats().TimeMicros) / float64(cfg.MeasureTxn),
+				MicrosPerTxn: float64(m.Stats().TimeMicros) / float64(cfg.MeasureTxn),
 				Txns:         int64(cfg.MeasureTxn),
 			})
 		}

@@ -40,6 +40,7 @@ func ExpParallel(g Geometry, specs []MethodSpec, workerCounts []int, ops int) ([
 				return nil, err
 			}
 			res, err := d.RunParallelUpdateOps(w, ops)
+			releaseDevice(d)
 			if err != nil {
 				return nil, fmt.Errorf("bench: parallel %s workers=%d: %w",
 					spec.Name(g.Params), w, err)

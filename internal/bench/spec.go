@@ -59,21 +59,21 @@ func StandardMethods(p flash.Params) []MethodSpec {
 	}
 }
 
-// Build constructs the method over a fresh chip.
-func (s MethodSpec) Build(chip *flash.Chip, numPages int) (ftl.Method, error) {
+// Build constructs the method over a fresh device.
+func (s MethodSpec) Build(dev flash.Device, numPages int) (ftl.Method, error) {
 	switch s.Kind {
 	case KindPDL:
-		return core.New(chip, numPages, core.Options{
+		return core.New(dev, numPages, core.Options{
 			MaxDifferentialSize: s.Param,
 			ReserveBlocks:       2,
 			Shards:              s.Shards,
 		})
 	case KindOPU:
-		return opu.New(chip, numPages, 2)
+		return opu.New(dev, numPages, 2)
 	case KindIPU:
-		return ipu.New(chip, numPages)
+		return ipu.New(dev, numPages)
 	case KindIPL:
-		return ipl.New(chip, numPages, ipl.Options{LogPagesPerBlock: s.Param})
+		return ipl.New(dev, numPages, ipl.Options{LogPagesPerBlock: s.Param})
 	default:
 		return nil, fmt.Errorf("bench: unknown method kind %d", s.Kind)
 	}

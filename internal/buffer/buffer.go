@@ -50,7 +50,7 @@ func NewPool(method ftl.Method, capacity int) (*Pool, error) {
 		capacity: capacity,
 		frames:   make(map[uint32]*frame, capacity),
 		lru:      list.New(),
-		pageSize: method.Chip().Params().DataSize,
+		pageSize: method.PageSize(),
 	}, nil
 }
 

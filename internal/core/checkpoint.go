@@ -83,7 +83,7 @@ func (s *Store) enableCheckpoints(numBlocks int) error {
 	}
 	s.ckpt = &ckptRegion{blocks: ids}
 	// Verify capacity: the serialized state must fit one half.
-	p := s.chip.Params()
+	p := s.params
 	halfPages := len(ids) / 2 * p.PagesPerBlock
 	if s.checkpointSize() > halfPages*p.DataSize {
 		return fmt.Errorf("%w: need %d bytes, half-region holds %d",
@@ -94,12 +94,12 @@ func (s *Store) enableCheckpoints(numBlocks int) error {
 
 // checkpointSize returns the serialized checkpoint size in bytes.
 func (s *Store) checkpointSize() int {
-	return ckptHdrSize + s.numPages*ckptPerPID + s.chip.Params().NumBlocks*ckptPerBlock
+	return ckptHdrSize + s.numPages*ckptPerPID + s.params.NumBlocks*ckptPerBlock
 }
 
 // serializeCheckpoint builds the checkpoint payload.
 func (s *Store) serializeCheckpoint(id uint64) []byte {
-	p := s.chip.Params()
+	p := s.params
 	buf := make([]byte, 0, s.checkpointSize())
 	buf = binary.LittleEndian.AppendUint32(buf, ckptMagic)
 	buf = binary.LittleEndian.AppendUint16(buf, ckptVersion)
@@ -134,7 +134,7 @@ func (s *Store) serializeCheckpoint(id uint64) []byte {
 		buf = append(buf, state)
 	}
 	// Patch the chunk count.
-	chunks := (len(buf) + s.chip.Params().DataSize - 1) / s.chip.Params().DataSize
+	chunks := (len(buf) + s.params.DataSize - 1) / s.params.DataSize
 	binary.LittleEndian.PutUint16(buf[6:], uint16(chunks))
 	return buf
 }
@@ -169,11 +169,11 @@ func (s *Store) WriteCheckpoint() (int, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
-	s.dev.Lock()
-	defer s.dev.Unlock()
+	s.devMu.Lock()
+	defer s.devMu.Unlock()
 	s.ckpt.nextID++
 	payload := s.serializeCheckpoint(s.ckpt.nextID)
-	p := s.chip.Params()
+	p := s.params
 
 	half := s.ckpt.blocks[:len(s.ckpt.blocks)/2]
 	if s.ckpt.useHighHalf {
@@ -182,7 +182,7 @@ func (s *Store) WriteCheckpoint() (int, error) {
 	// Erase the target half (the previous checkpoint lives in the other
 	// half and survives a crash during this write).
 	for _, b := range half {
-		if err := s.chip.Erase(b); err != nil {
+		if err := s.dev.Erase(b); err != nil {
 			return 0, err
 		}
 	}
@@ -195,12 +195,12 @@ func (s *Store) WriteCheckpoint() (int, error) {
 		}
 		blk := half[chunks/p.PagesPerBlock]
 		pg := chunks % p.PagesPerBlock
-		hdr := ftl.EncodeHeader(ftl.Header{
+		ftl.EncodeHeaderInto(ftl.Header{
 			Type: ftl.TypeCheckpoint,
 			PID:  uint32(chunks),
 			TS:   s.ckpt.nextID,
-		}, p.SpareSize)
-		if err := s.chip.Program(s.chip.PPNOf(blk, pg), chunkData, hdr); err != nil {
+		}, s.spareBuf)
+		if err := s.dev.Program(p.PPNOf(blk, pg), chunkData, s.spareBuf); err != nil {
 			return chunks, fmt.Errorf("core: writing checkpoint chunk %d: %w", chunks, err)
 		}
 		chunks++
@@ -239,15 +239,15 @@ func (r *ckptRegion) noteLatest(maxID uint64, latestBlk int) {
 // sequence numbers changed since that checkpoint. It fails with
 // ErrNoCheckpoint if the region holds no complete checkpoint (use Recover
 // for the full-scan path).
-func RecoverWithCheckpoint(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
+func RecoverWithCheckpoint(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	if opts.CheckpointBlocks == 0 {
 		return nil, errors.New("core: RecoverWithCheckpoint needs Options.CheckpointBlocks")
 	}
-	s, err := New(chip, numPages, opts)
+	s, err := New(dev, numPages, opts)
 	if err != nil {
 		return nil, err
 	}
-	p := chip.Params()
+	p := dev.Params()
 
 	// Step 1: find the newest complete checkpoint in the region.
 	best, err := s.findCheckpoint()
@@ -272,7 +272,7 @@ func RecoverWithCheckpoint(chip *flash.Chip, numPages int, opts Options) (*Store
 		if s.isCkptBlock(b) {
 			continue
 		}
-		if err := chip.ReadSpare(chip.PPNOf(b, 0), spare); err != nil {
+		if err := dev.ReadSpare(p.PPNOf(b, 0), spare); err != nil {
 			return nil, err
 		}
 		h := ftl.DecodeHeader(spare)
@@ -286,7 +286,7 @@ func RecoverWithCheckpoint(chip *flash.Chip, numPages int, opts Options) (*Store
 		case h.Type == ftl.TypeFree:
 			// First page unwritten: with sequential allocation the block
 			// is erased — unless a torn program left data behind.
-			if err := chip.ReadData(chip.PPNOf(b, 0), data); err != nil {
+			if err := dev.ReadData(p.PPNOf(b, 0), data); err != nil {
 				return nil, err
 			}
 			if allErased(data) {
@@ -315,13 +315,13 @@ func RecoverWithCheckpoint(chip *flash.Chip, numPages int, opts Options) (*Store
 // findCheckpoint scans the region and returns the newest complete
 // checkpoint.
 func (s *Store) findCheckpoint() (*foundCkpt, error) {
-	p := s.chip.Params()
+	p := s.params
 	found := map[uint64]*foundCkpt{}
 	spare := make([]byte, p.SpareSize)
 	for _, b := range s.ckpt.blocks {
 		for pg := 0; pg < p.PagesPerBlock; pg++ {
-			ppn := s.chip.PPNOf(b, pg)
-			if err := s.chip.ReadSpare(ppn, spare); err != nil {
+			ppn := p.PPNOf(b, pg)
+			if err := s.dev.ReadSpare(ppn, spare); err != nil {
 				return nil, err
 			}
 			h := ftl.DecodeHeader(spare)
@@ -329,7 +329,7 @@ func (s *Store) findCheckpoint() (*foundCkpt, error) {
 				continue
 			}
 			data := make([]byte, p.DataSize)
-			if err := s.chip.ReadData(ppn, data); err != nil {
+			if err := s.dev.ReadData(ppn, data); err != nil {
 				return nil, err
 			}
 			fc := found[h.TS]
@@ -372,7 +372,7 @@ func (s *Store) findCheckpoint() (*foundCkpt, error) {
 // loadCheckpoint restores the mapping tables and counters from a payload,
 // returning the per-block sequence numbers and states it recorded.
 func (s *Store) loadCheckpoint(payload []byte) ([]uint64, []byte, error) {
-	p := s.chip.Params()
+	p := s.params
 	if len(payload) < ckptHdrSize {
 		return nil, nil, fmt.Errorf("core: checkpoint payload truncated")
 	}
@@ -427,7 +427,7 @@ func blockObsolete(payload []byte, numPages, b int) uint16 {
 // checkpointed contents are gone or about to be rescanned; the rescue copy
 // (if any) is found by the dirty-block scan.
 func (s *Store) invalidateEntriesIn(b int) {
-	p := s.chip.Params()
+	p := s.params
 	lo := flash.PPN(b * p.PagesPerBlock)
 	hi := lo + flash.PPN(p.PagesPerBlock)
 	for pid := range s.ppmt {
@@ -457,7 +457,7 @@ type scannedPage struct {
 // skip relocation and destroy live data; an undercount only costs GC
 // efficiency).
 func (s *Store) scanBlocks(blocks []int) error {
-	p := s.chip.Params()
+	p := s.params
 	spare := make([]byte, p.SpareSize)
 	data := make([]byte, p.DataSize)
 	cache := make(map[int][]scannedPage, len(blocks))
@@ -469,14 +469,14 @@ func (s *Store) scanBlocks(blocks []int) error {
 	for _, b := range blocks {
 		pages := make([]scannedPage, p.PagesPerBlock)
 		for pg := 0; pg < p.PagesPerBlock; pg++ {
-			ppn := s.chip.PPNOf(b, pg)
-			if err := s.chip.ReadSpare(ppn, spare); err != nil {
+			ppn := p.PPNOf(b, pg)
+			if err := s.dev.ReadSpare(ppn, spare); err != nil {
 				return err
 			}
 			h := ftl.DecodeHeader(spare)
 			pages[pg] = scannedPage{hdr: h}
 			if h.Type == ftl.TypeFree {
-				if err := s.chip.ReadData(ppn, data); err != nil {
+				if err := s.dev.ReadData(ppn, data); err != nil {
 					return err
 				}
 				pages[pg].torn = !allErased(data)
@@ -495,7 +495,7 @@ func (s *Store) scanBlocks(blocks []int) error {
 					s.baseTS[h.PID] = h.TS
 				}
 			case ftl.TypeDiff:
-				if err := s.chip.ReadData(ppn, data); err != nil {
+				if err := s.dev.ReadData(ppn, data); err != nil {
 					return err
 				}
 				pages[pg].diffs = diffsOf(data)
@@ -516,7 +516,7 @@ func (s *Store) scanBlocks(blocks []int) error {
 			if sp.hdr.Type != ftl.TypeDiff || sp.hdr.Obsolete {
 				continue
 			}
-			ppn := s.chip.PPNOf(b, pg)
+			ppn := p.PPNOf(b, pg)
 			for _, d := range sp.diffs {
 				if int(d.PID) >= s.numPages {
 					continue
@@ -544,7 +544,7 @@ func (s *Store) scanBlocks(blocks []int) error {
 		written, obsolete := 0, 0
 		var blockSeq uint64
 		for pg, sp := range cache[b] {
-			ppn := s.chip.PPNOf(b, pg)
+			ppn := p.PPNOf(b, pg)
 			h := sp.hdr
 			if h.Type == ftl.TypeFree {
 				if sp.torn {

@@ -431,7 +431,7 @@ func TestShardOptionValidation(t *testing.T) {
 // TestShardedConformance runs the full method conformance suite over a
 // multi-shard store: sharding must not change single-threaded semantics.
 func TestShardedConformance(t *testing.T) {
-	ftltest.RunMethodSuite(t, func(chip *flash.Chip, numPages int) (ftl.Method, error) {
-		return New(chip, numPages, Options{MaxDifferentialSize: 64, ReserveBlocks: 2, Shards: 4})
+	ftltest.RunMethodSuite(t, func(dev flash.Device, numPages int) (ftl.Method, error) {
+		return New(dev, numPages, Options{MaxDifferentialSize: 64, ReserveBlocks: 2, Shards: 4})
 	})
 }

@@ -18,14 +18,14 @@ import (
 // device lock is held, so it may touch the mapping tables freely — and it
 // must never take a shard lock (shard locks order before the device lock).
 func (s *Store) relocate(victim int) error {
-	p := s.chip.Params()
+	p := s.params
 
 	// Pass 1: move valid base pages and collect valid differentials.
 	// Base pages move first so that the second pass never packs a
 	// differential whose base page is about to disappear.
 	var keep []diff.Differential
 	for i := 0; i < p.PagesPerBlock; i++ {
-		ppn := s.chip.PPNOf(victim, i)
+		ppn := p.PPNOf(victim, i)
 		if pid, ok := s.reverseBase[ppn]; ok && s.ppmt[pid].base == ppn {
 			if err := s.relocateBasePage(pid, ppn); err != nil {
 				return err
@@ -63,10 +63,9 @@ func (s *Store) relocate(victim int) error {
 
 // relocateBasePage copies one valid base page out of a victim block.
 func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
-	p := s.chip.Params()
 	scratch := s.getPage()
 	defer s.putPage(scratch)
-	if err := s.chip.ReadData(ppn, scratch); err != nil {
+	if err := s.dev.ReadData(ppn, scratch); err != nil {
 		return err
 	}
 	dst, err := s.alloc.Alloc()
@@ -76,9 +75,9 @@ func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 	// The base page keeps its creation time stamp: relocation does not
 	// make the content newer, and recovery must still see any later
 	// differential as the winner.
-	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.baseTS[pid],
-		Seq: s.alloc.SeqOf(s.chip.BlockOf(dst))}, p.SpareSize)
-	if err := s.chip.Program(dst, scratch, hdr); err != nil {
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.baseTS[pid],
+		Seq: s.alloc.SeqOf(s.params.BlockOf(dst))}, s.spareBuf)
+	if err := s.dev.Program(dst, scratch, s.spareBuf); err != nil {
 		return err
 	}
 	delete(s.reverseBase, ppn)
@@ -93,7 +92,7 @@ func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 	scratch := s.getPage()
 	defer s.putPage(scratch)
-	if err := s.chip.ReadData(ppn, scratch); err != nil {
+	if err := s.dev.ReadData(ppn, scratch); err != nil {
 		return nil, err
 	}
 	var out []diff.Differential
@@ -108,7 +107,7 @@ func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 // writeCompactedPage writes a batch of surviving differentials into a new
 // differential page and repoints the mapping table.
 func (s *Store) writeCompactedPage(ds []diff.Differential) error {
-	p := s.chip.Params()
+	p := s.params
 	q, err := s.alloc.Alloc()
 	if err != nil {
 		return err
@@ -120,9 +119,9 @@ func (s *Store) writeCompactedPage(ds []diff.Differential) error {
 	for len(img) < p.DataSize {
 		img = append(img, 0xFF)
 	}
-	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
-		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
-	if err := s.chip.Program(q, img, hdr); err != nil {
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, s.spareBuf)
+	if err := s.dev.Program(q, img, s.spareBuf); err != nil {
 		return err
 	}
 	for _, d := range ds {

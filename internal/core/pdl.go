@@ -102,16 +102,17 @@ type shard struct {
 // Store is a page-differential logging flash translation layer. It is safe
 // for concurrent use; see the package comment for the locking model.
 type Store struct {
-	chip  *flash.Chip
-	alloc *ftl.Allocator
+	dev    flash.Device
+	params flash.Params
+	alloc  *ftl.Allocator
 
 	numPages int
 	maxDiff  int
 
-	// dev is the coarse device lock: it guards the chip, the allocator
-	// (and therefore garbage collection), the mapping tables below, and
-	// the telemetry counters.
-	dev sync.Mutex
+	// devMu is the coarse device lock: it guards the flash device, the
+	// allocator (and therefore garbage collection), the mapping tables
+	// below, and the telemetry counters.
+	devMu sync.Mutex
 	// ppmt is the physical page mapping table: pid -> <base, differential>.
 	ppmt []pageEntry
 	// baseTS caches the creation time stamp of each pid's base page, and
@@ -132,6 +133,9 @@ type Store struct {
 	ts atomic.Uint64
 	// pages pools scratch page buffers for the read and write paths.
 	pages sync.Pool
+	// spareBuf is the reusable spare-header scratch; every encode happens
+	// under the device lock, so one buffer per store suffices.
+	spareBuf []byte
 	// ckpt is the checkpoint region manager (nil unless enabled).
 	ckpt *ckptRegion
 }
@@ -153,9 +157,10 @@ type Telemetry struct {
 
 var _ ftl.Method = (*Store)(nil)
 
-// New builds a PDL store for a database of numPages logical pages over chip.
-func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
-	p := chip.Params()
+// New builds a PDL store for a database of numPages logical pages over any
+// flash device (the in-memory emulator or a persistent backend).
+func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
+	p := dev.Params()
 	if numPages <= 0 {
 		return nil, fmt.Errorf("core: numPages must be positive, got %d", numPages)
 	}
@@ -187,8 +192,9 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", numShards)
 	}
 	s := &Store{
-		chip:        chip,
-		alloc:       ftl.NewAllocator(chip, reserve),
+		dev:         dev,
+		params:      p,
+		alloc:       ftl.NewAllocator(dev, reserve),
 		numPages:    numPages,
 		maxDiff:     maxDiff,
 		ppmt:        make([]pageEntry, numPages),
@@ -197,6 +203,7 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 		reverseBase: make(map[flash.PPN]uint32, numPages),
 		vdct:        make(map[flash.PPN]int),
 		shards:      make([]shard, numShards),
+		spareBuf:    make([]byte, p.SpareSize),
 	}
 	s.pages.New = func() any { return make([]byte, p.DataSize) }
 	for i := range s.ppmt {
@@ -225,8 +232,14 @@ func (s *Store) Name() string {
 	return fmt.Sprintf("PDL(%dB)", s.maxDiff)
 }
 
-// Chip implements ftl.Method.
-func (s *Store) Chip() *flash.Chip { return s.chip }
+// Device implements ftl.Method.
+func (s *Store) Device() flash.Device { return s.dev }
+
+// PageSize implements ftl.Method: the logical page size in bytes.
+func (s *Store) PageSize() int { return s.params.DataSize }
+
+// Stats implements ftl.Method.
+func (s *Store) Stats() flash.Stats { return s.dev.Stats() }
 
 // NumPages returns the database size in logical pages.
 func (s *Store) NumPages() int { return s.numPages }
@@ -268,8 +281,7 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	p := s.chip.Params()
-	if err := ftl.CheckPageBuf(data, p.DataSize); err != nil {
+	if err := ftl.CheckPageBuf(data, s.params.DataSize); err != nil {
 		return err
 	}
 	sh := s.shardOf(pid)
@@ -281,17 +293,17 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	// the base page mid-read.
 	base := s.getPage()
 	defer s.putPage(base)
-	s.dev.Lock()
+	s.devMu.Lock()
 	e := s.ppmt[pid]
 	if e.base == flash.NilPPN {
 		// Initial load: no base page exists yet, so there is nothing to
 		// diff against; the logical page itself becomes the base page.
 		err := s.writeNewBasePage(pid, data)
-		s.dev.Unlock()
+		s.devMu.Unlock()
 		return err
 	}
-	err := s.chip.ReadData(e.base, base)
-	s.dev.Unlock()
+	err := s.dev.ReadData(e.base, base)
+	s.devMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
 	}
@@ -323,9 +335,9 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		}
 		sh.dwb.add(d)
 	default: // Case 3
-		s.dev.Lock()
+		s.devMu.Lock()
 		err := s.writeNewBasePage(pid, data)
-		s.dev.Unlock()
+		s.devMu.Unlock()
 		return err
 	}
 	return nil
@@ -338,39 +350,38 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	p := s.chip.Params()
-	if err := ftl.CheckPageBuf(buf, p.DataSize); err != nil {
+	if err := ftl.CheckPageBuf(buf, s.params.DataSize); err != nil {
 		return err
 	}
 	sh := s.shardOf(pid)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 
-	s.dev.Lock()
+	s.devMu.Lock()
 	e := s.ppmt[pid]
 	if e.base == flash.NilPPN {
-		s.dev.Unlock()
+		s.devMu.Unlock()
 		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
 	}
 	// Step 1: read the base page.
-	if err := s.chip.ReadData(e.base, buf); err != nil {
-		s.dev.Unlock()
+	if err := s.dev.ReadData(e.base, buf); err != nil {
+		s.devMu.Unlock()
 		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
 	}
 	// Step 2: find the differential.
 	if d, ok := sh.dwb.get(pid); ok {
 		// The differential still resides in the write buffer. The shard
 		// read lock keeps it alive while we merge outside the device lock.
-		s.dev.Unlock()
+		s.devMu.Unlock()
 		return d.Apply(buf)
 	}
 	if e.dif == flash.NilPPN {
-		s.dev.Unlock()
+		s.devMu.Unlock()
 		return nil // no differential page; the base page is current
 	}
 	scratch := s.getPage()
-	err := s.chip.ReadData(e.dif, scratch)
-	s.dev.Unlock()
+	err := s.dev.ReadData(e.dif, scratch)
+	s.devMu.Unlock()
 	if err != nil {
 		s.putPage(scratch)
 		return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
@@ -422,15 +433,14 @@ func findDifferential(pageData []byte, pid uint32) (diff.Differential, bool) {
 // old base page is set obsolete, and any old differential is released.
 // The caller holds the device lock (and the pid's shard lock).
 func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
-	p := s.chip.Params()
 	q, err := s.alloc.Alloc()
 	if err != nil {
 		return err
 	}
 	ts := s.nextTS()
-	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
-		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
-	if err := s.chip.Program(q, data, hdr); err != nil {
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, s.spareBuf)
+	if err := s.dev.Program(q, data, s.spareBuf); err != nil {
 		return fmt.Errorf("core: writing base page of pid %d: %w", pid, err)
 	}
 	s.tel.NewBasePages++
@@ -459,8 +469,8 @@ func (s *Store) flushShard(sh *shard) error {
 	if sh.dwb.empty() {
 		return nil
 	}
-	s.dev.Lock()
-	defer s.dev.Unlock()
+	s.devMu.Lock()
+	defer s.devMu.Unlock()
 	return s.flushShardLocked(sh)
 }
 
@@ -472,14 +482,13 @@ func (s *Store) flushShardLocked(sh *shard) error {
 	if sh.dwb.empty() {
 		return nil
 	}
-	p := s.chip.Params()
 	q, err := s.alloc.Alloc()
 	if err != nil {
 		return err
 	}
-	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
-		Seq: s.alloc.SeqOf(s.chip.BlockOf(q))}, p.SpareSize)
-	if err := s.chip.Program(q, sh.dwb.encode(), hdr); err != nil {
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, s.spareBuf)
+	if err := s.dev.Program(q, sh.dwb.encode(), s.spareBuf); err != nil {
 		return fmt.Errorf("core: writing differential page: %w", err)
 	}
 	s.tel.BufferFlushes++
@@ -553,14 +562,14 @@ func (s *Store) bufferedDifferential(pid uint32) (diff.Differential, bool) {
 // ValidDifferentialPages returns the number of differential pages holding
 // at least one valid differential (for tests and tooling).
 func (s *Store) ValidDifferentialPages() int {
-	s.dev.Lock()
-	defer s.dev.Unlock()
+	s.devMu.Lock()
+	defer s.devMu.Unlock()
 	return len(s.vdct)
 }
 
 // Telemetry returns the store's internal event counters.
 func (s *Store) Telemetry() Telemetry {
-	s.dev.Lock()
-	defer s.dev.Unlock()
+	s.devMu.Lock()
+	defer s.devMu.Unlock()
 	return s.tel
 }

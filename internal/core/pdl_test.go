@@ -13,8 +13,8 @@ import (
 )
 
 func factory(maxDiff int) ftltest.Factory {
-	return func(chip *flash.Chip, numPages int) (ftl.Method, error) {
-		return New(chip, numPages, Options{MaxDifferentialSize: maxDiff, ReserveBlocks: 2})
+	return func(dev flash.Device, numPages int) (ftl.Method, error) {
+		return New(dev, numPages, Options{MaxDifferentialSize: maxDiff, ReserveBlocks: 2})
 	}
 }
 

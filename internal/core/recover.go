@@ -26,12 +26,12 @@ import (
 // Recovery is idempotent: it only sets useless pages obsolete, which does
 // not change the outcome of a repeated run, so it tolerates repeated
 // failures during restart (section 4.5).
-func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
-	s, err := New(chip, numPages, opts)
+func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
+	s, err := New(dev, numPages, opts)
 	if err != nil {
 		return nil, err
 	}
-	p := chip.Params()
+	p := dev.Params()
 
 	// Scan every physical page's spare area (and the data area of
 	// differential pages and of suspicious free pages), recording what we
@@ -50,11 +50,11 @@ func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 	spare := make([]byte, p.SpareSize)
 	data := make([]byte, p.DataSize)
 	for ppn := 0; ppn < total; ppn++ {
-		if chip.IsBad(chip.BlockOf(flash.PPN(ppn))) {
+		if dev.IsBad(p.BlockOf(flash.PPN(ppn))) {
 			infos[ppn] = pageInfo{hdr: ftl.Header{Type: ftl.TypeFree}}
 			continue
 		}
-		if err := chip.ReadSpare(flash.PPN(ppn), spare); err != nil {
+		if err := dev.ReadSpare(flash.PPN(ppn), spare); err != nil {
 			return nil, fmt.Errorf("core: recovery scan of ppn %d: %w", ppn, err)
 		}
 		h := ftl.DecodeHeader(spare)
@@ -67,14 +67,14 @@ func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 			// A free-looking page may hide a torn program whose spare
 			// never made it; verify the data area is still erased so the
 			// allocator never hands out a dirty page.
-			if err := chip.ReadData(flash.PPN(ppn), data); err != nil {
+			if err := dev.ReadData(flash.PPN(ppn), data); err != nil {
 				return nil, err
 			}
 			if !allErased(data) {
 				infos[ppn].torn = true
 			}
 		case ftl.TypeDiff:
-			if err := chip.ReadData(flash.PPN(ppn), data); err != nil {
+			if err := dev.ReadData(flash.PPN(ppn), data); err != nil {
 				return nil, err
 			}
 			for _, d := range diff.DecodeAll(data) {
@@ -134,6 +134,7 @@ func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 	// Set the useless pages obsolete: base pages that lost arbitration and
 	// differential pages holding no valid differential (the two kinds of
 	// useless pages of section 4.5).
+	obs := ftl.ObsoleteSpare(p.SpareSize)
 	for ppn := range infos {
 		h := infos[ppn].hdr
 		if h.Obsolete {
@@ -157,7 +158,7 @@ func Recover(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 		if useless {
 			// Physical marking only; allocator bookkeeping happens
 			// uniformly in the rebuild pass below.
-			if err := chip.ProgramSpare(flash.PPN(ppn), ftl.ObsoleteSpare(p.SpareSize)); err != nil {
+			if err := dev.ProgramSpare(flash.PPN(ppn), obs); err != nil {
 				return nil, fmt.Errorf("core: recovery obsoleting ppn %d: %w", ppn, err)
 			}
 			infos[ppn].hdr.Obsolete = true

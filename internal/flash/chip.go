@@ -60,7 +60,7 @@ type block struct {
 type Chip struct {
 	params Params
 	blocks []block
-	stats  Stats
+	stats  Counters
 
 	// powerFailAfter, when non-negative, counts down on every program and
 	// erase; when it reaches zero the operation is interrupted mid-flight.
@@ -108,15 +108,13 @@ func (c *Chip) addr(ppn PPN) (int, int, error) {
 }
 
 // PPNOf returns the physical page number of page pg in block blk.
-func (c *Chip) PPNOf(blk, pg int) PPN {
-	return PPN(blk*c.params.PagesPerBlock + pg)
-}
+func (c *Chip) PPNOf(blk, pg int) PPN { return c.params.PPNOf(blk, pg) }
 
 // BlockOf returns the block index containing ppn.
-func (c *Chip) BlockOf(ppn PPN) int { return int(ppn) / c.params.PagesPerBlock }
+func (c *Chip) BlockOf(ppn PPN) int { return c.params.BlockOf(ppn) }
 
 // PageOf returns the index within its block of ppn.
-func (c *Chip) PageOf(ppn PPN) int { return int(ppn) % c.params.PagesPerBlock }
+func (c *Chip) PageOf(ppn PPN) int { return c.params.PageOf(ppn) }
 
 // Read reads the full page at ppn into data and spare, charging Tread.
 // data must have length DataSize and spare length SpareSize; either may be
@@ -144,8 +142,7 @@ func (c *Chip) Read(ppn PPN, data, spare []byte) error {
 	if spare != nil {
 		copy(spare, p.spare)
 	}
-	c.stats.Reads++
-	c.stats.TimeMicros += c.params.ReadMicros
+	c.stats.AddRead(c.params.ReadMicros)
 	return nil
 }
 
@@ -189,8 +186,7 @@ func (c *Chip) Program(ppn PPN, data, spare []byte) error {
 		half := len(data) / 2
 		andInto(p.data[:half], data[:half])
 		p.programmed = true
-		c.stats.Writes++
-		c.stats.TimeMicros += c.params.WriteMicros
+		c.stats.AddWrite(c.params.WriteMicros)
 		return ErrPowerLoss
 	}
 	andInto(p.data, data)
@@ -199,8 +195,7 @@ func (c *Chip) Program(ppn PPN, data, spare []byte) error {
 	}
 	p.programmed = true
 	p.sparePrograms++
-	c.stats.Writes++
-	c.stats.TimeMicros += c.params.WriteMicros
+	c.stats.AddWrite(c.params.WriteMicros)
 	return nil
 }
 
@@ -227,14 +222,12 @@ func (c *Chip) ProgramPartial(ppn PPN, off int, chunk []byte) error {
 		half := len(chunk) / 2
 		andInto(p.data[off:off+half], chunk[:half])
 		p.programmed = true
-		c.stats.Writes++
-		c.stats.TimeMicros += c.params.WriteMicros
+		c.stats.AddWrite(c.params.WriteMicros)
 		return ErrPowerLoss
 	}
 	andInto(p.data[off:off+len(chunk)], chunk)
 	p.programmed = true
-	c.stats.Writes++
-	c.stats.TimeMicros += c.params.WriteMicros
+	c.stats.AddWrite(c.params.WriteMicros)
 	return nil
 }
 
@@ -265,14 +258,12 @@ func (c *Chip) ProgramSpare(ppn PPN, spare []byte) error {
 	if c.tickPowerFail() {
 		half := len(spare) / 2
 		andInto(p.spare[:half], spare[:half])
-		c.stats.Writes++
-		c.stats.TimeMicros += c.params.WriteMicros
+		c.stats.AddWrite(c.params.WriteMicros)
 		return ErrPowerLoss
 	}
 	andInto(p.spare, spare)
 	p.sparePrograms++
-	c.stats.Writes++
-	c.stats.TimeMicros += c.params.WriteMicros
+	c.stats.AddWrite(c.params.WriteMicros)
 	return nil
 }
 
@@ -313,8 +304,7 @@ func (c *Chip) eraseNow(b *block) {
 		p.programmed = false
 	}
 	b.eraseCount++
-	c.stats.Erases++
-	c.stats.TimeMicros += c.params.EraseMicros
+	c.stats.AddErase(c.params.EraseMicros)
 }
 
 // MarkBad marks a block bad. Subsequent operations on it fail with

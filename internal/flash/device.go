@@ -1,0 +1,75 @@
+package flash
+
+// Device is the hardware seam of this module: the set of operations a
+// flash page-update method needs from a NAND device. The emulated Chip is
+// one implementation; internal/flash/filedev provides a persistent
+// file-backed one. Everything above the flash driver — the FTL allocator,
+// the four page-update methods, the buffer pool, the workloads — programs
+// against this interface only, which is what lets a store built for the
+// emulator run unchanged over real (or file-backed) storage.
+//
+// Like a physical chip, a Device serializes operations at its bus: it is
+// not required to be safe for concurrent mutation, and the stores in this
+// module drive it from one goroutine or under their own device lock. The
+// one concurrency guarantee every implementation must provide is that
+// Stats may be called at any time, from any goroutine, while another
+// goroutine performs operations (monitoring reads race with the device
+// otherwise).
+type Device interface {
+	// Params returns the device geometry and timing.
+	Params() Params
+
+	// Read reads the page at ppn into data and spare, charging Tread.
+	// Either buffer may be nil to skip that area.
+	Read(ppn PPN, data, spare []byte) error
+	// ReadData reads only the data area of ppn.
+	ReadData(ppn PPN, data []byte) error
+	// ReadSpare reads only the spare area of ppn.
+	ReadSpare(ppn PPN, spare []byte) error
+
+	// Program programs the full page at ppn, charging Twrite. Programming
+	// is an AND at the bit level; an image that would raise a 0 bit back
+	// to 1 fails with ErrProgramConflict.
+	Program(ppn PPN, data, spare []byte) error
+	// ProgramPartial programs a byte range of the data area of ppn.
+	ProgramPartial(ppn PPN, off int, chunk []byte) error
+	// ProgramSpare partially programs the spare area of ppn with pure AND
+	// semantics, bounded by Params.MaxSparePrograms between erases.
+	ProgramSpare(ppn PPN, spare []byte) error
+
+	// Erase erases the block, returning every bit in it to 1 and charging
+	// Terase.
+	Erase(blk int) error
+
+	// MarkBad marks a block bad; subsequent operations fail with
+	// ErrBadBlock.
+	MarkBad(blk int) error
+	// IsBad reports whether blk is marked bad.
+	IsBad(blk int) bool
+	// EraseCount returns the number of erases blk has sustained.
+	EraseCount(blk int) int
+
+	// Stats returns a snapshot of the accumulated operation counts and
+	// simulated I/O time. Safe to call concurrently with operations.
+	Stats() Stats
+	// ResetStats zeroes the accumulated statistics.
+	ResetStats()
+	// Wear returns the erase-count distribution over blocks.
+	Wear() WearSummary
+
+	// Sync makes all completed operations durable (a no-op for volatile
+	// devices like the emulator).
+	Sync() error
+	// Close releases the device. Persistent devices sync first; using a
+	// closed device is an error.
+	Close() error
+}
+
+var _ Device = (*Chip)(nil)
+
+// Sync implements Device; the emulator is volatile, so there is nothing
+// to make durable.
+func (c *Chip) Sync() error { return nil }
+
+// Close implements Device; the emulator holds no external resources.
+func (c *Chip) Close() error { return nil }

@@ -122,6 +122,17 @@ func (p Params) BlockSize() int { return p.PagesPerBlock * p.PageSize() }
 // NumPages returns the total number of pages in the chip.
 func (p Params) NumPages() int { return p.NumBlocks * p.PagesPerBlock }
 
+// PPNOf returns the physical page number of page pg in block blk. Address
+// arithmetic is pure geometry, so it lives on Params and works for every
+// Device implementation.
+func (p Params) PPNOf(blk, pg int) PPN { return PPN(blk*p.PagesPerBlock + pg) }
+
+// BlockOf returns the block index containing ppn.
+func (p Params) BlockOf(ppn PPN) int { return int(ppn) / p.PagesPerBlock }
+
+// PageOf returns the index within its block of ppn.
+func (p Params) PageOf(ppn PPN) int { return int(ppn) % p.PagesPerBlock }
+
 // DataCapacity returns the total data-area capacity of the chip in bytes.
 func (p Params) DataCapacity() int64 {
 	return int64(p.NumBlocks) * int64(p.PagesPerBlock) * int64(p.DataSize)

@@ -2,6 +2,7 @@ package flash
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,12 +24,51 @@ type Stats struct {
 	TimeMicros int64
 }
 
-// Stats returns a snapshot of the chip's accumulated statistics.
-func (c *Chip) Stats() Stats { return c.stats }
+// Counters accumulates operation counts and simulated time with atomic
+// fields, so a monitoring goroutine can snapshot them while another
+// goroutine drives operations. Both Device implementations (the emulated
+// Chip and the file-backed device) embed one; the device contents still
+// require external serialization, only the counters are lock-free.
+type Counters struct {
+	reads, writes, erases, timeMicros atomic.Int64
+}
+
+// AddRead records one page read costing us simulated microseconds.
+func (o *Counters) AddRead(us int64) { o.reads.Add(1); o.timeMicros.Add(us) }
+
+// AddWrite records one program operation costing us simulated microseconds.
+func (o *Counters) AddWrite(us int64) { o.writes.Add(1); o.timeMicros.Add(us) }
+
+// AddErase records one block erase costing us simulated microseconds.
+func (o *Counters) AddErase(us int64) { o.erases.Add(1); o.timeMicros.Add(us) }
+
+// Snapshot returns the current totals. Concurrent with operations the
+// fields are individually (not jointly) consistent, which is all
+// monitoring needs.
+func (o *Counters) Snapshot() Stats {
+	return Stats{
+		Reads:      o.reads.Load(),
+		Writes:     o.writes.Load(),
+		Erases:     o.erases.Load(),
+		TimeMicros: o.timeMicros.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (o *Counters) Reset() {
+	o.reads.Store(0)
+	o.writes.Store(0)
+	o.erases.Store(0)
+	o.timeMicros.Store(0)
+}
+
+// Stats returns a snapshot of the chip's accumulated statistics. It is
+// safe to call while another goroutine drives chip operations.
+func (c *Chip) Stats() Stats { return c.stats.Snapshot() }
 
 // ResetStats zeroes the chip's accumulated statistics. Wear counters and
 // contents are unaffected.
-func (c *Chip) ResetStats() { c.stats = Stats{} }
+func (c *Chip) ResetStats() { c.stats.Reset() }
 
 // Sub returns s - o, the cost of the region between two snapshots.
 func (s Stats) Sub(o Stats) Stats {

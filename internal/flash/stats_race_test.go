@@ -1,0 +1,68 @@
+package flash
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentWithOperations drives the chip from one goroutine
+// while another snapshots Stats, the monitoring pattern the workload
+// driver uses. Run under -race this certifies the counters are safe to
+// read concurrently (the chip's contents still require one driver
+// goroutine; only Stats/ResetStats are lock-free).
+func TestStatsConcurrentWithOperations(t *testing.T) {
+	p := DefaultParams()
+	p.NumBlocks = 4
+	p.PagesPerBlock = 8
+	p.DataSize = 128
+	p.SpareSize = 16
+	c := NewChip(p)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := c.Stats()
+				if s.Reads < 0 || s.Writes < 0 || s.Erases < 0 {
+					t.Error("negative counter snapshot")
+					return
+				}
+			}
+		}
+	}()
+
+	data := make([]byte, p.DataSize)
+	buf := make([]byte, p.DataSize)
+	for round := 0; round < 50; round++ {
+		for pg := 0; pg < p.PagesPerBlock; pg++ {
+			ppn := c.PPNOf(round%p.NumBlocks, pg)
+			if err := c.Program(ppn, data, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.ReadData(ppn, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Erase(round % p.NumBlocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	want := Stats{
+		Reads:      50 * int64(p.PagesPerBlock),
+		Writes:     50 * int64(p.PagesPerBlock),
+		Erases:     50,
+		TimeMicros: 50 * (int64(p.PagesPerBlock)*(p.ReadMicros+p.WriteMicros) + p.EraseMicros),
+	}
+	if got := c.Stats(); got != want {
+		t.Fatalf("final stats = %+v, want %+v", got, want)
+	}
+}

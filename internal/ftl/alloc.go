@@ -60,7 +60,8 @@ const (
 // "new block, which is reserved for the garbage collection process" of
 // section 4.1.
 type Allocator struct {
-	chip     *flash.Chip
+	dev      flash.Device
+	params   flash.Params
 	relocate Relocator
 
 	blocks    []blockInfo
@@ -74,6 +75,11 @@ type Allocator struct {
 	gcRuns    int64
 	gcVictims map[int]int64 // victim block -> times collected (for steady-state checks)
 
+	// obsSpare is the reusable obsolete-marking spare image; MarkObsolete
+	// runs on every page invalidation, and rebuilding the image each time
+	// cost an allocation plus an 0xFF fill per call.
+	obsSpare []byte
+
 	// seq tracks each block's activation sequence number: a monotonic
 	// counter bumped whenever a block leaves the free list. Pages carry
 	// it in their spare headers, letting checkpointed recovery detect
@@ -82,24 +88,27 @@ type Allocator struct {
 	seqCounter uint64
 }
 
-// NewAllocator builds an allocator over chip keeping reserve erased blocks
-// for garbage collection (minimum 1; the paper reserves one block).
-func NewAllocator(chip *flash.Chip, reserve int) *Allocator {
+// NewAllocator builds an allocator over any flash device keeping reserve
+// erased blocks for garbage collection (minimum 1; the paper reserves one
+// block).
+func NewAllocator(dev flash.Device, reserve int) *Allocator {
 	if reserve < 1 {
 		reserve = 1
 	}
-	p := chip.Params()
+	p := dev.Params()
 	a := &Allocator{
-		chip:      chip,
+		dev:       dev,
+		params:    p,
 		blocks:    make([]blockInfo, p.NumBlocks),
 		active:    -1,
 		reserve:   reserve,
 		gcVictims: make(map[int]int64),
 		seq:       make([]uint64, p.NumBlocks),
+		obsSpare:  make([]byte, p.SpareSize),
 	}
 	a.freeList = make([]int, 0, p.NumBlocks)
 	for b := p.NumBlocks - 1; b >= 0; b-- {
-		if !chip.IsBad(b) {
+		if !dev.IsBad(b) {
 			a.freeList = append(a.freeList, b)
 		}
 	}
@@ -114,8 +123,8 @@ func (a *Allocator) SetRelocator(r Relocator) { a.relocate = r }
 // SetVictimPolicy selects how garbage-collection victims are chosen.
 func (a *Allocator) SetVictimPolicy(p VictimPolicy) { a.policy = p }
 
-// Chip returns the underlying chip.
-func (a *Allocator) Chip() *flash.Chip { return a.chip }
+// Device returns the underlying flash device.
+func (a *Allocator) Device() flash.Device { return a.dev }
 
 // FreeBlocks returns the number of fully erased blocks (including the
 // active block's unwritten tail pages is deliberately excluded; methods
@@ -125,9 +134,9 @@ func (a *Allocator) FreeBlocks() int { return len(a.freeList) }
 // FreePages returns the number of unwritten pages available without
 // garbage collection.
 func (a *Allocator) FreePages() int {
-	n := len(a.freeList) * a.chip.Params().PagesPerBlock
+	n := len(a.freeList) * a.params.PagesPerBlock
 	if a.active >= 0 {
-		n += a.chip.Params().PagesPerBlock - a.nextPage
+		n += a.params.PagesPerBlock - a.nextPage
 	}
 	return n
 }
@@ -175,7 +184,7 @@ func (a *Allocator) ResetGCStats() {
 // The returned page is accounted as written-and-valid; callers must
 // program it exactly once.
 func (a *Allocator) Alloc() (flash.PPN, error) {
-	p := a.chip.Params()
+	p := a.params
 	if (a.active < 0 || a.nextPage == p.PagesPerBlock) && !a.inGC {
 		// About to switch blocks: restore the erased-block reserve first.
 		// collect may recursively allocate (relocation), which can itself
@@ -201,7 +210,7 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 		a.seqCounter++
 		a.seq[a.active] = a.seqCounter
 	}
-	ppn := a.chip.PPNOf(a.active, a.nextPage)
+	ppn := p.PPNOf(a.active, a.nextPage)
 	a.nextPage++
 	a.blocks[a.active].written++
 	return ppn, nil
@@ -211,11 +220,11 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 // its spare area — which the paper counts as a write operation — and
 // updates validity bookkeeping.
 func (a *Allocator) MarkObsolete(ppn flash.PPN) error {
-	p := a.chip.Params()
-	if err := a.chip.ProgramSpare(ppn, ObsoleteSpare(p.SpareSize)); err != nil {
+	ObsoleteSpareInto(a.obsSpare)
+	if err := a.dev.ProgramSpare(ppn, a.obsSpare); err != nil {
 		return fmt.Errorf("marking ppn %d obsolete: %w", ppn, err)
 	}
-	a.blocks[a.chip.BlockOf(ppn)].obsolete++
+	a.blocks[a.params.BlockOf(ppn)].obsolete++
 	return nil
 }
 
@@ -224,13 +233,13 @@ func (a *Allocator) MarkObsolete(ppn flash.PPN) error {
 // that is about to be erased, and crash recovery uses it when the physical
 // flag was already cleared before the crash.
 func (a *Allocator) MarkObsoleteInPlace(ppn flash.PPN) {
-	a.blocks[a.chip.BlockOf(ppn)].obsolete++
+	a.blocks[a.params.BlockOf(ppn)].obsolete++
 }
 
 // NoteWritten informs the allocator that ppn was programmed outside Alloc
 // (crash recovery rebuilding state from a chip image).
 func (a *Allocator) NoteWritten(ppn flash.PPN) {
-	a.blocks[a.chip.BlockOf(ppn)].written++
+	a.blocks[a.params.BlockOf(ppn)].written++
 }
 
 // SeqOf returns the activation sequence number of blk (0 if never
@@ -291,17 +300,17 @@ func (a *Allocator) collect() error {
 	if victim < 0 {
 		return ErrNoSpace
 	}
-	before := a.chip.Stats()
+	before := a.dev.Stats()
 	a.inGC = true
 	var err error
 	if a.blocks[victim].obsolete < a.blocks[victim].written && a.relocate != nil {
 		err = a.relocate(victim)
 	}
 	if err == nil {
-		err = a.chip.Erase(victim)
+		err = a.dev.Erase(victim)
 	}
 	a.inGC = false
-	a.gcStats = a.gcStats.Add(a.chip.Stats().Sub(before))
+	a.gcStats = a.gcStats.Add(a.dev.Stats().Sub(before))
 	if err != nil {
 		return fmt.Errorf("garbage collecting block %d: %w", victim, err)
 	}
@@ -322,7 +331,7 @@ func (a *Allocator) pickVictim() int {
 		minWear = 1 << 30
 		for b := range a.blocks {
 			if a.blocks[b].state == blockFull && !a.blocks[b].excluded && a.blocks[b].obsolete > 0 {
-				if ec := a.chip.EraseCount(b); ec < minWear {
+				if ec := a.dev.EraseCount(b); ec < minWear {
 					minWear = ec
 				}
 			}
@@ -338,7 +347,7 @@ func (a *Allocator) pickVictim() int {
 			// Penalize blocks ahead of the minimum wear: each extra erase
 			// costs one obsolete page of score. Heavily worn blocks are
 			// only collected when their garbage payoff dominates.
-			score -= float64(a.chip.EraseCount(b) - minWear)
+			score -= float64(a.dev.EraseCount(b) - minWear)
 		}
 		if score > best {
 			best = score

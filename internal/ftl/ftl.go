@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"pdl/internal/flash"
 )
@@ -40,6 +41,12 @@ var (
 // The interface is deliberately the one a disk driver exposes — read a page,
 // write a page, flush — which is what makes methods implementable below an
 // unmodified DBMS.
+//
+// Methods no longer leak the concrete emulator: the old Chip() *flash.Chip
+// accessor is replaced by Device() flash.Device plus the direct PageSize
+// and Stats accessors that cover what upper layers actually need, so the
+// same store runs over the in-memory emulator or the persistent
+// file-backed device (internal/flash/filedev) unchanged.
 type Method interface {
 	// Name identifies the method and its configuration, e.g. "PDL(256B)".
 	Name() string
@@ -50,8 +57,14 @@ type Method interface {
 	// Flush forces any buffered state (e.g. PDL's differential write
 	// buffer, IPL's log buffers) out to flash; the paper's write-through.
 	Flush() error
-	// Chip returns the underlying emulated chip, for stats inspection.
-	Chip() *flash.Chip
+	// Device returns the underlying flash device.
+	Device() flash.Device
+	// PageSize returns the logical page size in bytes (the device's
+	// data-area size), the one geometry fact upper layers size buffers by.
+	PageSize() int
+	// Stats returns a snapshot of the device's operation counts and
+	// simulated I/O time; safe to call while operations are in flight.
+	Stats() flash.Stats
 }
 
 // Page type tags stored in spare[0]. 0xFF is the erased value, so a free
@@ -110,12 +123,40 @@ type Header struct {
 	Seq uint64
 }
 
-// EncodeHeader writes h into an erased spare image of the given size.
+// erasedTemplates caches one immutable all-0xFF image per spare size, so
+// the hot header-encoding paths fill buffers with a copy (memmove) instead
+// of a byte loop, and the Into variants below need no allocation at all.
+var erasedTemplates sync.Map // int -> []byte
+
+// erasedTemplate returns the shared erased image of size n. Callers must
+// not modify it.
+func erasedTemplate(n int) []byte {
+	if t, ok := erasedTemplates.Load(n); ok {
+		return t.([]byte)
+	}
+	t := make([]byte, n)
+	for i := range t {
+		t[i] = 0xFF
+	}
+	actual, _ := erasedTemplates.LoadOrStore(n, t)
+	return actual.([]byte)
+}
+
+// EncodeHeader writes h into a freshly allocated erased spare image of the
+// given size. Hot paths that can reuse a scratch buffer should prefer
+// EncodeHeaderInto.
 func EncodeHeader(h Header, spareSize int) []byte {
 	spare := make([]byte, spareSize)
-	for i := range spare {
-		spare[i] = 0xFF
-	}
+	EncodeHeaderInto(h, spare)
+	return spare
+}
+
+// EncodeHeaderInto writes h into spare, first resetting it to the erased
+// state. It allocates nothing; every page-update method keeps a per-store
+// spare scratch (written under its device serialization) and encodes into
+// it, which keeps header encoding off the write path's allocation profile.
+func EncodeHeaderInto(h Header, spare []byte) {
+	copy(spare, erasedTemplate(len(spare)))
 	spare[sparePosType] = h.Type
 	if h.Obsolete {
 		spare[sparePosObsolete] = 0x00
@@ -123,7 +164,6 @@ func EncodeHeader(h Header, spareSize int) []byte {
 	binary.LittleEndian.PutUint32(spare[sparePosPID:], h.PID)
 	binary.LittleEndian.PutUint64(spare[sparePosTS:], h.TS)
 	binary.LittleEndian.PutUint64(spare[sparePosSeq:], h.Seq)
-	return spare
 }
 
 // DecodeHeader parses the spare-area header.
@@ -146,11 +186,15 @@ func DecodeHeader(spare []byte) Header {
 // obsolete bit in the spare area of the page from 1 to 0").
 func ObsoleteSpare(spareSize int) []byte {
 	spare := make([]byte, spareSize)
-	for i := range spare {
-		spare[i] = 0xFF
-	}
-	spare[sparePosObsolete] = 0x00
+	ObsoleteSpareInto(spare)
 	return spare
+}
+
+// ObsoleteSpareInto fills spare with the obsolete-marking image without
+// allocating; the allocator reuses one scratch for every MarkObsolete.
+func ObsoleteSpareInto(spare []byte) {
+	copy(spare, erasedTemplate(len(spare)))
+	spare[sparePosObsolete] = 0x00
 }
 
 // CheckPID validates a logical page id against the database size.

@@ -1,0 +1,85 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// oldEncodeHeader is the pre-optimization implementation: allocate a fresh
+// spare image and 0xFF-fill it byte by byte on every call. Kept here as
+// the benchmark baseline for the template-cached EncodeHeader/Into pair.
+func oldEncodeHeader(h Header, spareSize int) []byte {
+	spare := make([]byte, spareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	spare[sparePosType] = h.Type
+	if h.Obsolete {
+		spare[sparePosObsolete] = 0x00
+	}
+	binary.LittleEndian.PutUint32(spare[sparePosPID:], h.PID)
+	binary.LittleEndian.PutUint64(spare[sparePosTS:], h.TS)
+	binary.LittleEndian.PutUint64(spare[sparePosSeq:], h.Seq)
+	return spare
+}
+
+// oldObsoleteSpare is the pre-optimization obsolete-image builder.
+func oldObsoleteSpare(spareSize int) []byte {
+	spare := make([]byte, spareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	spare[sparePosObsolete] = 0x00
+	return spare
+}
+
+var (
+	benchHeader = Header{Type: TypeBase, PID: 12345, TS: 987654321, Seq: 42}
+	benchSink   byte
+)
+
+const benchSpareSize = 64
+
+func BenchmarkEncodeHeaderOld(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := oldEncodeHeader(benchHeader, benchSpareSize)
+		benchSink = s[0]
+	}
+}
+
+func BenchmarkEncodeHeader(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := EncodeHeader(benchHeader, benchSpareSize)
+		benchSink = s[0]
+	}
+}
+
+func BenchmarkEncodeHeaderInto(b *testing.B) {
+	b.ReportAllocs()
+	spare := make([]byte, benchSpareSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeHeaderInto(benchHeader, spare)
+		benchSink = spare[0]
+	}
+}
+
+func BenchmarkObsoleteSpareOld(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := oldObsoleteSpare(benchSpareSize)
+		benchSink = s[0]
+	}
+}
+
+func BenchmarkObsoleteSpareInto(b *testing.B) {
+	b.ReportAllocs()
+	spare := make([]byte, benchSpareSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ObsoleteSpareInto(spare)
+		benchSink = spare[0]
+	}
+}

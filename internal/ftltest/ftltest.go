@@ -16,9 +16,19 @@ import (
 	"pdl/internal/ftl"
 )
 
-// Factory builds a method instance over the chip for a database of
+// Factory builds a method instance over the device for a database of
 // numPages logical pages.
-type Factory func(chip *flash.Chip, numPages int) (ftl.Method, error)
+type Factory func(dev flash.Device, numPages int) (ftl.Method, error)
+
+// DeviceFactory builds a flash device for the given geometry. The suite
+// cleans the device up via t.Cleanup, so factories may hand out devices
+// backed by real files (t.TempDir) as well as emulated chips.
+type DeviceFactory func(t *testing.T, p flash.Params) flash.Device
+
+// EmulatorDevice is the default DeviceFactory: a fresh in-memory chip.
+func EmulatorDevice(t *testing.T, p flash.Params) flash.Device {
+	return flash.NewChip(p)
+}
 
 // SmallParams returns a small chip geometry used by the conformance suite:
 // real page sizes but few blocks, so garbage collection happens quickly.
@@ -31,18 +41,27 @@ func SmallParams(numBlocks int) flash.Params {
 	return p
 }
 
-// RunMethodSuite runs the full conformance suite against the factory.
+// RunMethodSuite runs the full conformance suite against the factory over
+// the in-memory emulator.
 func RunMethodSuite(t *testing.T, factory Factory) {
 	t.Helper()
-	t.Run("LoadAndReadBack", func(t *testing.T) { testLoadAndReadBack(t, factory) })
-	t.Run("ReadUnwritten", func(t *testing.T) { testReadUnwritten(t, factory) })
-	t.Run("ArgumentValidation", func(t *testing.T) { testArgumentValidation(t, factory) })
-	t.Run("OverwriteVisibility", func(t *testing.T) { testOverwriteVisibility(t, factory) })
-	t.Run("RandomUpdatesMatchShadow", func(t *testing.T) { testRandomUpdates(t, factory, 42) })
-	t.Run("SmallRandomUpdatesMatchShadow", func(t *testing.T) { testSmallUpdates(t, factory, 7) })
-	t.Run("SurvivesHeavyGC", func(t *testing.T) { testHeavyGC(t, factory) })
-	t.Run("FlushThenRead", func(t *testing.T) { testFlushThenRead(t, factory) })
-	t.Run("PhysicalLegality", func(t *testing.T) { testPhysicalLegality(t, factory) })
+	RunMethodSuiteOn(t, EmulatorDevice, factory)
+}
+
+// RunMethodSuiteOn runs the full conformance suite against the factory
+// over devices built by newDevice — the emulator, the file-backed device,
+// or any future backend; a method must behave identically on all of them.
+func RunMethodSuiteOn(t *testing.T, newDevice DeviceFactory, factory Factory) {
+	t.Helper()
+	t.Run("LoadAndReadBack", func(t *testing.T) { testLoadAndReadBack(t, newDevice, factory) })
+	t.Run("ReadUnwritten", func(t *testing.T) { testReadUnwritten(t, newDevice, factory) })
+	t.Run("ArgumentValidation", func(t *testing.T) { testArgumentValidation(t, newDevice, factory) })
+	t.Run("OverwriteVisibility", func(t *testing.T) { testOverwriteVisibility(t, newDevice, factory) })
+	t.Run("RandomUpdatesMatchShadow", func(t *testing.T) { testRandomUpdates(t, newDevice, factory, 42) })
+	t.Run("SmallRandomUpdatesMatchShadow", func(t *testing.T) { testSmallUpdates(t, newDevice, factory, 7) })
+	t.Run("SurvivesHeavyGC", func(t *testing.T) { testHeavyGC(t, newDevice, factory) })
+	t.Run("FlushThenRead", func(t *testing.T) { testFlushThenRead(t, newDevice, factory) })
+	t.Run("PhysicalLegality", func(t *testing.T) { testPhysicalLegality(t, newDevice, factory) })
 }
 
 func pagePattern(pid uint32, version int, size int) []byte {
@@ -53,14 +72,15 @@ func pagePattern(pid uint32, version int, size int) []byte {
 	return data
 }
 
-func mustNew(t *testing.T, factory Factory, numBlocks, numPages int) (ftl.Method, *flash.Chip) {
+func mustNew(t *testing.T, newDevice DeviceFactory, factory Factory, numBlocks, numPages int) (ftl.Method, flash.Device) {
 	t.Helper()
-	chip := flash.NewChip(SmallParams(numBlocks))
-	m, err := factory(chip, numPages)
+	dev := newDevice(t, SmallParams(numBlocks))
+	t.Cleanup(func() { dev.Close() })
+	m, err := factory(dev, numPages)
 	if err != nil {
 		t.Fatalf("factory: %v", err)
 	}
-	return m, chip
+	return m, dev
 }
 
 func load(t *testing.T, m ftl.Method, numPages, size int) [][]byte {
@@ -88,27 +108,27 @@ func verifyAll(t *testing.T, m ftl.Method, shadow [][]byte) {
 	}
 }
 
-func testLoadAndReadBack(t *testing.T, factory Factory) {
+func testLoadAndReadBack(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	const numPages = 64
-	m, chip := mustNew(t, factory, 16, numPages)
-	shadow := load(t, m, numPages, chip.Params().DataSize)
+	m, dev := mustNew(t, newDevice, factory, 16, numPages)
+	shadow := load(t, m, numPages, dev.Params().DataSize)
 	if err := m.Flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
 	verifyAll(t, m, shadow)
 }
 
-func testReadUnwritten(t *testing.T, factory Factory) {
-	m, chip := mustNew(t, factory, 8, 16)
-	buf := make([]byte, chip.Params().DataSize)
+func testReadUnwritten(t *testing.T, newDevice DeviceFactory, factory Factory) {
+	m, dev := mustNew(t, newDevice, factory, 8, 16)
+	buf := make([]byte, dev.Params().DataSize)
 	if err := m.ReadPage(3, buf); !errors.Is(err, ftl.ErrNotWritten) {
 		t.Errorf("read of unwritten page: err = %v, want ErrNotWritten", err)
 	}
 }
 
-func testArgumentValidation(t *testing.T, factory Factory) {
-	m, chip := mustNew(t, factory, 8, 16)
-	size := chip.Params().DataSize
+func testArgumentValidation(t *testing.T, newDevice DeviceFactory, factory Factory) {
+	m, dev := mustNew(t, newDevice, factory, 8, 16)
+	size := dev.Params().DataSize
 	if err := m.WritePage(16, make([]byte, size)); !errors.Is(err, ftl.ErrPageRange) {
 		t.Errorf("write pid out of range: %v", err)
 	}
@@ -123,10 +143,10 @@ func testArgumentValidation(t *testing.T, factory Factory) {
 	}
 }
 
-func testOverwriteVisibility(t *testing.T, factory Factory) {
+func testOverwriteVisibility(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	const numPages = 8
-	m, chip := mustNew(t, factory, 8, numPages)
-	size := chip.Params().DataSize
+	m, dev := mustNew(t, newDevice, factory, 8, numPages)
+	size := dev.Params().DataSize
 	load(t, m, numPages, size)
 	// Overwrite page 3 five times; each version must be immediately
 	// visible without an intervening flush (the write buffer must serve
@@ -146,10 +166,10 @@ func testOverwriteVisibility(t *testing.T, factory Factory) {
 	}
 }
 
-func testRandomUpdates(t *testing.T, factory Factory, seed int64) {
+func testRandomUpdates(t *testing.T, newDevice DeviceFactory, factory Factory, seed int64) {
 	const numPages = 48
-	m, chip := mustNew(t, factory, 24, numPages)
-	size := chip.Params().DataSize
+	m, dev := mustNew(t, newDevice, factory, 24, numPages)
+	size := dev.Params().DataSize
 	shadow := load(t, m, numPages, size)
 	rng := rand.New(rand.NewSource(seed))
 	buf := make([]byte, size)
@@ -190,12 +210,12 @@ func testRandomUpdates(t *testing.T, factory Factory, seed int64) {
 	verifyAll(t, m, shadow)
 }
 
-func testSmallUpdates(t *testing.T, factory Factory, seed int64) {
+func testSmallUpdates(t *testing.T, newDevice DeviceFactory, factory Factory, seed int64) {
 	// Many tiny (2-byte) updates: exercises differential coalescing and
 	// log-sector packing paths.
 	const numPages = 16
-	m, chip := mustNew(t, factory, 16, numPages)
-	size := chip.Params().DataSize
+	m, dev := mustNew(t, newDevice, factory, 16, numPages)
+	size := dev.Params().DataSize
 	shadow := load(t, m, numPages, size)
 	rng := rand.New(rand.NewSource(seed))
 	buf := make([]byte, size)
@@ -218,7 +238,7 @@ func testSmallUpdates(t *testing.T, factory Factory, seed int64) {
 	verifyAll(t, m, shadow)
 }
 
-func testHeavyGC(t *testing.T, factory Factory) {
+func testHeavyGC(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	// Database sized at ~45% of flash (small enough to fit methods that
 	// reserve half the chip, like IPL with a 50% log region); update
 	// volume many times flash capacity, forcing repeated garbage
@@ -226,8 +246,8 @@ func testHeavyGC(t *testing.T, factory Factory) {
 	const numBlocks = 12
 	params := SmallParams(numBlocks)
 	numPages := numBlocks * params.PagesPerBlock * 45 / 100
-	m, chip := mustNew(t, factory, numBlocks, numPages)
-	size := chip.Params().DataSize
+	m, dev := mustNew(t, newDevice, factory, numBlocks, numPages)
+	size := dev.Params().DataSize
 	shadow := load(t, m, numPages, size)
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < numBlocks*params.PagesPerBlock*8; i++ {
@@ -242,15 +262,15 @@ func testHeavyGC(t *testing.T, factory Factory) {
 		t.Fatal(err)
 	}
 	verifyAll(t, m, shadow)
-	if chip.Stats().Erases == 0 {
+	if dev.Stats().Erases == 0 {
 		t.Error("no erases happened; GC was not exercised")
 	}
 }
 
-func testFlushThenRead(t *testing.T, factory Factory) {
+func testFlushThenRead(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	const numPages = 8
-	m, chip := mustNew(t, factory, 8, numPages)
-	size := chip.Params().DataSize
+	m, dev := mustNew(t, newDevice, factory, 8, numPages)
+	size := dev.Params().DataSize
 	shadow := load(t, m, numPages, size)
 	next := pagePattern(2, 1, size)
 	copy(shadow[2], next)
@@ -267,13 +287,13 @@ func testFlushThenRead(t *testing.T, factory Factory) {
 	verifyAll(t, m, shadow)
 }
 
-func testPhysicalLegality(t *testing.T, factory Factory) {
+func testPhysicalLegality(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	// The emulator returns ErrProgramConflict on any physically illegal
 	// program; a clean run of a write-heavy workload certifies that the
 	// method never overwrites programmed bits without an erase.
 	const numPages = 24
-	m, chip := mustNew(t, factory, 8, numPages)
-	size := chip.Params().DataSize
+	m, dev := mustNew(t, newDevice, factory, 8, numPages)
+	size := dev.Params().DataSize
 	load(t, m, numPages, size)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 500; i++ {

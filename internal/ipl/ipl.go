@@ -53,7 +53,8 @@ type blockLogState struct {
 
 // Store is an in-page logging flash translation layer.
 type Store struct {
-	chip *flash.Chip
+	dev    flash.Device
+	params flash.Params
 
 	numPages    int
 	logPages    int // log pages per block
@@ -72,13 +73,14 @@ type Store struct {
 	merges      int64
 	scratch     []byte
 	scratchPage []byte
+	spareBuf    []byte
 }
 
 var _ ftl.Method = (*Store)(nil)
 
 // New builds an IPL store for a database of numPages logical pages.
-func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
-	p := chip.Params()
+func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
+	p := dev.Params()
 	if numPages <= 0 {
 		return nil, fmt.Errorf("ipl: numPages must be positive, got %d", numPages)
 	}
@@ -104,7 +106,8 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 			numLogical, p.NumBlocks)
 	}
 	s := &Store{
-		chip:        chip,
+		dev:         dev,
+		params:      p,
 		numPages:    numPages,
 		logPages:    logPages,
 		dataPer:     dataPer,
@@ -118,6 +121,7 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 		memBuf:      make([][]byte, numPages),
 		scratch:     make([]byte, p.DataSize),
 		scratchPage: make([]byte, p.DataSize),
+		spareBuf:    make([]byte, p.SpareSize),
 	}
 	// Logical block i starts at physical block i; the remaining blocks
 	// form the free pool used by merging.
@@ -125,7 +129,7 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 		s.blockMap[i] = i
 	}
 	for b := p.NumBlocks - 1; b >= numLogical; b-- {
-		if !chip.IsBad(b) {
+		if !dev.IsBad(b) {
 			s.freeBlocks = append(s.freeBlocks, b)
 		}
 	}
@@ -135,15 +139,21 @@ func New(chip *flash.Chip, numPages int, opts Options) (*Store, error) {
 // Name implements ftl.Method, e.g. "IPL(18KB)" for 18 Kbytes of log pages
 // per block.
 func (s *Store) Name() string {
-	bytes := s.logPages * s.chip.Params().DataSize
+	bytes := s.logPages * s.params.DataSize
 	if bytes >= 1024 && bytes%1024 == 0 {
 		return fmt.Sprintf("IPL(%dKB)", bytes/1024)
 	}
 	return fmt.Sprintf("IPL(%dB)", bytes)
 }
 
-// Chip implements ftl.Method.
-func (s *Store) Chip() *flash.Chip { return s.chip }
+// Device implements ftl.Method.
+func (s *Store) Device() flash.Device { return s.dev }
+
+// PageSize implements ftl.Method.
+func (s *Store) PageSize() int { return s.params.DataSize }
+
+// Stats implements ftl.Method.
+func (s *Store) Stats() flash.Stats { return s.dev.Stats() }
 
 // NumPages returns the database size in logical pages.
 func (s *Store) NumPages() int { return s.numPages }
@@ -166,7 +176,7 @@ func (s *Store) home(pid uint32) (int, int) {
 // dataPPN returns the physical page currently holding pid's data page.
 func (s *Store) dataPPN(pid uint32) flash.PPN {
 	lb, slot := s.home(pid)
-	return s.chip.PPNOf(s.blockMap[lb], slot)
+	return s.params.PPNOf(s.blockMap[lb], slot)
 }
 
 // LogUpdate records one update operation against pid: the DBMS changed
@@ -181,7 +191,7 @@ func (s *Store) LogUpdate(pid uint32, off int, chunk []byte) error {
 	if !s.written[pid] {
 		return fmt.Errorf("%w: pid %d (update-log before initial write)", ftl.ErrNotWritten, pid)
 	}
-	p := s.chip.Params()
+	p := s.params
 	if off < 0 || off+len(chunk) > p.DataSize {
 		return fmt.Errorf("ipl: update log [%d,%d) outside page", off, off+len(chunk))
 	}
@@ -232,13 +242,13 @@ func (s *Store) flushLogBuffer(pid uint32) error {
 		}
 		pb = s.blockMap[lb]
 	}
-	p := s.chip.Params()
+	p := s.params
 	sector := s.logState[pb].nextSector
 	s.logState[pb].nextSector++
 	perPage := p.DataSize / s.sectorSize
 	logPage := s.dataPer + sector/perPage
 	off := (sector % perPage) * s.sectorSize
-	ppn := s.chip.PPNOf(pb, logPage)
+	ppn := p.PPNOf(pb, logPage)
 	// Pad the sector image with erased bytes so the record stream
 	// terminates cleanly.
 	img := make([]byte, s.sectorSize)
@@ -246,7 +256,7 @@ func (s *Store) flushLogBuffer(pid uint32) error {
 	for i := len(s.memBuf[pid]); i < s.sectorSize; i++ {
 		img[i] = 0xFF
 	}
-	if err := s.chip.ProgramPartial(ppn, off, img); err != nil {
+	if err := s.dev.ProgramPartial(ppn, off, img); err != nil {
 		return fmt.Errorf("ipl: writing log sector for pid %d: %w", pid, err)
 	}
 	s.logIndex[pid] = append(s.logIndex[pid], logRef{ppn: ppn, off: off})
@@ -265,14 +275,13 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	p := s.chip.Params()
+	p := s.params
 	if err := ftl.CheckPageBuf(data, p.DataSize); err != nil {
 		return err
 	}
 	if !s.written[pid] {
-		hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.nextTS()},
-			p.SpareSize)
-		if err := s.chip.Program(s.dataPPN(pid), data, hdr); err != nil {
+		ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.nextTS()}, s.spareBuf)
+		if err := s.dev.Program(s.dataPPN(pid), data, s.spareBuf); err != nil {
 			return fmt.Errorf("ipl: initial write of pid %d: %w", pid, err)
 		}
 		s.written[pid] = true
@@ -312,7 +321,7 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	if err := ftl.CheckPageBuf(buf, s.chip.Params().DataSize); err != nil {
+	if err := ftl.CheckPageBuf(buf, s.params.DataSize); err != nil {
 		return err
 	}
 	return s.recreate(pid, buf)
@@ -324,7 +333,7 @@ func (s *Store) recreate(pid uint32, buf []byte) error {
 	if !s.written[pid] {
 		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
 	}
-	if err := s.chip.ReadData(s.dataPPN(pid), buf); err != nil {
+	if err := s.dev.ReadData(s.dataPPN(pid), buf); err != nil {
 		return err
 	}
 	if err := s.replayFlashLogs(pid, buf, nil); err != nil {
@@ -350,7 +359,7 @@ func (s *Store) replayFlashLogs(pid uint32, page []byte, cache map[flash.PPN][]b
 		img, ok := cache[ref.ppn]
 		if !ok {
 			img = make([]byte, len(s.scratch))
-			if err := s.chip.ReadData(ref.ppn, img); err != nil {
+			if err := s.dev.ReadData(ref.ppn, img); err != nil {
 				return err
 			}
 			cache[ref.ppn] = img
@@ -401,9 +410,9 @@ func applyRecords(page []byte, records []byte) {
 // every page's flushed logs into its data page, then erases the old block.
 // This is IPL's merge operation and garbage collection in one.
 func (s *Store) merge(lb int) error {
-	before := s.chip.Stats()
+	before := s.dev.Stats()
 	err := s.mergeInner(lb)
-	s.gcStats = s.gcStats.Add(s.chip.Stats().Sub(before))
+	s.gcStats = s.gcStats.Add(s.dev.Stats().Sub(before))
 	if err == nil {
 		s.merges++
 	}
@@ -414,7 +423,7 @@ func (s *Store) mergeInner(lb int) error {
 	if len(s.freeBlocks) == 0 {
 		return ftl.ErrNoSpace
 	}
-	p := s.chip.Params()
+	p := s.params
 	old := s.blockMap[lb]
 	fresh := s.freeBlocks[len(s.freeBlocks)-1]
 	s.freeBlocks = s.freeBlocks[:len(s.freeBlocks)-1]
@@ -430,20 +439,19 @@ func (s *Store) mergeInner(lb int) error {
 		}
 		// Recreate from flash state only; pending in-memory buffers stay
 		// pending (they are newer than the merged image).
-		if err := s.chip.ReadData(s.chip.PPNOf(old, slot), merged); err != nil {
+		if err := s.dev.ReadData(p.PPNOf(old, slot), merged); err != nil {
 			return err
 		}
 		if err := s.replayFlashLogs(uint32(pid), merged, cache); err != nil {
 			return err
 		}
-		hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeData, PID: uint32(pid), TS: s.nextTS()},
-			p.SpareSize)
-		if err := s.chip.Program(s.chip.PPNOf(fresh, slot), merged, hdr); err != nil {
+		ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeData, PID: uint32(pid), TS: s.nextTS()}, s.spareBuf)
+		if err := s.dev.Program(p.PPNOf(fresh, slot), merged, s.spareBuf); err != nil {
 			return err
 		}
 		s.logIndex[pid] = s.logIndex[pid][:0]
 	}
-	if err := s.chip.Erase(old); err != nil {
+	if err := s.dev.Erase(old); err != nil {
 		return err
 	}
 	s.blockMap[lb] = fresh

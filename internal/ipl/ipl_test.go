@@ -10,8 +10,8 @@ import (
 	"pdl/internal/ftltest"
 )
 
-func factory(chip *flash.Chip, numPages int) (ftl.Method, error) {
-	return New(chip, numPages, Options{})
+func factory(dev flash.Device, numPages int) (ftl.Method, error) {
+	return New(dev, numPages, Options{})
 }
 
 func TestConformance(t *testing.T) {
@@ -20,8 +20,8 @@ func TestConformance(t *testing.T) {
 
 func TestConformanceLargeLogRegion(t *testing.T) {
 	// Half the block as log pages, like the paper's IPL(64KB).
-	ftltest.RunMethodSuite(t, func(chip *flash.Chip, numPages int) (ftl.Method, error) {
-		return New(chip, numPages, Options{LogPagesPerBlock: chip.Params().PagesPerBlock / 2})
+	ftltest.RunMethodSuite(t, func(dev flash.Device, numPages int) (ftl.Method, error) {
+		return New(dev, numPages, Options{LogPagesPerBlock: dev.Params().PagesPerBlock / 2})
 	})
 }
 

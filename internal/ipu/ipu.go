@@ -19,10 +19,12 @@ import (
 // Store is an IPU flash translation layer: logical page pid lives at
 // physical page pid, permanently.
 type Store struct {
-	chip     *flash.Chip
+	dev      flash.Device
+	params   flash.Params
 	numPages int
 	written  []bool
 	ts       uint64
+	spareBuf []byte
 
 	// scratch holds the data and spare of one whole block during the
 	// read-erase-rewrite cycle.
@@ -33,8 +35,8 @@ type Store struct {
 var _ ftl.Method = (*Store)(nil)
 
 // New builds an IPU store for a database of numPages logical pages.
-func New(chip *flash.Chip, numPages int) (*Store, error) {
-	p := chip.Params()
+func New(dev flash.Device, numPages int) (*Store, error) {
+	p := dev.Params()
 	if numPages <= 0 {
 		return nil, fmt.Errorf("ipu: numPages must be positive, got %d", numPages)
 	}
@@ -43,9 +45,11 @@ func New(chip *flash.Chip, numPages int) (*Store, error) {
 			numPages, p.NumPages())
 	}
 	s := &Store{
-		chip:       chip,
+		dev:        dev,
+		params:     p,
 		numPages:   numPages,
 		written:    make([]bool, numPages),
+		spareBuf:   make([]byte, p.SpareSize),
 		blockData:  make([][]byte, p.PagesPerBlock),
 		blockSpare: make([][]byte, p.PagesPerBlock),
 	}
@@ -59,8 +63,14 @@ func New(chip *flash.Chip, numPages int) (*Store, error) {
 // Name implements ftl.Method.
 func (s *Store) Name() string { return "IPU" }
 
-// Chip implements ftl.Method.
-func (s *Store) Chip() *flash.Chip { return s.chip }
+// Device implements ftl.Method.
+func (s *Store) Device() flash.Device { return s.dev }
+
+// PageSize implements ftl.Method.
+func (s *Store) PageSize() int { return s.params.DataSize }
+
+// Stats implements ftl.Method.
+func (s *Store) Stats() flash.Stats { return s.dev.Stats() }
 
 // NumPages returns the database size in logical pages.
 func (s *Store) NumPages() int { return s.numPages }
@@ -70,13 +80,13 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	if err := ftl.CheckPageBuf(buf, s.chip.Params().DataSize); err != nil {
+	if err := ftl.CheckPageBuf(buf, s.params.DataSize); err != nil {
 		return err
 	}
 	if !s.written[pid] {
 		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
 	}
-	return s.chip.ReadData(flash.PPN(pid), buf)
+	return s.dev.ReadData(flash.PPN(pid), buf)
 }
 
 // WritePage implements ftl.Method. If the fixed physical page is still
@@ -86,46 +96,46 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	p := s.chip.Params()
+	p := s.params
 	if err := ftl.CheckPageBuf(data, p.DataSize); err != nil {
 		return err
 	}
 	ppn := flash.PPN(pid)
 	s.ts++
-	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.ts}, p.SpareSize)
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.ts}, s.spareBuf)
 
 	if !s.written[pid] {
 		// Initial load: the page is erased, program directly.
-		if err := s.chip.Program(ppn, data, hdr); err != nil {
+		if err := s.dev.Program(ppn, data, s.spareBuf); err != nil {
 			return err
 		}
 		s.written[pid] = true
 		return nil
 	}
 
-	blk := s.chip.BlockOf(ppn)
-	target := s.chip.PageOf(ppn)
+	blk := p.BlockOf(ppn)
+	target := p.PageOf(ppn)
 	// Step 1: read all other written pages of the block.
 	occupied := make([]bool, p.PagesPerBlock)
 	for i := 0; i < p.PagesPerBlock; i++ {
 		if i == target {
 			continue
 		}
-		other := s.chip.PPNOf(blk, i)
+		other := p.PPNOf(blk, i)
 		if int(other) >= s.numPages || !s.written[other] {
 			continue
 		}
 		occupied[i] = true
-		if err := s.chip.Read(other, s.blockData[i], s.blockSpare[i]); err != nil {
+		if err := s.dev.Read(other, s.blockData[i], s.blockSpare[i]); err != nil {
 			return err
 		}
 	}
 	// Step 2: erase the block.
-	if err := s.chip.Erase(blk); err != nil {
+	if err := s.dev.Erase(blk); err != nil {
 		return err
 	}
 	// Step 3: write the updated logical page.
-	if err := s.chip.Program(ppn, data, hdr); err != nil {
+	if err := s.dev.Program(ppn, data, s.spareBuf); err != nil {
 		return err
 	}
 	// Step 4: write the other pages back.
@@ -133,7 +143,7 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		if !occupied[i] {
 			continue
 		}
-		if err := s.chip.Program(s.chip.PPNOf(blk, i), s.blockData[i], s.blockSpare[i]); err != nil {
+		if err := s.dev.Program(p.PPNOf(blk, i), s.blockData[i], s.blockSpare[i]); err != nil {
 			return err
 		}
 	}

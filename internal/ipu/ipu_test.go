@@ -8,8 +8,8 @@ import (
 	"pdl/internal/ftltest"
 )
 
-func factory(chip *flash.Chip, numPages int) (ftl.Method, error) {
-	return New(chip, numPages)
+func factory(dev flash.Device, numPages int) (ftl.Method, error) {
+	return New(dev, numPages)
 }
 
 func TestConformance(t *testing.T) {

@@ -19,25 +19,27 @@ import (
 	"pdl/internal/ftl"
 )
 
-// Store is an OPU flash translation layer over an emulated chip.
+// Store is an OPU flash translation layer over any flash device.
 type Store struct {
-	chip  *flash.Chip
-	alloc *ftl.Allocator
+	dev    flash.Device
+	params flash.Params
+	alloc  *ftl.Allocator
 
 	numPages int
 	mapping  []flash.PPN // pid -> ppn, NilPPN if never written
 	reverse  map[flash.PPN]uint32
 	ts       uint64
 
-	scratch []byte
+	scratch  []byte
+	spareBuf []byte
 }
 
 var _ ftl.Method = (*Store)(nil)
 
 // New builds an OPU store for a database of numPages logical pages over
-// chip, keeping reserveBlocks erased blocks for garbage collection.
-func New(chip *flash.Chip, numPages, reserveBlocks int) (*Store, error) {
-	p := chip.Params()
+// dev, keeping reserveBlocks erased blocks for garbage collection.
+func New(dev flash.Device, numPages, reserveBlocks int) (*Store, error) {
+	p := dev.Params()
 	if numPages <= 0 {
 		return nil, fmt.Errorf("opu: numPages must be positive, got %d", numPages)
 	}
@@ -46,12 +48,14 @@ func New(chip *flash.Chip, numPages, reserveBlocks int) (*Store, error) {
 			numPages, p.NumPages())
 	}
 	s := &Store{
-		chip:     chip,
-		alloc:    ftl.NewAllocator(chip, reserveBlocks),
+		dev:      dev,
+		params:   p,
+		alloc:    ftl.NewAllocator(dev, reserveBlocks),
 		numPages: numPages,
 		mapping:  make([]flash.PPN, numPages),
 		reverse:  make(map[flash.PPN]uint32, numPages),
 		scratch:  make([]byte, p.DataSize),
+		spareBuf: make([]byte, p.SpareSize),
 	}
 	for i := range s.mapping {
 		s.mapping[i] = flash.NilPPN
@@ -63,8 +67,14 @@ func New(chip *flash.Chip, numPages, reserveBlocks int) (*Store, error) {
 // Name implements ftl.Method.
 func (s *Store) Name() string { return "OPU" }
 
-// Chip implements ftl.Method.
-func (s *Store) Chip() *flash.Chip { return s.chip }
+// Device implements ftl.Method.
+func (s *Store) Device() flash.Device { return s.dev }
+
+// PageSize implements ftl.Method.
+func (s *Store) PageSize() int { return s.params.DataSize }
+
+// Stats implements ftl.Method.
+func (s *Store) Stats() flash.Stats { return s.dev.Stats() }
 
 // NumPages returns the database size in logical pages.
 func (s *Store) NumPages() int { return s.numPages }
@@ -77,14 +87,14 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	if err := ftl.CheckPageBuf(buf, s.chip.Params().DataSize); err != nil {
+	if err := ftl.CheckPageBuf(buf, s.params.DataSize); err != nil {
 		return err
 	}
 	ppn := s.mapping[pid]
 	if ppn == flash.NilPPN {
 		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
 	}
-	return s.chip.ReadData(ppn, buf)
+	return s.dev.ReadData(ppn, buf)
 }
 
 // WritePage implements ftl.Method: write the whole logical page into a new
@@ -93,7 +103,7 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
 	}
-	if err := ftl.CheckPageBuf(data, s.chip.Params().DataSize); err != nil {
+	if err := ftl.CheckPageBuf(data, s.params.DataSize); err != nil {
 		return err
 	}
 	ppn, err := s.alloc.Alloc()
@@ -101,9 +111,8 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		return err
 	}
 	s.ts++
-	hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.ts},
-		s.chip.Params().SpareSize)
-	if err := s.chip.Program(ppn, data, hdr); err != nil {
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.ts}, s.spareBuf)
+	if err := s.dev.Program(ppn, data, s.spareBuf); err != nil {
 		return err
 	}
 	old := s.mapping[pid]
@@ -124,14 +133,14 @@ func (s *Store) Flush() error { return nil }
 // relocate moves the valid pages of a garbage-collection victim block to
 // freshly allocated pages.
 func (s *Store) relocate(victim int) error {
-	p := s.chip.Params()
+	p := s.params
 	for i := 0; i < p.PagesPerBlock; i++ {
-		ppn := s.chip.PPNOf(victim, i)
+		ppn := p.PPNOf(victim, i)
 		pid, ok := s.reverse[ppn]
 		if !ok {
 			continue // free or obsolete
 		}
-		if err := s.chip.ReadData(ppn, s.scratch); err != nil {
+		if err := s.dev.ReadData(ppn, s.scratch); err != nil {
 			return err
 		}
 		dst, err := s.alloc.Alloc()
@@ -139,8 +148,8 @@ func (s *Store) relocate(victim int) error {
 			return err
 		}
 		s.ts++
-		hdr := ftl.EncodeHeader(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.ts}, p.SpareSize)
-		if err := s.chip.Program(dst, s.scratch, hdr); err != nil {
+		ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeData, PID: pid, TS: s.ts}, s.spareBuf)
+		if err := s.dev.Program(dst, s.scratch, s.spareBuf); err != nil {
 			return err
 		}
 		delete(s.reverse, ppn)

@@ -89,7 +89,7 @@ func Load(method ftl.Method, s Scale, bufferPages int, seed int64) (*DB, error) 
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	pageSize := method.Chip().Params().DataSize
+	pageSize := method.PageSize()
 	if customerSize+16 > pageSize {
 		return nil, fmt.Errorf("tpcc: page size %d too small for customer records", pageSize)
 	}

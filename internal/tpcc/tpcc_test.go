@@ -123,7 +123,7 @@ func TestSustainedMixedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The workload must have driven flash I/O through the method.
-	if db.Pool().Method().Chip().Stats().Ops() == 0 {
+	if db.Pool().Method().Stats().Ops() == 0 {
 		t.Error("no flash I/O recorded")
 	}
 }
@@ -165,14 +165,14 @@ func TestSmallBufferCausesMoreIO(t *testing.T) {
 	// I/O per transaction.
 	run := func(bufferPages int) int64 {
 		db := newDB(t, opuMethod, bufferPages)
-		chip := db.Pool().Method().Chip()
-		chip.ResetStats()
+		dev := db.Pool().Method().Device()
+		dev.ResetStats()
 		for i := 0; i < 300; i++ {
 			if err := db.Run(db.NextTx()); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return chip.Stats().TimeMicros
+		return dev.Stats().TimeMicros
 	}
 	small := run(8)
 	large := run(512)

@@ -129,12 +129,11 @@ type Result struct {
 // database must already be loaded (every pid in the trace written once);
 // use Load for that.
 func Replay(method ftl.Method, ops []Op, seed int64) (Result, error) {
-	chip := method.Chip()
-	size := chip.Params().DataSize
+	size := method.PageSize()
 	page := make([]byte, size)
 	rng := rand.New(rand.NewSource(seed))
 	var res Result
-	before := chip.Stats()
+	before := method.Stats()
 
 	logger, _ := method.(*ipl.Store)
 	i := 0
@@ -185,7 +184,7 @@ func Replay(method ftl.Method, ops []Op, seed int64) (Result, error) {
 			return res, fmt.Errorf("%w: op kind %q", ErrSyntax, op.Kind)
 		}
 	}
-	res.Cost = chip.Stats().Sub(before)
+	res.Cost = method.Stats().Sub(before)
 	return res, nil
 }
 
@@ -206,7 +205,7 @@ func Load(method ftl.Method, ops []Op, seed int64) error {
 	if !seen {
 		return nil
 	}
-	size := method.Chip().Params().DataSize
+	size := method.PageSize()
 	page := make([]byte, size)
 	rng := rand.New(rand.NewSource(seed))
 	for pid := uint32(0); pid <= maxPID; pid++ {

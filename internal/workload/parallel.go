@@ -78,8 +78,7 @@ func (d *Driver) RunParallelUpdateOps(workers, numOps int) (ParallelResult, erro
 		opMu = &sync.Mutex{}
 	}
 
-	chip := d.method.Chip()
-	before := chip.Stats()
+	before := d.method.Stats()
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -114,7 +113,7 @@ func (d *Driver) RunParallelUpdateOps(workers, numOps int) (ParallelResult, erro
 		Ops:        int64(numOps),
 		Workers:    workers,
 		Elapsed:    elapsed,
-		Flash:      chip.Stats().Sub(before),
+		Flash:      d.method.Stats().Sub(before),
 		Serialized: !safe,
 	}, nil
 }
@@ -123,7 +122,7 @@ func (d *Driver) RunParallelUpdateOps(workers, numOps int) (ParallelResult, erro
 // partition. When opMu is non-nil every method call is serialized.
 func (d *Driver) workerLoop(w, workers, ops int, opMu *sync.Mutex) error {
 	rng := rand.New(rand.NewSource(d.cfg.Seed + int64(w)*0x9E37))
-	size := d.method.Chip().Params().DataSize
+	size := d.method.PageSize()
 	page := make([]byte, size)
 	partition := d.cfg.NumPages / workers
 	if w < d.cfg.NumPages%workers {

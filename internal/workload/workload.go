@@ -124,7 +124,7 @@ func NewDriver(method ftl.Method, cfg Config) (*Driver, error) {
 		method: method,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		page:   make([]byte, method.Chip().Params().DataSize),
+		page:   make([]byte, method.PageSize()),
 	}
 	if s, ok := method.(*ipl.Store); ok {
 		// IPL is tightly coupled: the driver plays the modified storage
@@ -196,16 +196,15 @@ func (d *Driver) mutate() (off int, length int) {
 // dispatch is shared with the parallel driver (readPage, logUpdate,
 // writePage in parallel.go), called here without serialization.
 func (d *Driver) updateCycle() (readCost, writeCost flash.Stats, err error) {
-	chip := d.method.Chip()
 	pid := d.pickPage()
 
-	before := chip.Stats()
+	before := d.method.Stats()
 	if err := d.readPage(pid, d.page, nil); err != nil {
 		return flash.Stats{}, flash.Stats{}, err
 	}
-	readCost = chip.Stats().Sub(before)
+	readCost = d.method.Stats().Sub(before)
 
-	before = chip.Stats()
+	before = d.method.Stats()
 	for u := 0; u < d.cfg.NUpdatesTillWrite; u++ {
 		off, length := d.mutate()
 		if d.logger != nil {
@@ -217,7 +216,7 @@ func (d *Driver) updateCycle() (readCost, writeCost flash.Stats, err error) {
 	if err := d.writePage(pid, d.page, nil); err != nil {
 		return flash.Stats{}, flash.Stats{}, err
 	}
-	writeCost = chip.Stats().Sub(before)
+	writeCost = d.method.Stats().Sub(before)
 	return readCost, writeCost, nil
 }
 
@@ -248,7 +247,6 @@ func (d *Driver) RunMixedOps(numOps int) (Totals, error) {
 	if !d.loaded {
 		return Totals{}, fmt.Errorf("workload: database not loaded")
 	}
-	chip := d.method.Chip()
 	var t Totals
 	for t.Ops < int64(numOps) {
 		if d.rng.Float64()*100 < d.cfg.PctUpdateOps {
@@ -262,11 +260,11 @@ func (d *Driver) RunMixedOps(numOps int) (Totals, error) {
 			t.UpdateOps++
 			continue
 		}
-		before := chip.Stats()
+		before := d.method.Stats()
 		if err := d.method.ReadPage(d.pickPage(), d.page); err != nil {
 			return t, err
 		}
-		t.ReadPhase = t.ReadPhase.Add(chip.Stats().Sub(before))
+		t.ReadPhase = t.ReadPhase.Add(d.method.Stats().Sub(before))
 		t.Ops++
 	}
 	return t, nil
@@ -298,7 +296,7 @@ func (d *Driver) Condition(meanGCRounds float64, maxOps int) (int64, error) {
 // meanGCRounds estimates how many times the average block has been
 // reclaimed.
 func (d *Driver) meanGCRounds() float64 {
-	numBlocks := float64(d.method.Chip().Params().NumBlocks)
+	numBlocks := float64(d.method.Device().Params().NumBlocks)
 	switch m := d.method.(type) {
 	case *ipl.Store:
 		return float64(m.Merges()) / numBlocks
@@ -306,6 +304,6 @@ func (d *Driver) meanGCRounds() float64 {
 		return m.Allocator().MeanVictimRounds()
 	default:
 		// Fall back to erase counts: one erase reclaims one block.
-		return float64(d.method.Chip().Stats().Erases) / numBlocks
+		return float64(d.method.Stats().Erases) / numBlocks
 	}
 }

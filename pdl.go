@@ -12,12 +12,32 @@
 //	chip := pdl.NewChip(pdl.ScaledFlashParams(256)) // 32 MB emulated NAND
 //	store, err := pdl.Open(chip, 4096, pdl.Options{MaxDifferentialSize: 256})
 //	if err != nil { ... }
-//	page := make([]byte, store.Chip().Params().DataSize)
+//	page := make([]byte, store.PageSize())
 //	...fill page...
-//	store.WritePage(42, page) // buffers only the page-differential
-//	store.Flush()             // write-through of the differential buffer
-//	store.ReadPage(42, page)  // base page + differential, at most 2 reads
-//	fmt.Println(chip.Stats()) // simulated I/O time and op counts
+//	store.WritePage(42, page)  // buffers only the page-differential
+//	store.Flush()              // write-through of the differential buffer
+//	store.ReadPage(42, page)   // base page + differential, at most 2 reads
+//	fmt.Println(store.Stats()) // simulated I/O time and op counts
+//
+// Every constructor takes a Device — the flash backend interface — so the
+// same store also runs on persistent storage. A file-backed device
+// survives process restarts:
+//
+//	dev, err := pdl.OpenFileDevice("db.flash", pdl.FileDeviceOptions{
+//		Params: pdl.ScaledFlashParams(256), // geometry of a new file
+//	})
+//	store, err := pdl.Open(dev, 4096, pdl.Options{MaxDifferentialSize: 256})
+//	...write...
+//	store.Flush()
+//	dev.Close()
+//	// later, possibly in another process:
+//	dev, err = pdl.OpenFileDevice("db.flash", pdl.FileDeviceOptions{})
+//	store, err = pdl.Recover(dev, 4096, pdl.Options{MaxDifferentialSize: 256})
+//
+// Migration note: Method.Chip() *flash.Chip is gone. Use Device() for the
+// backend, PageSize() for buffer sizing, and Stats() for I/O accounting;
+// emulator-only controls (SchedulePowerFailure, Wear) remain available on
+// the concrete *Chip you constructed with NewChip.
 //
 // A Store implements the same Method interface as the baseline methods
 // (OpenOPU, OpenIPU, OpenIPL), so higher layers — the buffer pool, heap
@@ -58,6 +78,7 @@ import (
 	"pdl/internal/buffer"
 	"pdl/internal/core"
 	"pdl/internal/flash"
+	"pdl/internal/flash/filedev"
 	"pdl/internal/ftl"
 	"pdl/internal/ipl"
 	"pdl/internal/ipu"
@@ -66,8 +87,34 @@ import (
 	"pdl/internal/tpcc"
 )
 
-// Chip is an emulated NAND flash chip. See NewChip.
+// Device is the flash backend interface every store runs over: the
+// emulated Chip, the persistent FileDevice, or any future implementation.
+type Device = flash.Device
+
+// Chip is an emulated NAND flash chip (one Device implementation). See
+// NewChip.
 type Chip = flash.Chip
+
+// FileDevice is a persistent flash device backed by a single ordinary
+// file. See OpenFileDevice.
+type FileDevice = filedev.Device
+
+// FileDeviceOptions configures OpenFileDevice.
+type FileDeviceOptions = filedev.Options
+
+// SyncPolicy selects when a FileDevice fsyncs its backing file.
+type SyncPolicy = filedev.SyncPolicy
+
+// File-device sync policies.
+const (
+	// SyncOnClose fsyncs on Sync and Close only (the default): durable
+	// across process death, not across OS/power failure.
+	SyncOnClose = filedev.SyncOnClose
+	// SyncAlways fsyncs after every program and erase.
+	SyncAlways = filedev.SyncAlways
+	// SyncNever never fsyncs (testing only).
+	SyncNever = filedev.SyncNever
+)
 
 // FlashParams configures a chip's geometry and timing.
 type FlashParams = flash.Params
@@ -90,6 +137,14 @@ func ScaledFlashParams(numBlocks int) FlashParams { return flash.ScaledParams(nu
 
 // NewChip allocates an emulated chip in the erased state.
 func NewChip(p FlashParams) *Chip { return flash.NewChip(p) }
+
+// OpenFileDevice opens (or creates) a persistent file-backed flash device
+// at path. A new file needs FileDeviceOptions.Params; an existing file's
+// recorded geometry wins. Stores over a FileDevice survive process
+// restarts: Flush, Close, reopen the path, and Recover.
+func OpenFileDevice(path string, opts FileDeviceOptions) (*FileDevice, error) {
+	return filedev.Open(path, opts)
+}
 
 // Method is the flash page-update method interface: what a disk driver
 // exposes to the storage system above. PDL, OPU, IPU, and IPL all
@@ -118,10 +173,10 @@ type Store = core.Store
 type Options = core.Options
 
 // Open builds a PDL store for a database of numPages logical pages over a
-// fresh chip. Use Recover to rebuild a store from a chip that already
-// holds data (e.g. after a crash).
-func Open(chip *Chip, numPages int, opts Options) (*Store, error) {
-	return core.New(chip, numPages, opts)
+// fresh device (emulated or file-backed). Use Recover to rebuild a store
+// from a device that already holds data (after a crash or a restart).
+func Open(dev Device, numPages int, opts Options) (*Store, error) {
+	return core.New(dev, numPages, opts)
 }
 
 // Recover reconstructs a PDL store from flash contents after a system
@@ -129,8 +184,8 @@ func Open(chip *Chip, numPages int, opts Options) (*Store, error) {
 // PDL_RecoveringfromCrash algorithm). Differentials that were only in the
 // in-memory write buffer at the time of the failure are lost, exactly as
 // the paper specifies.
-func Recover(chip *Chip, numPages int, opts Options) (*Store, error) {
-	return core.Recover(chip, numPages, opts)
+func Recover(dev Device, numPages int, opts Options) (*Store, error) {
+	return core.Recover(dev, numPages, opts)
 }
 
 // ErrNoCheckpoint reports that RecoverWithCheckpoint found no complete
@@ -143,8 +198,8 @@ var ErrNoCheckpoint = core.ErrNoCheckpoint
 // study. The store must have been opened with Options.CheckpointBlocks > 0
 // and have called Store.WriteCheckpoint at least once; otherwise it fails
 // with ErrNoCheckpoint.
-func RecoverWithCheckpoint(chip *Chip, numPages int, opts Options) (*Store, error) {
-	return core.RecoverWithCheckpoint(chip, numPages, opts)
+func RecoverWithCheckpoint(dev Device, numPages int, opts Options) (*Store, error) {
+	return core.RecoverWithCheckpoint(dev, numPages, opts)
 }
 
 // OPUStore is the out-place update page-based baseline.
@@ -152,8 +207,8 @@ type OPUStore = opu.Store
 
 // OpenOPU builds the paper's primary baseline: a page-based FTL with
 // page-level mapping and out-place updates.
-func OpenOPU(chip *Chip, numPages int) (*OPUStore, error) {
-	return opu.New(chip, numPages, 2)
+func OpenOPU(dev Device, numPages int) (*OPUStore, error) {
+	return opu.New(dev, numPages, 2)
 }
 
 // IPUStore is the in-place update baseline.
@@ -161,8 +216,8 @@ type IPUStore = ipu.Store
 
 // OpenIPU builds the in-place update baseline (read block, erase,
 // rewrite; the worst case of section 3).
-func OpenIPU(chip *Chip, numPages int) (*IPUStore, error) {
-	return ipu.New(chip, numPages)
+func OpenIPU(dev Device, numPages int) (*IPUStore, error) {
+	return ipu.New(dev, numPages)
 }
 
 // IPLStore is the in-page logging baseline (Lee & Moon, SIGMOD 2007).
@@ -174,8 +229,8 @@ type IPLOptions = ipl.Options
 // OpenIPL builds the log-based baseline. Tightly-coupled callers can feed
 // it individual update logs through its LogUpdate method; through the
 // plain Method interface it derives logs by comparison.
-func OpenIPL(chip *Chip, numPages int, opts IPLOptions) (*IPLStore, error) {
-	return ipl.New(chip, numPages, opts)
+func OpenIPL(dev Device, numPages int, opts IPLOptions) (*IPLStore, error) {
+	return ipl.New(dev, numPages, opts)
 }
 
 // Pool is an LRU buffer pool over any Method (the DBMS buffer of the
