@@ -9,7 +9,9 @@
 //	pdlbench -exp all -gcrounds 10   # everything, paper-grade conditioning
 //	pdlbench -exp 3 -csv             # CSV for external plotting
 //	pdlbench -exp par -workers 16    # parallel update throughput, PDL vs baselines
+//	pdlbench -exp gctail -workers 8  # reflection tail latency, sync vs background GC
 //	pdlbench -exp 1 -backend file    # same experiment on the persistent backend
+//	pdlbench -exp par -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // All reported times of experiments 1-7 are simulated flash I/O times
 // derived from the datasheet parameters (Table 1), so those runs are
@@ -26,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,7 +51,12 @@ func sanitize(label string) string {
 	}, label)
 }
 
-func main() {
+// main delegates to realMain so deferred cleanups — CPU/heap profile
+// writers, the temp-dir removal of the file backend — run even when an
+// experiment fails; os.Exit would skip them and leave truncated profiles.
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
 		exp       = flag.String("exp", "1", "experiment to run: 1..7, or 'all'")
 		blocks    = flag.Int("blocks", 512, "flash size in 132-KB blocks (512 = 64 MB)")
@@ -62,8 +71,41 @@ func main() {
 		workers   = flag.Int("workers", 4, "max worker goroutines for the parallel experiment (-exp par)")
 		backend   = flag.String("backend", "emu", "flash backend: emu (in-memory) or file (persistent)")
 		path      = flag.String("path", "", "directory for -backend file device files (default: a temp dir)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (profile GC and lock behavior directly)")
+		memprof   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdlbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pdlbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pdlbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pdlbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	g := bench.DefaultGeometry()
 	g.Params.NumBlocks = *blocks
@@ -85,7 +127,7 @@ func main() {
 			d, err := os.MkdirTemp("", "pdlbench-*")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pdlbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			defer os.RemoveAll(d)
 			dir = d
@@ -99,7 +141,7 @@ func main() {
 		fmt.Printf("# backend: file-backed devices under %s\n", dir)
 	default:
 		fmt.Fprintf(os.Stderr, "pdlbench: unknown backend %q (want emu or file)\n", *backend)
-		os.Exit(1)
+		return 1
 	}
 	specs := bench.StandardMethods(g.Params)
 
@@ -192,15 +234,20 @@ func main() {
 			if err := runParallel(g, *workers, *ops); err != nil {
 				return err
 			}
+		case "gctail":
+			if err := runGCTail(g, *workers, *ops); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want 1..7, par, or all)", id)
+			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, or all)", id)
 		}
 		fmt.Println()
 		return nil
 	}
 
-	// "all" covers the paper's deterministic experiments; the parallel
-	// experiment is host-dependent and must be requested explicitly.
+	// "all" covers the paper's deterministic experiments; the parallel and
+	// tail-latency experiments are host-dependent and must be requested
+	// explicitly.
 	ids := []string{*exp}
 	if strings.EqualFold(*exp, "all") {
 		ids = []string{"1", "2", "3", "4", "5", "6", "7"}
@@ -208,9 +255,32 @@ func main() {
 	for _, id := range ids {
 		if err := run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "pdlbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// runGCTail runs bench.ExpGCTail: the same partitioned update workload
+// against PDL with synchronous and with background garbage collection,
+// reporting the per-reflection wall-clock latency distribution. The
+// headline column is p99: background GC moves victim relocation off the
+// write path, so the collection cycles that synchronous mode charges to
+// unlucky reflections disappear from the tail.
+func runGCTail(g bench.Geometry, workers, ops int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	fmt.Printf("GC tail-latency experiment: reflection latency percentiles at %d workers, sync vs background GC\n", workers)
+	fmt.Printf("# geometry: %s, DB = %d pages, %d ops per mode, conditioning %.1f GC rounds/block\n",
+		g.Params, g.NumPages(), ops, g.GCRounds)
+	fmt.Printf("# latencies are host wall-clock; compare the two rows, not machines\n")
+	points, err := bench.ExpGCTail(g, g.Params.DataSize/8, workers, ops)
+	if err != nil {
+		return err
+	}
+	bench.WriteGCTailTable(os.Stdout, points)
+	return nil
 }
 
 // runParallel runs bench.ExpParallel — the sharded PDL store against the

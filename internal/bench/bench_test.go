@@ -341,3 +341,37 @@ func TestReportWriters(t *testing.T) {
 		t.Error("exp7 table missing header")
 	}
 }
+
+func TestExpGCTailRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	g := testGeometry()
+	g.MeasureOps = 2_000
+	points, err := ExpGCTail(g, g.Params.DataSize/8, 4, g.MeasureOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Mode != "sync" || points[1].Mode != "background" {
+		t.Fatalf("points = %+v, want a sync and a background point", points)
+	}
+	for _, p := range points {
+		if p.Ops != int64(g.MeasureOps) {
+			t.Errorf("%s: measured %d ops, want %d", p.Mode, p.Ops, g.MeasureOps)
+		}
+		if p.GCRuns == 0 {
+			t.Errorf("%s: no garbage collection during measurement; the tail comparison is vacuous", p.Mode)
+		}
+		if p.P50 <= 0 || p.P99 < p.P50 || p.Max < p.P99 {
+			t.Errorf("%s: implausible percentiles p50=%v p99=%v max=%v", p.Mode, p.P50, p.P99, p.Max)
+		}
+	}
+	if points[1].BackgroundRuns == 0 {
+		t.Error("background mode collected nothing in background")
+	}
+	var b bytes.Buffer
+	WriteGCTailTable(&b, points)
+	if !strings.Contains(b.String(), "background") || !strings.Contains(b.String(), "p99-us") {
+		t.Error("gctail table missing expected columns")
+	}
+}

@@ -111,11 +111,11 @@ func (s *Store) serializeCheckpoint(id uint64) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.NumBlocks))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.checkpointSize()))
 	for pid := 0; pid < s.numPages; pid++ {
-		e := s.ppmt[pid]
+		e := s.mt.ppmt[pid]
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.base))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.dif))
-		buf = binary.LittleEndian.AppendUint64(buf, s.baseTS[pid])
-		buf = binary.LittleEndian.AppendUint64(buf, s.diffTS[pid])
+		buf = binary.LittleEndian.AppendUint64(buf, s.mt.baseTS[pid])
+		buf = binary.LittleEndian.AppendUint64(buf, s.mt.diffTS[pid])
 	}
 	for b := 0; b < p.NumBlocks; b++ {
 		bs := s.alloc.BlockStats(b)
@@ -169,8 +169,8 @@ func (s *Store) WriteCheckpoint() (int, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
-	s.devMu.Lock()
-	defer s.devMu.Unlock()
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
 	s.ckpt.nextID++
 	payload := s.serializeCheckpoint(s.ckpt.nextID)
 	p := s.params
@@ -395,10 +395,10 @@ func (s *Store) loadCheckpoint(payload []byte) ([]uint64, []byte, error) {
 	}
 	off := ckptHdrSize
 	for pid := 0; pid < numPages; pid++ {
-		s.ppmt[pid].base = flash.PPN(int32(binary.LittleEndian.Uint32(payload[off:])))
-		s.ppmt[pid].dif = flash.PPN(int32(binary.LittleEndian.Uint32(payload[off+4:])))
-		s.baseTS[pid] = binary.LittleEndian.Uint64(payload[off+8:])
-		s.diffTS[pid] = binary.LittleEndian.Uint64(payload[off+16:])
+		s.mt.ppmt[pid].base = flash.PPN(int32(binary.LittleEndian.Uint32(payload[off:])))
+		s.mt.ppmt[pid].dif = flash.PPN(int32(binary.LittleEndian.Uint32(payload[off+4:])))
+		s.mt.baseTS[pid] = binary.LittleEndian.Uint64(payload[off+8:])
+		s.mt.diffTS[pid] = binary.LittleEndian.Uint64(payload[off+16:])
 		off += ckptPerPID
 	}
 	blockSeq := make([]uint64, numBlocks)
@@ -430,14 +430,14 @@ func (s *Store) invalidateEntriesIn(b int) {
 	p := s.params
 	lo := flash.PPN(b * p.PagesPerBlock)
 	hi := lo + flash.PPN(p.PagesPerBlock)
-	for pid := range s.ppmt {
-		if e := &s.ppmt[pid]; e.base >= lo && e.base < hi {
+	for pid := range s.mt.ppmt {
+		if e := &s.mt.ppmt[pid]; e.base >= lo && e.base < hi {
 			e.base = flash.NilPPN
-			s.baseTS[pid] = 0
+			s.mt.baseTS[pid] = 0
 		}
-		if e := &s.ppmt[pid]; e.dif >= lo && e.dif < hi {
+		if e := &s.mt.ppmt[pid]; e.dif >= lo && e.dif < hi {
 			e.dif = flash.NilPPN
-			s.diffTS[pid] = 0
+			s.mt.diffTS[pid] = 0
 		}
 	}
 }
@@ -490,9 +490,9 @@ func (s *Store) scanBlocks(blocks []int) error {
 				if int(h.PID) >= s.numPages {
 					continue
 				}
-				if s.ppmt[h.PID].base == flash.NilPPN || h.TS > s.baseTS[h.PID] {
-					s.ppmt[h.PID].base = ppn
-					s.baseTS[h.PID] = h.TS
+				if s.mt.ppmt[h.PID].base == flash.NilPPN || h.TS > s.mt.baseTS[h.PID] {
+					s.mt.ppmt[h.PID].base = ppn
+					s.mt.baseTS[h.PID] = h.TS
 				}
 			case ftl.TypeDiff:
 				if err := s.dev.ReadData(ppn, data); err != nil {
@@ -504,10 +504,10 @@ func (s *Store) scanBlocks(blocks []int) error {
 		cache[b] = pages
 	}
 	// With bases final, differentials older than their base are dead.
-	for pid := range s.ppmt {
-		if s.ppmt[pid].dif != flash.NilPPN && s.baseTS[pid] >= s.diffTS[pid] {
-			s.ppmt[pid].dif = flash.NilPPN
-			s.diffTS[pid] = 0
+	for pid := range s.mt.ppmt {
+		if s.mt.ppmt[pid].dif != flash.NilPPN && s.mt.baseTS[pid] >= s.mt.diffTS[pid] {
+			s.mt.ppmt[pid].dif = flash.NilPPN
+			s.mt.diffTS[pid] = 0
 		}
 	}
 	// Phase A2: arbitrate differentials.
@@ -521,12 +521,12 @@ func (s *Store) scanBlocks(blocks []int) error {
 				if int(d.PID) >= s.numPages {
 					continue
 				}
-				if s.ppmt[d.PID].base == flash.NilPPN || d.TS <= s.baseTS[d.PID] {
+				if s.mt.ppmt[d.PID].base == flash.NilPPN || d.TS <= s.mt.baseTS[d.PID] {
 					continue
 				}
-				if s.ppmt[d.PID].dif == flash.NilPPN || d.TS > s.diffTS[d.PID] {
-					s.ppmt[d.PID].dif = ppn
-					s.diffTS[d.PID] = d.TS
+				if s.mt.ppmt[d.PID].dif == flash.NilPPN || d.TS > s.mt.diffTS[d.PID] {
+					s.mt.ppmt[d.PID].dif = ppn
+					s.mt.diffTS[d.PID] = d.TS
 				}
 			}
 		}
@@ -535,9 +535,9 @@ func (s *Store) scanBlocks(blocks []int) error {
 	// Phase B: with the tables final, derive exact per-block bookkeeping.
 	// A diff page is valid iff some pid's entry points at it.
 	pointed := make(map[flash.PPN]bool)
-	for pid := range s.ppmt {
-		if s.ppmt[pid].dif != flash.NilPPN {
-			pointed[s.ppmt[pid].dif] = true
+	for pid := range s.mt.ppmt {
+		if s.mt.ppmt[pid].dif != flash.NilPPN {
+			pointed[s.mt.ppmt[pid].dif] = true
 		}
 	}
 	for _, b := range blocks {
@@ -561,7 +561,7 @@ func (s *Store) scanBlocks(blocks []int) error {
 			switch h.Type {
 			case ftl.TypeBase:
 				valid = !h.Obsolete && int(h.PID) < s.numPages &&
-					s.ppmt[h.PID].base == ppn
+					s.mt.ppmt[h.PID].base == ppn
 			case ftl.TypeDiff:
 				valid = !h.Obsolete && pointed[ppn]
 			}
@@ -583,18 +583,18 @@ func (s *Store) scanBlocks(blocks []int) error {
 // rebuildDerived reconstructs reverseBase and vdct from the mapping table.
 func (s *Store) rebuildDerived() {
 	maxTS := s.ts.Load()
-	for pid := range s.ppmt {
-		if s.ppmt[pid].base != flash.NilPPN {
-			s.reverseBase[s.ppmt[pid].base] = uint32(pid)
+	for pid := range s.mt.ppmt {
+		if s.mt.ppmt[pid].base != flash.NilPPN {
+			s.mt.reverseBase[s.mt.ppmt[pid].base] = uint32(pid)
 		}
-		if s.ppmt[pid].dif != flash.NilPPN {
-			s.vdct[s.ppmt[pid].dif]++
+		if s.mt.ppmt[pid].dif != flash.NilPPN {
+			s.mt.vdct[s.mt.ppmt[pid].dif]++
 		}
-		if s.baseTS[pid] > maxTS {
-			maxTS = s.baseTS[pid]
+		if s.mt.baseTS[pid] > maxTS {
+			maxTS = s.mt.baseTS[pid]
 		}
-		if s.diffTS[pid] > maxTS {
-			maxTS = s.diffTS[pid]
+		if s.mt.diffTS[pid] > maxTS {
+			maxTS = s.mt.diffTS[pid]
 		}
 	}
 	s.ts.Store(maxTS)

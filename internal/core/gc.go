@@ -15,8 +15,13 @@ import (
 // new differential page, i.e., we do compaction here").
 //
 // It runs inside the allocator's collect, which is only reached while the
-// device lock is held, so it may touch the mapping tables freely — and it
-// must never take a shard lock (shard locks order before the device lock).
+// flash lock is held — from a foreground allocation in synchronous mode,
+// or from the background engine's CollectOne increment — so it may
+// mutate the mapping tables (through the mapTable's versioned committers,
+// which readers observe), and it must never take a shard lock (shard
+// locks order before the flash lock). Every mapping repoint happens
+// before the allocator erases the victim, which is what the lock-free
+// read path's version check relies on.
 func (s *Store) relocate(victim int) error {
 	p := s.params
 
@@ -26,19 +31,19 @@ func (s *Store) relocate(victim int) error {
 	var keep []diff.Differential
 	for i := 0; i < p.PagesPerBlock; i++ {
 		ppn := p.PPNOf(victim, i)
-		if pid, ok := s.reverseBase[ppn]; ok && s.ppmt[pid].base == ppn {
+		if pid, ok := s.mt.pidOfBase(ppn); ok && s.mt.entry(pid).base == ppn {
 			if err := s.relocateBasePage(pid, ppn); err != nil {
 				return err
 			}
 			continue
 		}
-		if s.vdct[ppn] > 0 {
+		if s.mt.diffCount(ppn) > 0 {
 			ds, err := s.validDifferentials(ppn)
 			if err != nil {
 				return err
 			}
 			keep = append(keep, ds...)
-			delete(s.vdct, ppn)
+			s.mt.dropDiffPage(ppn)
 		}
 	}
 
@@ -75,14 +80,12 @@ func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 	// The base page keeps its creation time stamp: relocation does not
 	// make the content newer, and recovery must still see any later
 	// differential as the winner.
-	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.baseTS[pid],
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.mt.baseTS[pid],
 		Seq: s.alloc.SeqOf(s.params.BlockOf(dst))}, s.spareBuf)
 	if err := s.dev.Program(dst, scratch, s.spareBuf); err != nil {
 		return err
 	}
-	delete(s.reverseBase, ppn)
-	s.reverseBase[dst] = pid
-	s.ppmt[pid].base = dst
+	s.mt.relocateBase(pid, dst)
 	return nil
 }
 
@@ -97,7 +100,7 @@ func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 	}
 	var out []diff.Differential
 	for _, d := range diff.DecodeAll(scratch) {
-		if int(d.PID) < s.numPages && s.ppmt[d.PID].dif == ppn && s.diffTS[d.PID] == d.TS {
+		if int(d.PID) < s.numPages && s.mt.entry(d.PID).dif == ppn && s.mt.diffTS[d.PID] == d.TS {
 			out = append(out, d)
 		}
 	}
@@ -105,14 +108,19 @@ func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 }
 
 // writeCompactedPage writes a batch of surviving differentials into a new
-// differential page and repoints the mapping table.
+// differential page and repoints the mapping table. The page image is
+// built in a pooled scratch page — garbage collection compacts a page per
+// surviving batch, and allocating a fresh image each time put a page-sized
+// allocation on every collection increment.
 func (s *Store) writeCompactedPage(ds []diff.Differential) error {
 	p := s.params
 	q, err := s.alloc.Alloc()
 	if err != nil {
 		return err
 	}
-	img := make([]byte, 0, p.DataSize)
+	scratch := s.getPage()
+	defer s.putPage(scratch)
+	img := scratch[:0]
 	for _, d := range ds {
 		img = d.AppendTo(img)
 	}
@@ -125,8 +133,7 @@ func (s *Store) writeCompactedPage(ds []diff.Differential) error {
 		return err
 	}
 	for _, d := range ds {
-		s.ppmt[d.PID].dif = q
-		s.vdct[q]++
+		s.mt.repointDiff(d.PID, q)
 	}
 	return nil
 }

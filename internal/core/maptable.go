@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sync"
+
+	"pdl/internal/flash"
+)
+
+// mapTable owns PDL's mapping state — the physical page mapping table
+// (pid -> <base, differential>), the per-pid creation time stamps, the
+// reverse base-page index, and the valid differential count table — with
+// its own synchronization, decoupled from the flash lock.
+//
+// Concurrency model. All mutation happens on goroutines that hold the
+// store's flash lock, so mutators are already serialized with each other;
+// the mapTable's RWMutex exists to order mutations against lock-free
+// readers (ReadPage and the read half of WritePage, which deliberately do
+// NOT take the flash lock). Readers use an optimistic versioned-snapshot
+// protocol:
+//
+//	e, v := mt.snapshot(pid)    // entry + per-pid version
+//	... read flash pages e points at, with no store-level lock held ...
+//	if !mt.stable(pid, v) { retry }
+//
+// Every mutation of a pid's entry bumps its version, and garbage
+// collection always repoints the table BEFORE erasing the victim block,
+// so a reader that raced a relocation or a flush observes a version
+// change and retries against the new mapping; a reader whose version
+// check passes is guaranteed the flash bytes it read belonged to the
+// entry it looked up. Code that already holds the flash lock may instead
+// read through the locked accessors (or the fields directly during
+// single-goroutine recovery, before the store is published).
+type mapTable struct {
+	mu sync.RWMutex
+	// ppmt is the physical page mapping table of section 4.2.
+	ppmt []pageEntry
+	// baseTS caches the creation time stamp of each pid's base page, and
+	// diffTS of its newest differential; crash recovery rebuilds both.
+	baseTS []uint64
+	diffTS []uint64
+	// ver counts mutations of each pid's entry, for the reader protocol.
+	ver []uint64
+	// reverseBase maps a base page's PPN back to its pid for GC.
+	reverseBase map[flash.PPN]uint32
+	// vdct is the valid differential count table: differential page ->
+	// number of valid differentials it holds. Entries are removed the
+	// moment their count reaches zero — a zero count means the page is
+	// obsolete, and keeping dead keys would grow the map for the lifetime
+	// of the store.
+	vdct map[flash.PPN]int
+}
+
+func newMapTable(numPages int) *mapTable {
+	t := &mapTable{
+		ppmt:        make([]pageEntry, numPages),
+		baseTS:      make([]uint64, numPages),
+		diffTS:      make([]uint64, numPages),
+		ver:         make([]uint64, numPages),
+		reverseBase: make(map[flash.PPN]uint32, numPages),
+		vdct:        make(map[flash.PPN]int),
+	}
+	for i := range t.ppmt {
+		t.ppmt[i] = pageEntry{base: flash.NilPPN, dif: flash.NilPPN}
+	}
+	return t
+}
+
+// snapshot returns pid's entry together with its current version.
+func (t *mapTable) snapshot(pid uint32) (pageEntry, uint64) {
+	t.mu.RLock()
+	e, v := t.ppmt[pid], t.ver[pid]
+	t.mu.RUnlock()
+	return e, v
+}
+
+// stable reports whether pid's entry is still at version v: flash reads
+// made between snapshot and a passing stable call saw pages the entry
+// still owns.
+func (t *mapTable) stable(pid uint32, v uint64) bool {
+	t.mu.RLock()
+	ok := t.ver[pid] == v
+	t.mu.RUnlock()
+	return ok
+}
+
+// entry returns pid's current entry. The caller holds the flash lock (the
+// only writer context), so no read lock is needed.
+func (t *mapTable) entry(pid uint32) pageEntry { return t.ppmt[pid] }
+
+// setBasePage commits a writeNewBasePage: pid's base becomes ppn with
+// creation time stamp ts, and any previous base/differential linkage is
+// returned to the caller for release. Caller holds the flash lock.
+func (t *mapTable) setBasePage(pid uint32, ppn flash.PPN, ts uint64) (old pageEntry) {
+	t.mu.Lock()
+	old = t.ppmt[pid]
+	if old.base != flash.NilPPN {
+		delete(t.reverseBase, old.base)
+	}
+	t.ppmt[pid] = pageEntry{base: ppn, dif: flash.NilPPN}
+	t.baseTS[pid] = ts
+	t.diffTS[pid] = 0
+	t.reverseBase[ppn] = pid
+	t.ver[pid]++
+	t.mu.Unlock()
+	return old
+}
+
+// relocateBase moves pid's base page mapping from its current PPN to dst
+// during garbage collection. The creation time stamp is deliberately
+// unchanged: relocation copies content, it does not make it newer.
+// Caller holds the flash lock.
+func (t *mapTable) relocateBase(pid uint32, dst flash.PPN) {
+	t.mu.Lock()
+	delete(t.reverseBase, t.ppmt[pid].base)
+	t.ppmt[pid].base = dst
+	t.reverseBase[dst] = pid
+	t.ver[pid]++
+	t.mu.Unlock()
+}
+
+// setDiffPage commits one flushed differential: pid's differential page
+// becomes ppn with time stamp ts, ppn's valid count grows, and the
+// previous differential page (if any) is returned for release. Caller
+// holds the flash lock.
+func (t *mapTable) setDiffPage(pid uint32, ppn flash.PPN, ts uint64) (old flash.PPN) {
+	t.mu.Lock()
+	old = t.ppmt[pid].dif
+	t.ppmt[pid].dif = ppn
+	t.diffTS[pid] = ts
+	t.vdct[ppn]++
+	t.ver[pid]++
+	t.mu.Unlock()
+	return old
+}
+
+// repointDiff redirects pid's differential to a compaction target page
+// (same differential content and time stamp, new location). The old
+// page's count is not touched: compaction drops whole victim pages via
+// dropDiffPage. Caller holds the flash lock.
+func (t *mapTable) repointDiff(pid uint32, ppn flash.PPN) {
+	t.mu.Lock()
+	t.ppmt[pid].dif = ppn
+	t.vdct[ppn]++
+	t.ver[pid]++
+	t.mu.Unlock()
+}
+
+// decDiffCount implements decreaseValidDifferentialCount's bookkeeping
+// half (Figure 8): decrement dp's valid count, deleting the entry when it
+// reaches zero, and report whether the page just became obsolete. Caller
+// holds the flash lock.
+func (t *mapTable) decDiffCount(dp flash.PPN) (obsolete bool) {
+	t.mu.Lock()
+	t.vdct[dp]--
+	obsolete = t.vdct[dp] <= 0
+	if obsolete {
+		delete(t.vdct, dp)
+	}
+	t.mu.Unlock()
+	return obsolete
+}
+
+// diffCount returns dp's valid differential count (0 if absent). Caller
+// holds the flash lock.
+func (t *mapTable) diffCount(dp flash.PPN) int { return t.vdct[dp] }
+
+// dropDiffPage forgets a differential page wholesale (its survivors have
+// been compacted elsewhere and its block is about to be erased). Caller
+// holds the flash lock.
+func (t *mapTable) dropDiffPage(dp flash.PPN) {
+	t.mu.Lock()
+	delete(t.vdct, dp)
+	t.mu.Unlock()
+}
+
+// pidOfBase returns the pid whose base page lives at ppn, if any. Caller
+// holds the flash lock.
+func (t *mapTable) pidOfBase(ppn flash.PPN) (uint32, bool) {
+	pid, ok := t.reverseBase[ppn]
+	return pid, ok
+}

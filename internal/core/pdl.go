@@ -21,24 +21,40 @@
 //
 // # Concurrency model
 //
-// A Store is safe for concurrent use by multiple goroutines. The
-// differential write buffer is partitioned into Options.Shards independent
-// buffers; a logical page is hashed by pid onto one shard. Two locks
-// cooperate:
+// A Store is safe for concurrent use by multiple goroutines. State is
+// decomposed into purpose-built components, each with its own
+// synchronization, in a strict lock hierarchy (outer to inner):
 //
-//   - each shard has its own RWMutex serializing the write buffer and all
-//     writes to the pids it owns (so per-pid write order is well defined);
-//   - a coarse device mutex guards the emulated chip, the allocator
-//     (including garbage collection), and the global mapping tables
-//     (ppmt, baseTS, diffTS, vdct, reverseBase).
+//		shard lock  >  flash lock  >  mapTable lock
 //
-// The lock order is always shard lock before device lock, and the
-// relocation callback that runs inside garbage collection takes no shard
-// locks, so the hierarchy is deadlock free. The expensive CPU work of the
-// write path — computing the differential by comparing two page images —
-// runs outside the device lock, which is what lets writers on different
-// shards proceed in parallel. Scratch page buffers come from a sync.Pool
-// so concurrent operations never share buffer state.
+//	  - each of the Options.Shards write-buffer shards has its own RWMutex
+//	    serializing the buffered differentials of the pids it owns (so
+//	    per-pid write order is well defined);
+//	  - the flash lock (flashMu) serializes mutations of flash state:
+//	    allocation, page programs with their mapping-table commits, and
+//	    garbage collection. It is held per program — or, in background-GC
+//	    mode, per collected victim — never across a whole collection cycle;
+//	  - the mapTable owns the mapping state (ppmt, time stamps, vdct,
+//	    reverseBase) behind its own RWMutex plus a per-pid version counter.
+//
+// Reads take NO store-level lock over the device: ReadPage snapshots the
+// pid's mapping entry with its version, reads the flash pages it points
+// at (devices allow concurrent reads), and retries in the rare case the
+// version moved — which only garbage-collection relocation or a flush of
+// the same pid can cause. Garbage collection always repoints the mapTable
+// before erasing a victim block, so a passing version check proves the
+// bytes read belonged to the looked-up entry. The expensive CPU work of
+// the write path — computing the differential by comparing two page
+// images — likewise runs outside every store-level lock.
+//
+// With Options.BackgroundGC, victim selection and relocation run
+// incrementally on a background goroutine (see internal/gc): foreground
+// reflections allocate through a non-collecting fast path and only fall
+// back to the paper's synchronous collection when the erased-block
+// reserve itself is reached (backpressure). With BackgroundGC off, every
+// allocation collects synchronously, preserving the paper's semantics
+// exactly. Scratch page buffers come from a sync.Pool so concurrent
+// operations never share buffer state.
 package core
 
 import (
@@ -49,6 +65,7 @@ import (
 	"pdl/internal/diff"
 	"pdl/internal/flash"
 	"pdl/internal/ftl"
+	"pdl/internal/gc"
 )
 
 // Options configures a PDL store.
@@ -81,6 +98,23 @@ type Options struct {
 	// at-most-one-page-writing principle holds per reflection regardless
 	// of the shard count.
 	Shards int
+	// BackgroundGC moves garbage collection off the write path: a
+	// background goroutine collects victim blocks incrementally whenever
+	// the erased-block pool drains to GCLowWater, and foreground
+	// reflections only collect synchronously if the pool hits the reserve
+	// floor first (backpressure). Off by default, which preserves the
+	// paper's stop-the-world foreground cleaning. Stores with background
+	// GC should be Closed when no longer needed.
+	BackgroundGC bool
+	// GCLowWater is the free-block watermark (in erased blocks) that
+	// triggers background collection. It must exceed ReserveBlocks; zero
+	// means ReserveBlocks + 2. Ignored unless BackgroundGC is set.
+	GCLowWater int
+	// RecoveryWorkers is the number of goroutines Recover fans the
+	// spare-area scan over. Zero means one per GOMAXPROCS; 1 forces the
+	// paper's serial single-scan. The recovered state is identical for
+	// every worker count.
+	RecoveryWorkers int
 }
 
 // pageEntry is one row of the physical page mapping table: the pair
@@ -109,32 +143,34 @@ type Store struct {
 	numPages int
 	maxDiff  int
 
-	// devMu is the coarse device lock: it guards the flash device, the
-	// allocator (and therefore garbage collection), the mapping tables
-	// below, and the telemetry counters.
-	devMu sync.Mutex
-	// ppmt is the physical page mapping table: pid -> <base, differential>.
-	ppmt []pageEntry
-	// baseTS caches the creation time stamp of each pid's base page, and
-	// diffTS of its newest differential; crash recovery rebuilds both.
-	baseTS []uint64
-	diffTS []uint64
-	// reverseBase maps a base page's PPN back to its pid for GC.
-	reverseBase map[flash.PPN]uint32
-	// vdct is the valid differential count table: differential page ->
-	// number of valid differentials it holds.
-	vdct map[flash.PPN]int
-	tel  Telemetry
+	// flashMu is the flash lock: it serializes mutations of flash state —
+	// the allocator, programs and erases with their mapping commits,
+	// garbage collection — and the telemetry counters. Reads do not take
+	// it; see the package comment.
+	flashMu sync.Mutex
+	// mt owns the mapping tables with their own synchronization.
+	mt  *mapTable
+	tel Telemetry
+
+	// gcEng is the background garbage-collection engine (nil in
+	// synchronous mode), and gcLow its trigger watermark. lastKickFree
+	// (guarded by flashMu, like every allocation) remembers the free-block
+	// level of the last kick so a pool parked at one level — e.g. nothing
+	// reclaimable near capacity — is not re-kicked on every single page
+	// allocation; -1 means the pool was last seen healthy.
+	gcEng        *gc.Engine
+	gcLow        int
+	lastKickFree int
 
 	// shards partitions the differential write buffer by pid hash.
 	shards []shard
 	// ts is the creation time stamp counter (atomic: writers on different
-	// shards stamp differentials without holding the device lock).
+	// shards stamp differentials without holding the flash lock).
 	ts atomic.Uint64
 	// pages pools scratch page buffers for the read and write paths.
 	pages sync.Pool
 	// spareBuf is the reusable spare-header scratch; every encode happens
-	// under the device lock, so one buffer per store suffices.
+	// under the flash lock, so one buffer per store suffices.
 	spareBuf []byte
 	// ckpt is the checkpoint region manager (nil unless enabled).
 	ckpt *ckptRegion
@@ -153,6 +189,10 @@ type Telemetry struct {
 	DiffBytesWritten int64
 	// DiffsWritten is the number of differentials in flushed pages.
 	DiffsWritten int64
+	// SyncGCFallbacks counts foreground allocations that hit the reserve
+	// floor and had to collect synchronously despite background GC — the
+	// backpressure events background mode is meant to make rare.
+	SyncGCFallbacks int64
 }
 
 var _ ftl.Method = (*Store)(nil)
@@ -192,23 +232,16 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", numShards)
 	}
 	s := &Store{
-		dev:         dev,
-		params:      p,
-		alloc:       ftl.NewAllocator(dev, reserve),
-		numPages:    numPages,
-		maxDiff:     maxDiff,
-		ppmt:        make([]pageEntry, numPages),
-		baseTS:      make([]uint64, numPages),
-		diffTS:      make([]uint64, numPages),
-		reverseBase: make(map[flash.PPN]uint32, numPages),
-		vdct:        make(map[flash.PPN]int),
-		shards:      make([]shard, numShards),
-		spareBuf:    make([]byte, p.SpareSize),
+		dev:      dev,
+		params:   p,
+		alloc:    ftl.NewAllocator(dev, reserve),
+		numPages: numPages,
+		maxDiff:  maxDiff,
+		mt:       newMapTable(numPages),
+		shards:   make([]shard, numShards),
+		spareBuf: make([]byte, p.SpareSize),
 	}
 	s.pages.New = func() any { return make([]byte, p.DataSize) }
-	for i := range s.ppmt {
-		s.ppmt[i] = pageEntry{base: flash.NilPPN, dif: flash.NilPPN}
-	}
 	for i := range s.shards {
 		s.shards[i].dwb.init(p.DataSize)
 	}
@@ -221,7 +254,58 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	if opts.BackgroundGC {
+		low := opts.GCLowWater
+		if low == 0 {
+			low = reserve + 2
+		}
+		if low <= reserve {
+			return nil, fmt.Errorf("core: GCLowWater %d must exceed ReserveBlocks %d", low, reserve)
+		}
+		s.gcLow = low
+		s.lastKickFree = -1
+		s.gcEng = gc.New(storeCollector{s}, gc.Config{LowWater: low, HighWater: low + 2})
+		s.gcEng.Start()
+	}
 	return s, nil
+}
+
+// storeCollector adapts a Store to the background engine's Collector
+// interface: one collection increment takes the flash lock for exactly one
+// victim block, so foreground reflections interleave between increments.
+type storeCollector struct{ s *Store }
+
+func (c storeCollector) CollectOne() (bool, error) {
+	c.s.flashMu.Lock()
+	defer c.s.flashMu.Unlock()
+	return c.s.alloc.CollectOnce()
+}
+
+func (c storeCollector) FreeBlocks() int { return c.s.alloc.FreeBlockCount() }
+
+// Close stops the background garbage-collection goroutine (if any) and
+// returns the first error it encountered. It does not close the
+// underlying device, which the caller owns. Close is idempotent, and the
+// store remains usable afterwards: allocations simply collect
+// synchronously again.
+func (s *Store) Close() error {
+	if s.gcEng == nil {
+		return nil
+	}
+	return s.gcEng.Stop()
+}
+
+// BackgroundGC reports whether the store was opened with a background
+// garbage collector.
+func (s *Store) BackgroundGC() bool { return s.gcEng != nil }
+
+// BackgroundGCStats returns what the background collector has done (zero
+// in synchronous mode).
+func (s *Store) BackgroundGCStats() gc.Stats {
+	if s.gcEng == nil {
+		return gc.Stats{}
+	}
+	return s.gcEng.Stats()
 }
 
 // Name implements ftl.Method, e.g. "PDL(256B)".
@@ -273,6 +357,37 @@ func (s *Store) getPage() []byte { return s.pages.Get().([]byte) }
 // putPage returns a scratch page buffer to the pool.
 func (s *Store) putPage(b []byte) { s.pages.Put(b) } //nolint:staticcheck // []byte header alloc is fine here
 
+// allocPage hands out the next flash page for a program under the flash
+// lock. In synchronous mode it is the paper's Alloc (collecting inline
+// whenever the reserve would be violated); in background-GC mode it takes
+// the non-collecting fast path, nudges the engine when the pool sinks to
+// the watermark, and only collects on this goroutine if the reserve floor
+// itself is reached — the backpressure case.
+func (s *Store) allocPage() (flash.PPN, error) {
+	if s.gcEng == nil {
+		return s.alloc.Alloc()
+	}
+	ppn, ok, err := s.alloc.TryAlloc()
+	if ok || err != nil {
+		// Kick at the watermark, but at most once per free-block level:
+		// the level only moves when a block is consumed or reclaimed, so a
+		// pool parked low with nothing reclaimable does not cost a wakeup
+		// (and an O(blocks) victim scan) on every page allocation.
+		if free := s.alloc.FreeBlockCount(); free <= s.gcLow {
+			if free != s.lastKickFree {
+				s.lastKickFree = free
+				s.gcEng.Kick()
+			}
+		} else {
+			s.lastKickFree = -1
+		}
+		return ppn, err
+	}
+	s.gcEng.Kick()
+	s.tel.SyncGCFallbacks++
+	return s.alloc.Alloc()
+}
+
 // WritePage implements ftl.Method with the PDL_Writing algorithm
 // (Figure 7): read the base page, create the differential by comparison,
 // and store the differential in the differential write buffer, spilling to
@@ -288,29 +403,39 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
-	// Step 1: read the base page. The device lock covers the mapping
-	// lookup and the flash read so garbage collection cannot move or erase
-	// the base page mid-read.
+	// Step 1: read the base page, without the flash lock. The versioned
+	// snapshot detects a concurrent garbage-collection relocation of the
+	// base page (the only mutation another goroutine can make to this
+	// pid's entry while we hold its shard lock) and retries; relocation
+	// preserves content, so a stable read is always the current image.
 	base := s.getPage()
 	defer s.putPage(base)
-	s.devMu.Lock()
-	e := s.ppmt[pid]
-	if e.base == flash.NilPPN {
-		// Initial load: no base page exists yet, so there is nothing to
-		// diff against; the logical page itself becomes the base page.
-		err := s.writeNewBasePage(pid, data)
-		s.devMu.Unlock()
-		return err
-	}
-	err := s.dev.ReadData(e.base, base)
-	s.devMu.Unlock()
-	if err != nil {
-		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+	var e pageEntry
+	for {
+		var v uint64
+		e, v = s.mt.snapshot(pid)
+		if e.base == flash.NilPPN {
+			// Initial load: no base page exists yet, so there is nothing to
+			// diff against; the logical page itself becomes the base page.
+			// Only the shard-lock holder creates a pid's base page, so the
+			// nil observation cannot be stale.
+			s.flashMu.Lock()
+			err := s.writeNewBasePage(pid, data)
+			s.flashMu.Unlock()
+			return err
+		}
+		err := s.dev.ReadData(e.base, base)
+		if !s.mt.stable(pid, v) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+		}
+		break
 	}
 
 	// Step 2: create the differential. This is the expensive comparison of
-	// two page images; it runs outside the device lock. (GC may relocate
-	// the base page concurrently, but relocation preserves its content.)
+	// two page images; it runs outside every store-level lock.
 	d, err := diff.Compute(pid, s.nextTS(), base, data)
 	if err != nil {
 		return fmt.Errorf("core: computing differential of pid %d: %w", pid, err)
@@ -322,7 +447,9 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		// The page is byte-identical to its base and no differential page
 		// exists on flash: the write is a no-op. (If a differential page
 		// does exist, the empty differential must still be written so its
-		// newer time stamp supersedes the stale one durably.)
+		// newer time stamp supersedes the stale one durably. GC never
+		// creates or destroys a pid's differential linkage — it only moves
+		// it — so the nil observation holds under the shard lock.)
 		return nil
 	}
 	size := d.EncodedSize()
@@ -335,9 +462,9 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		}
 		sh.dwb.add(d)
 	default: // Case 3
-		s.devMu.Lock()
+		s.flashMu.Lock()
 		err := s.writeNewBasePage(pid, data)
-		s.devMu.Unlock()
+		s.flashMu.Unlock()
 		return err
 	}
 	return nil
@@ -345,7 +472,10 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 
 // ReadPage implements ftl.Method with the PDL_Reading algorithm (Figure 9):
 // read the base page, find the differential (write buffer first, then the
-// differential page), and merge.
+// differential page), and merge. The whole read path runs without the
+// flash lock: concurrent readers proceed in parallel on the device, and a
+// racing garbage-collection relocation is detected by the mapping
+// version and retried.
 func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	if err := ftl.CheckPID(pid, s.numPages); err != nil {
 		return err
@@ -357,42 +487,45 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 
-	s.devMu.Lock()
-	e := s.ppmt[pid]
-	if e.base == flash.NilPPN {
-		s.devMu.Unlock()
-		return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
-	}
-	// Step 1: read the base page.
-	if err := s.dev.ReadData(e.base, buf); err != nil {
-		s.devMu.Unlock()
-		return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
-	}
-	// Step 2: find the differential.
-	if d, ok := sh.dwb.get(pid); ok {
-		// The differential still resides in the write buffer. The shard
-		// read lock keeps it alive while we merge outside the device lock.
-		s.devMu.Unlock()
+	for {
+		e, v := s.mt.snapshot(pid)
+		if e.base == flash.NilPPN {
+			return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
+		}
+		// Step 1: read the base page.
+		err := s.dev.ReadData(e.base, buf)
+		if !s.mt.stable(pid, v) {
+			continue // relocated mid-read; retry on the new mapping
+		}
+		if err != nil {
+			return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+		}
+		// Step 2: find the differential. The shard read lock keeps the
+		// write buffer stable (flushes take the shard lock exclusively).
+		if d, ok := sh.dwb.get(pid); ok {
+			return d.Apply(buf)
+		}
+		if e.dif == flash.NilPPN {
+			return nil // no differential page; the base page is current
+		}
+		scratch := s.getPage()
+		err = s.dev.ReadData(e.dif, scratch)
+		if !s.mt.stable(pid, v) {
+			s.putPage(scratch)
+			continue // compacted mid-read; retry (base may have moved too)
+		}
+		if err != nil {
+			s.putPage(scratch)
+			return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
+		}
+		d, ok := findDifferential(scratch, pid)
+		s.putPage(scratch) // decoded ranges are copies; the scratch can go back
+		if !ok {
+			return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
+		}
+		// Step 3: merge the base page with the differential.
 		return d.Apply(buf)
 	}
-	if e.dif == flash.NilPPN {
-		s.devMu.Unlock()
-		return nil // no differential page; the base page is current
-	}
-	scratch := s.getPage()
-	err := s.dev.ReadData(e.dif, scratch)
-	s.devMu.Unlock()
-	if err != nil {
-		s.putPage(scratch)
-		return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
-	}
-	d, ok := findDifferential(scratch, pid)
-	s.putPage(scratch) // decoded ranges are copies; the scratch can go back
-	if !ok {
-		return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
-	}
-	// Step 3: merge the base page with the differential.
-	return d.Apply(buf)
 }
 
 // Flush implements ftl.Method: it writes every shard's differential write
@@ -431,9 +564,9 @@ func findDifferential(pageData []byte, pid uint32) (diff.Differential, bool) {
 // writeNewBasePage implements the writingNewBasePage procedure (Figure 8):
 // the logical page itself is written into a newly allocated base page, the
 // old base page is set obsolete, and any old differential is released.
-// The caller holds the device lock (and the pid's shard lock).
+// The caller holds the flash lock (and the pid's shard lock).
 func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
-	q, err := s.alloc.Alloc()
+	q, err := s.allocPage()
 	if err != nil {
 		return err
 	}
@@ -444,45 +577,40 @@ func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
 		return fmt.Errorf("core: writing base page of pid %d: %w", pid, err)
 	}
 	s.tel.NewBasePages++
-	e := s.ppmt[pid]
-	if e.base != flash.NilPPN {
-		delete(s.reverseBase, e.base)
-		if err := s.alloc.MarkObsolete(e.base); err != nil {
+	old := s.mt.setBasePage(pid, q, ts)
+	if old.base != flash.NilPPN {
+		if err := s.alloc.MarkObsolete(old.base); err != nil {
 			return err
 		}
 	}
-	if e.dif != flash.NilPPN {
-		if err := s.decreaseValidDifferentialCount(e.dif); err != nil {
+	if old.dif != flash.NilPPN {
+		if err := s.releaseDiffPage(old.dif); err != nil {
 			return err
 		}
 	}
-	s.ppmt[pid] = pageEntry{base: q, dif: flash.NilPPN}
-	s.baseTS[pid] = ts
-	s.diffTS[pid] = 0
-	s.reverseBase[q] = pid
 	return nil
 }
 
-// flushShard acquires the device lock and writes one shard's buffer out.
+// flushShard acquires the flash lock and writes one shard's buffer out.
 // The caller holds the shard lock.
 func (s *Store) flushShard(sh *shard) error {
 	if sh.dwb.empty() {
 		return nil
 	}
-	s.devMu.Lock()
-	defer s.devMu.Unlock()
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
 	return s.flushShardLocked(sh)
 }
 
 // flushShardLocked implements the writingDifferentialWriteBuffer procedure
 // (Figure 8) for one shard: the buffer's contents become a new differential
 // page, and the mapping and valid-count tables are updated for every
-// differential in it. The caller holds the shard lock and the device lock.
+// differential in it. The caller holds the shard lock and the flash lock.
 func (s *Store) flushShardLocked(sh *shard) error {
 	if sh.dwb.empty() {
 		return nil
 	}
-	q, err := s.alloc.Alloc()
+	q, err := s.allocPage()
 	if err != nil {
 		return err
 	}
@@ -495,29 +623,25 @@ func (s *Store) flushShardLocked(sh *shard) error {
 	s.tel.DiffsWritten += int64(len(sh.dwb.diffs))
 	s.tel.DiffBytesWritten += int64(sh.dwb.used)
 	for _, d := range sh.dwb.diffs {
-		old := s.ppmt[d.PID].dif
+		old := s.mt.setDiffPage(d.PID, q, d.TS)
 		if old != flash.NilPPN {
-			if err := s.decreaseValidDifferentialCount(old); err != nil {
+			if err := s.releaseDiffPage(old); err != nil {
 				return err
 			}
 		}
-		s.ppmt[d.PID].dif = q
-		s.diffTS[d.PID] = d.TS
-		s.vdct[q]++
 	}
 	sh.dwb.clear()
 	return nil
 }
 
-// decreaseValidDifferentialCount implements the procedure of Figure 8:
+// releaseDiffPage implements decreaseValidDifferentialCount of Figure 8:
 // decrement the valid differential count of dp and set the page obsolete
-// when it reaches zero. The caller holds the device lock.
-func (s *Store) decreaseValidDifferentialCount(dp flash.PPN) error {
-	s.vdct[dp]--
-	if s.vdct[dp] > 0 {
+// when it reaches zero (the count entry itself is deleted at zero so the
+// table only ever holds live pages). The caller holds the flash lock.
+func (s *Store) releaseDiffPage(dp flash.PPN) error {
+	if !s.mt.decDiffCount(dp) {
 		return nil
 	}
-	delete(s.vdct, dp)
 	if err := s.alloc.MarkObsolete(dp); err != nil {
 		return fmt.Errorf("core: obsoleting differential page %d: %w", dp, err)
 	}
@@ -562,14 +686,14 @@ func (s *Store) bufferedDifferential(pid uint32) (diff.Differential, bool) {
 // ValidDifferentialPages returns the number of differential pages holding
 // at least one valid differential (for tests and tooling).
 func (s *Store) ValidDifferentialPages() int {
-	s.devMu.Lock()
-	defer s.devMu.Unlock()
-	return len(s.vdct)
+	s.mt.mu.RLock()
+	defer s.mt.mu.RUnlock()
+	return len(s.mt.vdct)
 }
 
 // Telemetry returns the store's internal event counters.
 func (s *Store) Telemetry() Telemetry {
-	s.devMu.Lock()
-	defer s.devMu.Unlock()
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
 	return s.tel
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"pdl/internal/diff"
 	"pdl/internal/flash"
@@ -16,6 +18,16 @@ import (
 // versions with the creation time stamps, and sets the useless pages it
 // discovers (stale base pages, differential pages with no valid
 // differential) obsolete.
+//
+// The scan is embarrassingly parallel over blocks — each physical page is
+// judged by its own spare header and contents, and arbitration is a pure
+// merge by time stamp — so Recover fans it out across
+// Options.RecoveryWorkers goroutines, each scanning a contiguous block
+// range into a private candidate table; the tables are then merged in
+// block order with exactly the serial algorithm's arbitration rule
+// (greatest time stamp wins, first seen — i.e. lowest physical page —
+// wins ties). The recovered state is therefore identical for every
+// worker count, including the serial scan (RecoveryWorkers = 1).
 //
 // The recovered state reflects exactly the data that had been written out
 // to flash; differentials that were still in the differential write buffer
@@ -33,99 +45,75 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	}
 	p := dev.Params()
 
-	// Scan every physical page's spare area (and the data area of
-	// differential pages and of suspicious free pages), recording what we
-	// find; no decisions yet.
-	type diffLoc struct {
-		d   diff.Differential
-		ppn flash.PPN
+	workers := opts.RecoveryWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	type pageInfo struct {
-		hdr  ftl.Header
-		torn bool // spare erased but data programmed (torn base write)
+	if workers > p.NumBlocks {
+		workers = p.NumBlocks
 	}
-	total := p.NumPages()
-	infos := make([]pageInfo, total)
-	var diffs []diffLoc
-	spare := make([]byte, p.SpareSize)
-	data := make([]byte, p.DataSize)
-	for ppn := 0; ppn < total; ppn++ {
-		if dev.IsBad(p.BlockOf(flash.PPN(ppn))) {
-			infos[ppn] = pageInfo{hdr: ftl.Header{Type: ftl.TypeFree}}
-			continue
-		}
-		if err := dev.ReadSpare(flash.PPN(ppn), spare); err != nil {
-			return nil, fmt.Errorf("core: recovery scan of ppn %d: %w", ppn, err)
-		}
-		h := ftl.DecodeHeader(spare)
-		infos[ppn] = pageInfo{hdr: h}
-		if h.Obsolete {
-			continue
-		}
-		switch h.Type {
-		case ftl.TypeFree:
-			// A free-looking page may hide a torn program whose spare
-			// never made it; verify the data area is still erased so the
-			// allocator never hands out a dirty page.
-			if err := dev.ReadData(flash.PPN(ppn), data); err != nil {
-				return nil, err
-			}
-			if !allErased(data) {
-				infos[ppn].torn = true
-			}
-		case ftl.TypeDiff:
-			if err := dev.ReadData(flash.PPN(ppn), data); err != nil {
-				return nil, err
-			}
-			for _, d := range diff.DecodeAll(data) {
-				if int(d.PID) < numPages {
-					diffs = append(diffs, diffLoc{d: d, ppn: flash.PPN(ppn)})
-				}
-			}
+
+	// Phase 1: scan every physical page's spare area (and the data area of
+	// differential pages and of suspicious free pages), one worker per
+	// block range. Workers write disjoint slices of infos and reduce what
+	// they see into private per-pid candidate tables; no decisions about
+	// winners are taken yet.
+	infos := make([]pageInfo, p.NumPages())
+	scans := make([]scanResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * p.NumBlocks / workers
+		hi := (w + 1) * p.NumBlocks / workers
+		wg.Add(1)
+		go func(res *scanResult, lo, hi int) {
+			defer wg.Done()
+			res.err = scanBlockRange(dev, p, numPages, lo, hi, infos, res)
+		}(&scans[w], lo, hi)
+	}
+	wg.Wait()
+	for w := range scans {
+		if scans[w].err != nil {
+			return nil, scans[w].err
 		}
 	}
 
-	// Resolve winners in memory. For each pid: the base page with the
-	// greatest time stamp wins (first seen wins ties, which only arise
-	// from a crash between a garbage-collection copy and the victim's
-	// erase, where both copies are identical); the differential with the
-	// greatest time stamp newer than the winning base page wins.
-	for ppn := range infos {
-		h := infos[ppn].hdr
-		if h.Obsolete || h.Type != ftl.TypeBase || int(h.PID) >= numPages {
-			continue
-		}
-		pid := h.PID
-		if s.ppmt[pid].base == flash.NilPPN || h.TS > s.baseTS[pid] {
-			s.ppmt[pid].base = flash.PPN(ppn)
-			s.baseTS[pid] = h.TS
+	// Phase 2: merge the per-worker tables in block order, which preserves
+	// the serial scan's arbitration exactly. Base pages first — a
+	// differential can only be judged against the final winning base.
+	for w := range scans {
+		for pid, c := range scans[w].bases {
+			if s.mt.ppmt[pid].base == flash.NilPPN || c.ts > s.mt.baseTS[pid] {
+				s.mt.ppmt[pid].base = c.ppn
+				s.mt.baseTS[pid] = c.ts
+			}
 		}
 	}
-	for _, dl := range diffs {
-		pid := dl.d.PID
-		if s.ppmt[pid].base == flash.NilPPN {
-			continue // differential without a base page cannot be applied
-		}
-		if dl.d.TS <= s.baseTS[pid] {
-			continue // the base page is newer (Fig. 11: ts(d) > ts(bp))
-		}
-		if s.ppmt[pid].dif == flash.NilPPN || dl.d.TS > s.diffTS[pid] {
-			s.ppmt[pid].dif = dl.ppn
-			s.diffTS[pid] = dl.d.TS
+	for w := range scans {
+		for pid, c := range scans[w].diffs {
+			if s.mt.ppmt[pid].base == flash.NilPPN {
+				continue // differential without a base page cannot be applied
+			}
+			if c.ts <= s.mt.baseTS[pid] {
+				continue // the base page is newer (Fig. 11: ts(d) > ts(bp))
+			}
+			if s.mt.ppmt[pid].dif == flash.NilPPN || c.ts > s.mt.diffTS[pid] {
+				s.mt.ppmt[pid].dif = c.ppn
+				s.mt.diffTS[pid] = c.ts
+			}
 		}
 	}
 	maxTS := s.ts.Load()
-	for pid := range s.ppmt {
-		if s.ppmt[pid].base != flash.NilPPN {
-			s.reverseBase[s.ppmt[pid].base] = uint32(pid)
-			if s.baseTS[pid] > maxTS {
-				maxTS = s.baseTS[pid]
+	for pid := range s.mt.ppmt {
+		if s.mt.ppmt[pid].base != flash.NilPPN {
+			s.mt.reverseBase[s.mt.ppmt[pid].base] = uint32(pid)
+			if s.mt.baseTS[pid] > maxTS {
+				maxTS = s.mt.baseTS[pid]
 			}
 		}
-		if s.ppmt[pid].dif != flash.NilPPN {
-			s.vdct[s.ppmt[pid].dif]++
-			if s.diffTS[pid] > maxTS {
-				maxTS = s.diffTS[pid]
+		if s.mt.ppmt[pid].dif != flash.NilPPN {
+			s.mt.vdct[s.mt.ppmt[pid].dif]++
+			if s.mt.diffTS[pid] > maxTS {
+				maxTS = s.mt.diffTS[pid]
 			}
 		}
 	}
@@ -143,9 +131,9 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		useless := false
 		switch h.Type {
 		case ftl.TypeBase:
-			useless = int(h.PID) >= numPages || s.ppmt[h.PID].base != flash.PPN(ppn)
+			useless = int(h.PID) >= numPages || s.mt.ppmt[h.PID].base != flash.PPN(ppn)
 		case ftl.TypeDiff:
-			useless = s.vdct[flash.PPN(ppn)] == 0
+			useless = s.mt.vdct[flash.PPN(ppn)] == 0
 		case ftl.TypeFree:
 			useless = infos[ppn].torn
 		case ftl.TypeCheckpoint:
@@ -217,6 +205,92 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		}
 	}
 	return s, nil
+}
+
+// pageInfo is what the recovery scan learned about one physical page.
+type pageInfo struct {
+	hdr  ftl.Header
+	torn bool // spare erased but data programmed (torn base write)
+}
+
+// candidate is one page competing to be a pid's base page or newest
+// differential.
+type candidate struct {
+	ppn flash.PPN
+	ts  uint64
+}
+
+// scanResult is one worker's private reduction of its block range: the
+// best base-page and differential candidate per pid it encountered, under
+// the same arbitration rule the merge applies globally (greatest time
+// stamp wins, first seen wins ties — workers scan ascending physical
+// pages, so first seen is the lowest PPN).
+type scanResult struct {
+	bases map[uint32]candidate
+	diffs map[uint32]candidate
+	err   error
+}
+
+// scanBlockRange reads blocks [lo, hi) for recovery: every page's spare
+// header lands in infos (indices disjoint between workers), and the
+// worker's candidate tables collect base pages and decoded differentials.
+// Each worker owns its buffers, and devices serve concurrent reads.
+func scanBlockRange(dev flash.Device, p flash.Params, numPages, lo, hi int, infos []pageInfo, res *scanResult) error {
+	res.bases = make(map[uint32]candidate)
+	res.diffs = make(map[uint32]candidate)
+	spare := make([]byte, p.SpareSize)
+	data := make([]byte, p.DataSize)
+	for blk := lo; blk < hi; blk++ {
+		if dev.IsBad(blk) {
+			for i := 0; i < p.PagesPerBlock; i++ {
+				infos[blk*p.PagesPerBlock+i] = pageInfo{hdr: ftl.Header{Type: ftl.TypeFree}}
+			}
+			continue
+		}
+		for i := 0; i < p.PagesPerBlock; i++ {
+			ppn := flash.PPN(blk*p.PagesPerBlock + i)
+			if err := dev.ReadSpare(ppn, spare); err != nil {
+				return fmt.Errorf("core: recovery scan of ppn %d: %w", ppn, err)
+			}
+			h := ftl.DecodeHeader(spare)
+			infos[ppn] = pageInfo{hdr: h}
+			if h.Obsolete {
+				continue
+			}
+			switch h.Type {
+			case ftl.TypeFree:
+				// A free-looking page may hide a torn program whose spare
+				// never made it; verify the data area is still erased so the
+				// allocator never hands out a dirty page.
+				if err := dev.ReadData(ppn, data); err != nil {
+					return err
+				}
+				if !allErased(data) {
+					infos[ppn].torn = true
+				}
+			case ftl.TypeBase:
+				if int(h.PID) >= numPages {
+					continue
+				}
+				if c, ok := res.bases[h.PID]; !ok || h.TS > c.ts {
+					res.bases[h.PID] = candidate{ppn: ppn, ts: h.TS}
+				}
+			case ftl.TypeDiff:
+				if err := dev.ReadData(ppn, data); err != nil {
+					return err
+				}
+				for _, d := range diff.DecodeAll(data) {
+					if int(d.PID) >= numPages {
+						continue
+					}
+					if c, ok := res.diffs[d.PID]; !ok || d.TS > c.ts {
+						res.diffs[d.PID] = candidate{ppn: ppn, ts: d.TS}
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func allErased(b []byte) bool {

@@ -151,9 +151,9 @@ func TestRecoverIdempotent(t *testing.T) {
 
 func snapshotMapping(s *Store) [32]byte {
 	h := sha256.New()
-	for pid := range s.ppmt {
+	for pid := range s.mt.ppmt {
 		var b [8]byte
-		e := s.ppmt[pid]
+		e := s.mt.ppmt[pid]
 		b[0] = byte(e.base)
 		b[1] = byte(e.base >> 8)
 		b[2] = byte(e.base >> 16)

@@ -3,6 +3,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Common errors returned by chip operations.
@@ -53,12 +54,17 @@ type block struct {
 	bad        bool
 }
 
-// Chip is an emulated NAND flash chip. It is not safe for concurrent use;
-// flash chips serialize operations at the bus, and all page-update methods
-// in this module drive a chip from a single goroutine (or under their own
-// lock).
+// Chip is an emulated NAND flash chip. Reads may run concurrently with
+// each other from any number of goroutines; mutations (program, erase,
+// bad-block marking) are exclusive, like the single program/erase engine
+// of a real chip behind a multi-channel read path. Callers still
+// serialize *logical* conflicts themselves — the chip only guarantees
+// that no operation observes another mid-flight.
 type Chip struct {
 	params Params
+	// mu is the bus lock: read operations share it, mutating operations
+	// hold it exclusively.
+	mu     sync.RWMutex
 	blocks []block
 	stats  Counters
 
@@ -122,6 +128,8 @@ func (c *Chip) PageOf(ppn PPN) int { return c.params.PageOf(ppn) }
 // methods that scan spare areas during recovery pay the same cost the paper
 // charges for its recovery scan).
 func (c *Chip) Read(ppn PPN, data, spare []byte) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	blk, pg, err := c.addr(ppn)
 	if err != nil {
 		return err
@@ -158,6 +166,8 @@ func (c *Chip) ReadSpare(ppn PPN, spare []byte) error { return c.Read(ppn, nil, 
 // with ErrProgramConflict and nothing is changed (real chips would silently
 // store the AND; failing loudly turns method bugs into test failures).
 func (c *Chip) Program(ppn PPN, data, spare []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	blk, pg, err := c.addr(ppn)
 	if err != nil {
 		return err
@@ -203,6 +213,8 @@ func (c *Chip) Program(ppn PPN, data, spare []byte) error {
 // area of ppn, charging Twrite. In-page logging uses this to append log
 // sectors to a log page. The same AND semantics apply.
 func (c *Chip) ProgramPartial(ppn PPN, off int, chunk []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	blk, pg, err := c.addr(ppn)
 	if err != nil {
 		return err
@@ -241,6 +253,8 @@ func (c *Chip) ProgramPartial(ppn PPN, off int, chunk []byte) error {
 // conflict check: a 1 bit in spare means "leave this bit alone", which is
 // how drivers flip individual flags in an already-written spare area.
 func (c *Chip) ProgramSpare(ppn PPN, spare []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	blk, pg, err := c.addr(ppn)
 	if err != nil {
 		return err
@@ -272,6 +286,8 @@ func (c *Chip) ProgramSpare(ppn PPN, spare []byte) error {
 // erase limit does not fail (real chips degrade probabilistically), but
 // Stats exposes wear so callers can decide.
 func (c *Chip) Erase(blk int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if blk < 0 || blk >= c.params.NumBlocks {
 		return fmt.Errorf("%w: block %d", ErrOutOfRange, blk)
 	}
@@ -311,6 +327,8 @@ func (c *Chip) eraseNow(b *block) {
 // ErrBadBlock. Bad-block management is orthogonal to page-update methods
 // (paper footnote 4) but part of a credible flash substrate.
 func (c *Chip) MarkBad(blk int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if blk < 0 || blk >= c.params.NumBlocks {
 		return fmt.Errorf("%w: block %d", ErrOutOfRange, blk)
 	}
@@ -319,16 +337,26 @@ func (c *Chip) MarkBad(blk int) error {
 }
 
 // IsBad reports whether blk is marked bad.
-func (c *Chip) IsBad(blk int) bool { return c.blocks[blk].bad }
+func (c *Chip) IsBad(blk int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[blk].bad
+}
 
 // EraseCount returns the number of erases blk has sustained.
-func (c *Chip) EraseCount(blk int) int { return c.blocks[blk].eraseCount }
+func (c *Chip) EraseCount(blk int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[blk].eraseCount
+}
 
 // Programmed reports whether the data area of ppn has been programmed
 // since the last erase of its block. It is a free (zero-cost) emulator
 // query intended for assertions and debugging, not for use on the methods'
 // hot paths: a real driver must track free pages itself.
 func (c *Chip) Programmed(ppn PPN) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	blk, pg, err := c.addr(ppn)
 	if err != nil {
 		return false
@@ -341,12 +369,18 @@ func (c *Chip) Programmed(ppn PPN) bool {
 // operation returns ErrPowerLoss and leaves a torn page behind. Pass a
 // negative n to cancel.
 func (c *Chip) SchedulePowerFailure(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.powerFailAfter = n
 	c.failed = false
 }
 
 // PowerFailed reports whether a scheduled power failure has fired.
-func (c *Chip) PowerFailed() bool { return c.failed }
+func (c *Chip) PowerFailed() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.failed
+}
 
 func (c *Chip) tickPowerFail() bool {
 	if c.powerFailAfter < 0 {

@@ -8,13 +8,22 @@ package flash
 // against this interface only, which is what lets a store built for the
 // emulator run unchanged over real (or file-backed) storage.
 //
-// Like a physical chip, a Device serializes operations at its bus: it is
-// not required to be safe for concurrent mutation, and the stores in this
-// module drive it from one goroutine or under their own device lock. The
-// one concurrency guarantee every implementation must provide is that
-// Stats may be called at any time, from any goroutine, while another
-// goroutine performs operations (monitoring reads race with the device
-// otherwise).
+// Every implementation must provide two concurrency guarantees:
+//
+//   - read operations (Read, ReadData, ReadSpare, IsBad, EraseCount,
+//     Stats, Wear) are safe to call concurrently with each other AND with
+//     any single in-flight mutation — a mutation and a read never observe
+//     each other mid-flight. This is what lets the PDL store serve reads
+//     and run its recovery scan on worker goroutines without holding any
+//     store-level lock over the device.
+//   - Stats may be called at any time, from any goroutine, while another
+//     goroutine performs operations.
+//
+// Mutations (Program*, Erase, MarkBad) are still serialized by the device
+// itself — like the single program/erase engine of a physical chip — but
+// callers remain responsible for *logical* write ordering (e.g. never
+// erasing a block whose pages a mapping table still references without
+// first repointing the table).
 type Device interface {
 	// Params returns the device geometry and timing.
 	Params() Params

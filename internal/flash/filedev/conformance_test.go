@@ -40,6 +40,22 @@ func TestPDLConformanceOnFileDevice(t *testing.T) {
 	})
 }
 
+func TestPDLBackgroundGCConformanceOnFileDevice(t *testing.T) {
+	ftltest.RunMethodSuiteOn(t, fileDevice, func(dev flash.Device, numPages int) (ftl.Method, error) {
+		s, err := core.New(dev, numPages, core.Options{
+			MaxDifferentialSize: 128,
+			ReserveBlocks:       2,
+			Shards:              4,
+			BackgroundGC:        true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Cleanup(func() { s.Close() })
+		return s, nil
+	})
+}
+
 func TestOPUConformanceOnFileDevice(t *testing.T) {
 	ftltest.RunMethodSuiteOn(t, fileDevice, func(dev flash.Device, numPages int) (ftl.Method, error) {
 		return opu.New(dev, numPages, 2)

@@ -104,9 +104,11 @@ const (
 	pageMetaSize  = 4  // sparePrograms u8, reserved
 )
 
-// Device is a persistent flash.Device backed by one file.
+// Device is a persistent flash.Device backed by one file. Reads may run
+// concurrently (they share the lock and use pooled scratch buffers over
+// pread); mutations are exclusive.
 type Device struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	f      *os.File
 	params flash.Params
 	policy SyncPolicy
@@ -121,8 +123,12 @@ type Device struct {
 	pagesOff    int64
 	recordSize  int64
 
-	// scratch holds one stored-domain page record during read-modify-write.
+	// scratch holds one stored-domain page record during read-modify-write;
+	// only mutating operations (which hold mu exclusively) may use it.
 	scratch []byte
+	// readBufs pools stored-domain page records for Read, which runs
+	// shared-locked on any number of goroutines and so cannot touch scratch.
+	readBufs sync.Pool
 	// zeros is an erased (stored-domain) block image reused by Erase.
 	zeros []byte
 
@@ -207,6 +213,8 @@ func (d *Device) layout() {
 	d.bad = make([]bool, p.NumBlocks)
 	d.sparePrg = make([]uint8, p.NumPages())
 	d.scratch = make([]byte, d.recordSize)
+	recordSize := d.recordSize
+	d.readBufs.New = func() any { return make([]byte, recordSize) }
 	d.zeros = make([]byte, int64(p.PagesPerBlock)*d.recordSize)
 }
 
@@ -337,9 +345,13 @@ func (d *Device) addr(ppn flash.PPN) (int, error) {
 
 // Read implements flash.Device: the page record is read from the file and
 // complemented into the caller's buffers. Either buffer may be nil.
+// Reads hold the lock shared, so any number of them proceed in parallel
+// (ReadAt is a pread: position-independent and safe across goroutines);
+// each takes its record scratch from a pool instead of the device's
+// exclusive scratch.
 func (d *Device) Read(ppn flash.PPN, data, spare []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if _, err := d.addr(ppn); err != nil {
 		return err
 	}
@@ -350,14 +362,16 @@ func (d *Device) Read(ppn flash.PPN, data, spare []byte) error {
 	if spare != nil && len(spare) != p.SpareSize {
 		return fmt.Errorf("%w: spare len %d, want %d", flash.ErrBufSize, len(spare), p.SpareSize)
 	}
-	if _, err := d.f.ReadAt(d.scratch, d.recordOff(ppn)); err != nil {
+	rec := d.readBufs.Get().([]byte)
+	defer d.readBufs.Put(rec) //nolint:staticcheck // []byte header alloc is fine here
+	if _, err := d.f.ReadAt(rec, d.recordOff(ppn)); err != nil {
 		return err
 	}
 	if data != nil {
-		complementInto(data, d.scratch[:p.DataSize])
+		complementInto(data, rec[:p.DataSize])
 	}
 	if spare != nil {
-		complementInto(spare, d.scratch[p.DataSize:])
+		complementInto(spare, rec[p.DataSize:])
 	}
 	d.stats.AddRead(p.ReadMicros)
 	return nil
@@ -541,15 +555,15 @@ func (d *Device) MarkBad(blk int) error {
 
 // IsBad implements flash.Device.
 func (d *Device) IsBad(blk int) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.bad[blk]
 }
 
 // EraseCount implements flash.Device.
 func (d *Device) EraseCount(blk int) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return int(d.eraseCount[blk])
 }
 
@@ -561,8 +575,8 @@ func (d *Device) ResetStats() { d.stats.Reset() }
 
 // Wear implements flash.Device.
 func (d *Device) Wear() flash.WearSummary {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	w := flash.WearSummary{Limit: d.params.EraseLimit}
 	if w.Limit == 0 {
 		w.Limit = flash.DefaultEraseLimit

@@ -123,6 +123,8 @@ type WearSummary struct {
 
 // Wear returns the chip's erase-count distribution.
 func (c *Chip) Wear() WearSummary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	w := WearSummary{Limit: c.params.eraseLimit()}
 	if len(c.blocks) == 0 {
 		return w

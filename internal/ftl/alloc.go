@@ -1,7 +1,9 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"pdl/internal/flash"
 )
@@ -64,16 +66,24 @@ type Allocator struct {
 	params   flash.Params
 	relocate Relocator
 
-	blocks    []blockInfo
-	freeList  []int
-	active    int // block being filled, -1 if none
-	nextPage  int // next page index within active
-	reserve   int // number of blocks kept erased for GC
-	inGC      bool
-	policy    VictimPolicy
-	gcStats   flash.Stats
-	gcRuns    int64
+	blocks   []blockInfo
+	freeList []int
+	active   int // block being filled, -1 if none
+	nextPage int // next page index within active
+	reserve  int // number of blocks kept erased for GC
+	inGC     bool
+	policy   VictimPolicy
+	gcStats  flash.Stats
+	// gcRuns is atomic so watermark monitors and conditioning loops can
+	// poll collection progress while a background engine collects under
+	// the caller's serialization.
+	gcRuns    atomic.Int64
 	gcVictims map[int]int64 // victim block -> times collected (for steady-state checks)
+
+	// freeCount mirrors len(freeList) atomically so a background
+	// garbage-collection engine can watch the free-block watermark without
+	// taking the caller's allocator serialization.
+	freeCount atomic.Int32
 
 	// obsSpare is the reusable obsolete-marking spare image; MarkObsolete
 	// runs on every page invalidation, and rebuilding the image each time
@@ -112,6 +122,7 @@ func NewAllocator(dev flash.Device, reserve int) *Allocator {
 			a.freeList = append(a.freeList, b)
 		}
 	}
+	a.freeCount.Store(int32(len(a.freeList)))
 	return a
 }
 
@@ -126,10 +137,19 @@ func (a *Allocator) SetVictimPolicy(p VictimPolicy) { a.policy = p }
 // Device returns the underlying flash device.
 func (a *Allocator) Device() flash.Device { return a.dev }
 
-// FreeBlocks returns the number of fully erased blocks (including the
-// active block's unwritten tail pages is deliberately excluded; methods
-// size workloads by erased blocks).
-func (a *Allocator) FreeBlocks() int { return len(a.freeList) }
+// FreeBlocks returns the number of fully erased blocks (the active
+// block's unwritten tail pages are deliberately excluded; methods size
+// workloads by erased blocks). It reads the atomic mirror, so it is safe
+// to call from any goroutine.
+func (a *Allocator) FreeBlocks() int { return int(a.freeCount.Load()) }
+
+// FreeBlockCount is FreeBlocks under the name the background
+// garbage-collection engine's Collector interface documents.
+func (a *Allocator) FreeBlockCount() int { return int(a.freeCount.Load()) }
+
+// Reserve returns the number of erased blocks the allocator keeps aside
+// for garbage collection.
+func (a *Allocator) Reserve() int { return a.reserve }
 
 // FreePages returns the number of unwritten pages available without
 // garbage collection.
@@ -143,16 +163,26 @@ func (a *Allocator) FreePages() int {
 
 // GCStats returns the flash cost accumulated inside garbage collection,
 // which the paper amortizes into the write cost (the slashed areas of
-// Figure 12(b)).
+// Figure 12(b)). Unlike GCRuns/FreeBlocks it is NOT safe to call while a
+// background engine collects: read it under the store's serialization or
+// after Close.
+//
+// The cost is measured as the device-stats delta across each collection,
+// so reads issued by concurrent lock-free readers during that window are
+// attributed to GC too: with concurrent traffic the figure is an upper
+// bound. The paper's deterministic experiments drive stores from one
+// goroutine, where the attribution is exact.
 func (a *Allocator) GCStats() flash.Stats { return a.gcStats }
 
-// GCRuns returns how many garbage collections have run.
-func (a *Allocator) GCRuns() int64 { return a.gcRuns }
+// GCRuns returns how many garbage collections have run. Safe to call
+// from any goroutine.
+func (a *Allocator) GCRuns() int64 { return a.gcRuns.Load() }
 
 // MinVictimRounds returns the minimum number of times any single block has
 // been garbage-collected, the paper's steady-state criterion ("garbage
 // collection is invoked for each block at least ten times on the average
-// after loading the database").
+// after loading the database"). Like GCStats, it requires the caller's
+// serialization against any background collector.
 func (a *Allocator) MinVictimRounds() int64 {
 	if len(a.gcVictims) == 0 {
 		return 0
@@ -167,16 +197,17 @@ func (a *Allocator) MinVictimRounds() int64 {
 	return min
 }
 
-// MeanVictimRounds returns the mean number of garbage collections per block.
+// MeanVictimRounds returns the mean number of garbage collections per
+// block. Safe to call from any goroutine.
 func (a *Allocator) MeanVictimRounds() float64 {
-	return float64(a.gcRuns) / float64(len(a.blocks))
+	return float64(a.gcRuns.Load()) / float64(len(a.blocks))
 }
 
 // ResetGCStats zeroes the garbage-collection accounting (used after the
 // steady-state conditioning phase of an experiment).
 func (a *Allocator) ResetGCStats() {
 	a.gcStats = flash.Stats{}
-	a.gcRuns = 0
+	a.gcRuns.Store(0)
 }
 
 // Alloc returns the physical page number of the next free page, running
@@ -184,8 +215,7 @@ func (a *Allocator) ResetGCStats() {
 // The returned page is accounted as written-and-valid; callers must
 // program it exactly once.
 func (a *Allocator) Alloc() (flash.PPN, error) {
-	p := a.params
-	if (a.active < 0 || a.nextPage == p.PagesPerBlock) && !a.inGC {
+	if (a.active < 0 || a.nextPage == a.params.PagesPerBlock) && !a.inGC {
 		// About to switch blocks: restore the erased-block reserve first.
 		// collect may recursively allocate (relocation), which can itself
 		// roll the active block over, so re-check the active block after.
@@ -195,6 +225,31 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 			}
 		}
 	}
+	return a.take()
+}
+
+// TryAlloc hands out the next free page only if it can do so without
+// garbage collecting: pages of the current active block are always
+// available, and a block switch succeeds as long as it leaves the
+// erased-block reserve intact. ok == false means the caller must reclaim
+// space first — either by waiting on a background collector or by falling
+// back to Alloc, which collects synchronously. This is the foreground
+// allocation path of background-GC mode: the fast case touches no
+// garbage-collection state at all.
+func (a *Allocator) TryAlloc() (ppn flash.PPN, ok bool, err error) {
+	if (a.active < 0 || a.nextPage == a.params.PagesPerBlock) && !a.inGC &&
+		len(a.freeList) <= a.reserve {
+		return flash.NilPPN, false, nil
+	}
+	ppn, err = a.take()
+	return ppn, err == nil, err
+}
+
+// take hands out the next page of the active block, rolling over to a
+// fresh free block when the active one is full. The caller has already
+// ensured the reserve policy allows a roll-over.
+func (a *Allocator) take() (flash.PPN, error) {
+	p := a.params
 	if a.active < 0 || a.nextPage == p.PagesPerBlock {
 		if a.active >= 0 {
 			a.blocks[a.active].state = blockFull
@@ -205,6 +260,7 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 		}
 		a.active = a.freeList[len(a.freeList)-1]
 		a.freeList = a.freeList[:len(a.freeList)-1]
+		a.freeCount.Store(int32(len(a.freeList)))
 		a.blocks[a.active].state = blockActive
 		a.nextPage = 0
 		a.seqCounter++
@@ -214,6 +270,24 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 	a.nextPage++
 	a.blocks[a.active].written++
 	return ppn, nil
+}
+
+// CollectOnce performs at most one garbage-collection increment (one
+// victim block relocated and erased). It returns collected == false when
+// no full block holds an obsolete page, i.e. there is nothing to reclaim.
+// A background engine calls it repeatedly — under the same serialization
+// as Alloc — releasing the caller's lock between increments so foreground
+// operations interleave with collection.
+func (a *Allocator) CollectOnce() (collected bool, err error) {
+	// collect picks its own victim and returns ErrNoSpace before any side
+	// effect when none exists, so no separate (second) pickVictim scan.
+	if err := a.collect(); err != nil {
+		if errors.Is(err, ErrNoSpace) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
 }
 
 // MarkObsolete physically sets the page obsolete by partially programming
@@ -265,6 +339,7 @@ func (a *Allocator) ExcludeBlocks(n int) []int {
 	out := make([]int, n)
 	copy(out, a.freeList[len(a.freeList)-n:])
 	a.freeList = a.freeList[:len(a.freeList)-n]
+	a.freeCount.Store(int32(len(a.freeList)))
 	for _, b := range out {
 		a.blocks[b].state = blockFull
 		a.blocks[b].excluded = true
@@ -289,6 +364,7 @@ func (a *Allocator) AdoptFullBlock(blk int) {
 				break
 			}
 		}
+		a.freeCount.Store(int32(len(a.freeList)))
 	}
 }
 
@@ -314,10 +390,11 @@ func (a *Allocator) collect() error {
 	if err != nil {
 		return fmt.Errorf("garbage collecting block %d: %w", victim, err)
 	}
-	a.gcRuns++
+	a.gcRuns.Add(1)
 	a.gcVictims[victim]++
 	a.blocks[victim] = blockInfo{state: blockFree}
 	a.freeList = append(a.freeList, victim)
+	a.freeCount.Store(int32(len(a.freeList)))
 	return nil
 }
 

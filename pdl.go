@@ -52,21 +52,38 @@
 // behind a caller-supplied lock. The store partitions its differential
 // write buffer into Options.Shards pid-hashed shards, each with its own
 // lock and its own one-page buffer, so writers to different shards compute
-// and buffer their page-differentials in parallel; a coarse device lock
-// serializes the emulated chip, the allocator, garbage collection, and the
-// mapping tables. The default of one shard preserves the paper's single
-// write buffer exactly; concurrent workloads should set Shards to roughly
-// the number of worker goroutines:
+// and buffer their page-differentials in parallel. Reads take no
+// store-level lock over the device at all: the mapping tables live in
+// their own versioned component, and both flash backends serve reads
+// concurrently, so readers only retry in the rare case garbage collection
+// relocated a page mid-read. A flash lock serializes mutations (programs
+// and their mapping commits, allocation, garbage collection).
+//
+// Garbage collection runs synchronously inside allocation by default (the
+// paper's foreground cleaning). Options.BackgroundGC moves it to a
+// background goroutine that collects one victim block at a time whenever
+// the free pool drains to Options.GCLowWater, which takes whole
+// collection cycles out of the write-path tail; foreground writes fall
+// back to synchronous collection only if the erased-block reserve itself
+// runs out. Close a store opened with BackgroundGC when done with it.
+// The default of one shard preserves the paper's single write buffer
+// exactly; concurrent workloads should set Shards to roughly the number
+// of worker goroutines:
 //
 //	store, err := pdl.Open(chip, 4096, pdl.Options{
 //		MaxDifferentialSize: 256,
-//		Shards:              16, // concurrent writers land on distinct buffers
+//		Shards:              16,   // concurrent writers land on distinct buffers
+//		BackgroundGC:        true, // collection off the write path
 //	})
+//	defer store.Close()
 //
 // Crash recovery (Recover, RecoverWithCheckpoint) rebuilds a store with
 // whatever shard count the Options request; the on-flash format is
-// identical for every shard count, so a multi-shard store recovers the
-// same logical state a single-shard store would.
+// identical for every shard count and GC mode, so a multi-shard store
+// recovers the same logical state a single-shard store would. Recover
+// fans its spare-area scan over Options.RecoveryWorkers goroutines
+// (default one per CPU); the recovered state is identical for every
+// worker count.
 //
 // All flash timing is simulated: each read, program, and erase advances
 // the chip's clock by the configured datasheet latency (Table 1 of the
@@ -181,9 +198,11 @@ func Open(dev Device, numPages int, opts Options) (*Store, error) {
 
 // Recover reconstructs a PDL store from flash contents after a system
 // failure by one scan through the physical pages (the paper's
-// PDL_RecoveringfromCrash algorithm). Differentials that were only in the
-// in-memory write buffer at the time of the failure are lost, exactly as
-// the paper specifies.
+// PDL_RecoveringfromCrash algorithm), fanned out across
+// Options.RecoveryWorkers goroutines; the recovered state is identical
+// for every worker count. Differentials that were only in the in-memory
+// write buffer at the time of the failure are lost, exactly as the paper
+// specifies.
 func Recover(dev Device, numPages int, opts Options) (*Store, error) {
 	return core.Recover(dev, numPages, opts)
 }
