@@ -69,6 +69,8 @@ func realMain() int {
 		nupdates  = flag.Int("n", 1, "N_updates_till_write for experiments 3 and 4")
 		warehouse = flag.Int("warehouses", 1, "TPC-C warehouses for experiment 7")
 		workers   = flag.Int("workers", 4, "max worker goroutines for the parallel experiment (-exp par)")
+		batchSize = flag.Int("batchsize", 64, "reflections per commit round for the batch experiment (-exp batch)")
+		assertB   = flag.Bool("assertbatch", false, "with -exp batch: exit nonzero unless batched mode syncs no more (file backend: strictly less, at no lower throughput) than per-page mode")
 		backend   = flag.String("backend", "emu", "flash backend: emu (in-memory) or file (persistent)")
 		path      = flag.String("path", "", "directory for -backend file device files (default: a temp dir)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (profile GC and lock behavior directly)")
@@ -238,8 +240,12 @@ func realMain() int {
 			if err := runGCTail(g, *workers, *ops); err != nil {
 				return err
 			}
+		case "batch":
+			if err := runBatch(g, *backend, *path, *batchSize, *ops, *assertB); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, or all)", id)
+			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, or all)", id)
 		}
 		fmt.Println()
 		return nil
@@ -259,6 +265,65 @@ func realMain() int {
 		}
 	}
 	return 0
+}
+
+// runBatch runs bench.ExpBatch: the same commit-round update workload
+// reflected one WritePage at a time versus through WriteBatch. On the
+// file backend the devices use SyncAlways — the batch pipeline's reason
+// to exist is coalescing that policy's per-program fsyncs — so the syncs
+// column is the headline there; on the emulator the comparison is about
+// lock acquisitions and shows up in ops/s only.
+func runBatch(g bench.Geometry, backend, path string, batchSize, ops int, assert bool) error {
+	if backend == "file" {
+		dir := path
+		if dir == "" {
+			d, err := os.MkdirTemp("", "pdlbench-batch-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		var runSeq int
+		g.NewDevice = func(p flash.Params, label string) (flash.Device, error) {
+			runSeq++
+			name := fmt.Sprintf("batch%03d-%s.flash", runSeq, sanitize(label))
+			return filedev.Open(filepath.Join(dir, name), filedev.Options{
+				Params: p, Reset: true, Sync: filedev.SyncAlways,
+			})
+		}
+	}
+	maxDiff := g.Params.DataSize / 8
+	fmt.Printf("Batch experiment: per-page vs batched write-back, %d-page commit rounds, PDL(%dB)\n",
+		batchSize, maxDiff)
+	fmt.Printf("# geometry: %s, DB = %d pages, ~%d ops per mode, backend %s\n",
+		g.Params, g.NumPages(), ops, backend)
+	points, err := bench.ExpBatch(g, maxDiff, batchSize, ops)
+	if err != nil {
+		return err
+	}
+	bench.WriteBatchTable(os.Stdout, points)
+	if !assert {
+		return nil
+	}
+	perPage, batched := points[0], points[1]
+	if batched.Flash.Syncs > perPage.Flash.Syncs {
+		return fmt.Errorf("batched mode issued %d device syncs, per-page %d: batching must never sync more",
+			batched.Flash.Syncs, perPage.Flash.Syncs)
+	}
+	if backend == "file" {
+		if batched.Flash.Syncs >= perPage.Flash.Syncs {
+			return fmt.Errorf("batched mode issued %d device syncs, per-page %d: want strictly fewer on a write-through backend",
+				batched.Flash.Syncs, perPage.Flash.Syncs)
+		}
+		if batched.OpsPerSecond() < perPage.OpsPerSecond() {
+			return fmt.Errorf("batched mode ran at %.0f ops/s, per-page at %.0f: batching must not cost throughput",
+				batched.OpsPerSecond(), perPage.OpsPerSecond())
+		}
+	}
+	fmt.Printf("# batch check passed: syncs %d vs %d, ops/s %.0f vs %.0f\n",
+		batched.Flash.Syncs, perPage.Flash.Syncs, batched.OpsPerSecond(), perPage.OpsPerSecond())
+	return nil
 }
 
 // runGCTail runs bench.ExpGCTail: the same partitioned update workload

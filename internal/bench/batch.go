@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pdl/internal/core"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+)
+
+// BatchPoint is one measured mode of the batched write-back experiment:
+// the identical update workload reflected either one WritePage at a time
+// or as WriteBatch groups.
+type BatchPoint struct {
+	// Mode is "per-page" or "batched".
+	Mode string
+	// BatchSize is the number of reflections grouped per commit round.
+	BatchSize int
+	// Ops is the number of update operations (reflections) measured.
+	Ops int64
+	// Elapsed is the host wall-clock time of the measured phase.
+	Elapsed time.Duration
+	// Flash is the device-stats delta of the measured phase; Flash.Syncs
+	// is the headline column on a write-through backend.
+	Flash flash.Stats
+	// BatchWrites and BatchedPages are the store telemetry deltas: device
+	// batches issued and pages programmed through them.
+	BatchWrites, BatchedPages int64
+}
+
+// OpsPerSecond returns reflections per wall-clock second.
+func (p BatchPoint) OpsPerSecond() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// PagesPerProgram returns the mean width of the device batches the store
+// issued (0 when no batch was issued, as in per-page mode without flushes).
+func (p BatchPoint) PagesPerProgram() float64 {
+	if p.BatchWrites == 0 {
+		return 0
+	}
+	return float64(p.BatchedPages) / float64(p.BatchWrites)
+}
+
+// ExpBatch measures the batched write pipeline end to end: the same
+// deterministic update workload — rounds of batchSize distinct pages, a
+// mix of full rewrites (Case 3) and small updates (Case 1/2), each round
+// ending in a Flush as its commit point — run once reflecting pages one
+// WritePage at a time and once through WriteBatch. Contents, page
+// programs, and flash layout are essentially identical between the modes;
+// what changes is how many device operations (and, on a write-through
+// backend, how many fsyncs) carry them.
+func ExpBatch(g Geometry, maxDiff, batchSize, ops int) ([]BatchPoint, error) {
+	numPages := g.NumPages()
+	if batchSize < 2 {
+		batchSize = 2
+	}
+	if batchSize > numPages {
+		batchSize = numPages
+	}
+	rounds := ops / batchSize
+	if rounds < 1 {
+		rounds = 1
+	}
+	var points []BatchPoint
+	for _, mode := range []string{"per-page", "batched"} {
+		pt, err := runBatchPoint(g, mode, maxDiff, batchSize, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: batch %s: %w", mode, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func runBatchPoint(g Geometry, mode string, maxDiff, batchSize, rounds int) (BatchPoint, error) {
+	numPages := g.NumPages()
+	dev, err := g.device(g.Params, "batch-"+mode)
+	if err != nil {
+		return BatchPoint{}, err
+	}
+	defer dev.Close()
+	s, err := core.New(dev, numPages, core.Options{
+		MaxDifferentialSize: maxDiff,
+		ReserveBlocks:       2,
+		Shards:              4,
+	})
+	if err != nil {
+		return BatchPoint{}, err
+	}
+	size := s.PageSize()
+
+	// Load through the batch path in both modes (so a write-through
+	// backend is not charged thousands of per-page fsyncs before the
+	// measurement even starts) and keep an in-memory shadow for the small
+	// updates.
+	rng := rand.New(rand.NewSource(g.Seed))
+	shadow := make([][]byte, numPages)
+	var chunk []ftl.PageWrite
+	for pid := 0; pid < numPages; pid++ {
+		shadow[pid] = make([]byte, size)
+		rng.Read(shadow[pid])
+		chunk = append(chunk, ftl.PageWrite{PID: uint32(pid), Data: shadow[pid]})
+		if len(chunk) == 128 || pid == numPages-1 {
+			if err := s.WriteBatch(chunk); err != nil {
+				return BatchPoint{}, err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return BatchPoint{}, err
+	}
+
+	dev.ResetStats()
+	telBefore := s.Telemetry()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		// One commit round: batchSize distinct pages, alternating full
+		// rewrites with small (64-byte) updates. The generation consumes
+		// the rng identically in both modes, so the offered work is
+		// byte-for-byte the same.
+		perm := rng.Perm(numPages)
+		batch := make([]ftl.PageWrite, batchSize)
+		for i := 0; i < batchSize; i++ {
+			pid := perm[i]
+			if i%2 == 0 {
+				rng.Read(shadow[pid])
+			} else {
+				off := rng.Intn(size - 64)
+				rng.Read(shadow[pid][off : off+64])
+			}
+			batch[i] = ftl.PageWrite{PID: uint32(pid), Data: shadow[pid]}
+		}
+		if mode == "batched" {
+			if err := s.WriteBatch(batch); err != nil {
+				return BatchPoint{}, err
+			}
+		} else {
+			for _, w := range batch {
+				if err := s.WritePage(w.PID, w.Data); err != nil {
+					return BatchPoint{}, err
+				}
+			}
+		}
+		if err := s.Flush(); err != nil {
+			return BatchPoint{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	tel := s.Telemetry()
+	return BatchPoint{
+		Mode:         mode,
+		BatchSize:    batchSize,
+		Ops:          int64(rounds * batchSize),
+		Elapsed:      elapsed,
+		Flash:        dev.Stats(),
+		BatchWrites:  tel.BatchWrites - telBefore.BatchWrites,
+		BatchedPages: tel.BatchedPages - telBefore.BatchedPages,
+	}, nil
+}
+
+// WriteBatchTable prints the per-page versus batched comparison.
+func WriteBatchTable(w io.Writer, points []BatchPoint) {
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s %10s %12s\n",
+		"mode", "batch", "ops", "ops/s", "writes", "erases", "syncs", "pages/prog")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10s %8d %10d %10.0f %10d %10d %10d %12.1f\n",
+			p.Mode, p.BatchSize, p.Ops, p.OpsPerSecond(),
+			p.Flash.Writes, p.Flash.Erases, p.Flash.Syncs, p.PagesPerProgram())
+	}
+}

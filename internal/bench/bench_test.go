@@ -375,3 +375,36 @@ func TestExpGCTailRuns(t *testing.T) {
 		t.Error("gctail table missing expected columns")
 	}
 }
+
+func TestExpBatchRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	g := testGeometry()
+	points, err := ExpBatch(g, g.Params.DataSize/8, 32, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Mode != "per-page" || points[1].Mode != "batched" {
+		t.Fatalf("points = %+v, want a per-page and a batched point", points)
+	}
+	perPage, batched := points[0], points[1]
+	if perPage.Ops != batched.Ops || perPage.Ops == 0 {
+		t.Errorf("unequal offered work: %d vs %d ops", perPage.Ops, batched.Ops)
+	}
+	// Both modes reflect the identical workload: the page programs (and
+	// hence the flash layout pressure) must match exactly.
+	if perPage.Flash.Writes != batched.Flash.Writes {
+		t.Errorf("writes: per-page %d, batched %d; batching must not change the write pattern",
+			perPage.Flash.Writes, batched.Flash.Writes)
+	}
+	if batched.BatchWrites == 0 || batched.PagesPerProgram() <= perPage.PagesPerProgram() {
+		t.Errorf("batched mode saw %.1f pages/program (per-page %.1f); batching is not visible",
+			batched.PagesPerProgram(), perPage.PagesPerProgram())
+	}
+	var b bytes.Buffer
+	WriteBatchTable(&b, points)
+	if !strings.Contains(b.String(), "pages/prog") || !strings.Contains(b.String(), "batched") {
+		t.Error("batch table missing expected columns")
+	}
+}

@@ -485,5 +485,8 @@ func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) error {
 	return nil
 }
 
-// Flush writes all dirty index pages through to flash.
+// Flush writes all dirty index pages through to flash. The pool collects
+// them into one pid-ordered write batch, so an index checkpoint costs the
+// device a single batched program sequence regardless of how many node
+// pages a burst of splits dirtied.
 func (t *Tree) Flush() error { return t.pool.Flush() }

@@ -9,6 +9,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
 	"pdl/internal/ftl"
 )
@@ -25,33 +26,72 @@ type frame struct {
 }
 
 // Pool is a fixed-capacity LRU buffer pool. Dirty pages are written back
-// through the underlying method on eviction and on Flush.
+// through the underlying method on eviction and on Flush. Write-back is
+// batch-first: dirty frames are collected in ascending pid order — so the
+// device sees a deterministic, reproducible write pattern — and handed to
+// the method as one WriteBatch when it implements ftl.BatchWriter (the PDL
+// store), falling back to per-page WritePage calls in the same pid order
+// otherwise.
 //
 // Pool is not safe for concurrent use; the storage layers in this module
 // are single-threaded, like the I/O path of the paper's experiments.
 type Pool struct {
 	method   ftl.Method
+	batcher  ftl.BatchWriter // method, if it accepts batches; nil otherwise
 	capacity int
 	frames   map[uint32]*frame
 	lru      *list.List // front = most recently used
 	pageSize int
-	closed   bool
+	// evictionBatch is how many dirty frames one dirty eviction may write
+	// back together (write-back clustering); see Options.
+	evictionBatch int
+	closed        bool
 
 	hits, misses, evictions, writebacks int64
 }
 
-// NewPool builds a pool of capacity pages over method.
+// Options tunes a pool beyond its capacity.
+type Options struct {
+	// EvictionBatch enables write-back clustering under eviction pressure:
+	// when the pool must evict a dirty victim, up to EvictionBatch dirty
+	// frames from the cold (LRU) end — the victim included — are written
+	// back together in one pid-ordered batch, and only the victim leaves
+	// the pool. The clustered frames stay resident but clean, so the next
+	// evictions find clean victims and cost no device work. 0 or 1
+	// preserves the classic evict-one-write-one behavior (the default).
+	// Clustering never changes page contents, only when a still-resident
+	// dirty page is reflected; a page re-dirtied after an early write-back
+	// costs one extra reflection, which is why it is opt-in.
+	EvictionBatch int
+}
+
+// NewPool builds a pool of capacity pages over method with default
+// options.
 func NewPool(method ftl.Method, capacity int) (*Pool, error) {
+	return NewPoolOpts(method, capacity, Options{})
+}
+
+// NewPoolOpts builds a pool of capacity pages over method.
+func NewPoolOpts(method ftl.Method, capacity int, opts Options) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("buffer: capacity must be positive, got %d", capacity)
 	}
-	return &Pool{
-		method:   method,
-		capacity: capacity,
-		frames:   make(map[uint32]*frame, capacity),
-		lru:      list.New(),
-		pageSize: method.PageSize(),
-	}, nil
+	eb := opts.EvictionBatch
+	if eb < 1 {
+		eb = 1
+	}
+	p := &Pool{
+		method:        method,
+		capacity:      capacity,
+		frames:        make(map[uint32]*frame, capacity),
+		lru:           list.New(),
+		pageSize:      method.PageSize(),
+		evictionBatch: eb,
+	}
+	if bw, ok := method.(ftl.BatchWriter); ok {
+		p.batcher = bw
+	}
+	return p, nil
 }
 
 // Capacity returns the pool capacity in pages.
@@ -136,23 +176,58 @@ func (p *Pool) MarkDirty(pid uint32) error {
 	return nil
 }
 
-// Flush writes back every dirty frame and then flushes the method's own
+// Flush writes back every dirty frame — in ascending pid order, as one
+// method WriteBatch when available — and then flushes the method's own
 // buffers (the write-through chain of section 4.5).
 func (p *Pool) Flush() error {
 	if p.closed {
 		return ErrClosed
 	}
-	for _, f := range p.frames {
-		if !f.dirty {
-			continue
+	var dirty []uint32
+	for pid, f := range p.frames {
+		if f.dirty {
+			dirty = append(dirty, pid)
 		}
+	}
+	if err := p.writeBack(dirty); err != nil {
+		return err
+	}
+	return p.method.Flush()
+}
+
+// writeBack reflects the given resident frames into the method, sorting
+// them into ascending pid order first (the frame map iterates in random
+// order; sorted write-back makes the device's write pattern — and every
+// test depending on it — reproducible) and marking them clean. It is the
+// single funnel both Flush and eviction clustering go through.
+func (p *Pool) writeBack(pids []uint32) error {
+	if len(pids) == 0 {
+		return nil
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	if p.batcher != nil && len(pids) > 1 {
+		batch := make([]ftl.PageWrite, len(pids))
+		for i, pid := range pids {
+			batch[i] = ftl.PageWrite{PID: pid, Data: p.frames[pid].data}
+		}
+		if err := p.batcher.WriteBatch(batch); err != nil {
+			return err
+		}
+		for _, pid := range pids {
+			p.frames[pid].dirty = false
+			p.writebacks++
+		}
+		return nil
+	}
+	for _, pid := range pids {
+		f := p.frames[pid]
 		if err := p.method.WritePage(f.pid, f.data); err != nil {
 			return err
 		}
 		p.writebacks++
 		f.dirty = false
 	}
-	return p.method.Flush()
+	return nil
 }
 
 // Close flushes and invalidates the pool.
@@ -168,7 +243,10 @@ func (p *Pool) Close() error {
 }
 
 // allocFrame returns a resident frame for pid, evicting the LRU victim if
-// the pool is full.
+// the pool is full. A dirty victim is written back first; with
+// Options.EvictionBatch > 1 the write-back clusters further dirty frames
+// from the cold end of the LRU into the same pid-ordered batch, so the
+// evictions that follow find clean victims.
 func (p *Pool) allocFrame(pid uint32) (*frame, error) {
 	if len(p.frames) >= p.capacity {
 		victim := p.lru.Back()
@@ -177,10 +255,15 @@ func (p *Pool) allocFrame(pid uint32) (*frame, error) {
 		}
 		vf := victim.Value.(*frame)
 		if vf.dirty {
-			if err := p.method.WritePage(vf.pid, vf.data); err != nil {
+			cluster := []uint32{vf.pid}
+			for e := victim.Prev(); e != nil && len(cluster) < p.evictionBatch; e = e.Prev() {
+				if f := e.Value.(*frame); f.dirty {
+					cluster = append(cluster, f.pid)
+				}
+			}
+			if err := p.writeBack(cluster); err != nil {
 				return nil, fmt.Errorf("buffer: evicting pid %d: %w", vf.pid, err)
 			}
-			p.writebacks++
 		}
 		p.evictions++
 		p.dropFrame(vf)

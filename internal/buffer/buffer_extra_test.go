@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"pdl/internal/core"
 	"pdl/internal/flash"
 	"pdl/internal/ftl"
 	"pdl/internal/ftltest"
@@ -98,5 +99,155 @@ func TestFlushAfterCloseFails(t *testing.T) {
 	}
 	if _, err := p.GetNew(0); !errors.Is(err, ErrClosed) {
 		t.Errorf("GetNew after close: %v", err)
+	}
+}
+
+// recordingMethod wraps a method and records the pid order of per-page
+// write-backs. It deliberately does NOT implement ftl.BatchWriter, forcing
+// the pool onto its per-page fallback path.
+type recordingMethod struct {
+	ftl.Method
+	writes []uint32
+}
+
+func (r *recordingMethod) WritePage(pid uint32, data []byte) error {
+	r.writes = append(r.writes, pid)
+	return r.Method.WritePage(pid, data)
+}
+
+// recordingBatchMethod additionally exposes the inner method's WriteBatch,
+// recording each batch's pid order.
+type recordingBatchMethod struct {
+	*recordingMethod
+	batches [][]uint32
+}
+
+func (r *recordingBatchMethod) WriteBatch(writes []ftl.PageWrite) error {
+	pids := make([]uint32, len(writes))
+	for i, w := range writes {
+		pids[i] = w.PID
+	}
+	r.batches = append(r.batches, pids)
+	return r.Method.(ftl.BatchWriter).WriteBatch(writes)
+}
+
+func ascending(pids []uint32) bool {
+	for i := 1; i < len(pids); i++ {
+		if pids[i] <= pids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func dirtyPages(t *testing.T, p *Pool, pids ...uint32) {
+	t.Helper()
+	for _, pid := range pids {
+		d, err := p.GetNew(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[0] = byte(pid + 1)
+		if err := p.MarkDirty(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFlushWritesBackInPidOrder(t *testing.T) {
+	// The frame map iterates in random order; Flush must still hit the
+	// method in ascending pid order so device write patterns reproduce.
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingMethod{Method: m}
+	p, err := NewPool(rec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyPages(t, p, 9, 3, 27, 0, 14, 5)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.writes) != 6 || !ascending(rec.writes) {
+		t.Errorf("write-back order %v, want 6 ascending pids", rec.writes)
+	}
+}
+
+func TestFlushBatchesThroughBatchWriter(t *testing.T) {
+	// Over a batch-capable method, Flush issues one pid-ordered WriteBatch
+	// instead of per-page writes.
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := core.New(chip, 32, core.Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingBatchMethod{recordingMethod: &recordingMethod{Method: m}}
+	p, err := NewPool(rec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyPages(t, p, 7, 2, 11, 30, 0)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.writes) != 0 {
+		t.Errorf("per-page writes %v leaked past the batch path", rec.writes)
+	}
+	if len(rec.batches) != 1 || len(rec.batches[0]) != 5 || !ascending(rec.batches[0]) {
+		t.Errorf("batches = %v, want one ascending batch of 5", rec.batches)
+	}
+	if wb := p.Stats().Writebacks; wb != 5 {
+		t.Errorf("writebacks = %d, want 5", wb)
+	}
+}
+
+func TestEvictionClustersColdDirtyFrames(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(8))
+	m, err := opu.New(chip, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingMethod{Method: m}
+	p, err := NewPoolOpts(rec, 4, Options{EvictionBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyPages(t, p, 10, 11, 12, 13) // LRU order: 10 coldest
+	// Faulting a fifth page evicts pid 10 and clusters the two next-coldest
+	// dirty frames (11, 12) into the same pid-ordered write-back.
+	if _, err := p.GetNew(20); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (clustering must not evict extra frames)", st.Evictions)
+	}
+	if st.Writebacks != 3 || !ascending(rec.writes) || len(rec.writes) != 3 {
+		t.Errorf("writebacks = %d, writes = %v; want 3 ascending", st.Writebacks, rec.writes)
+	}
+	if p.Len() != 4 {
+		t.Errorf("Len = %d, want capacity 4", p.Len())
+	}
+	// The clustered frames are clean now: the next two evictions are free.
+	rec.writes = nil
+	if _, err := p.GetNew(21); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GetNew(22); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.writes) != 0 {
+		t.Errorf("clean evictions wrote back %v", rec.writes)
+	}
+	// Pid 13 is still dirty and still resident; a flush picks it up along
+	// with the freshly created (dirty) pages, in pid order.
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.writes) != 4 || rec.writes[0] != 13 || !ascending(rec.writes) {
+		t.Errorf("final flush wrote %v, want [13 20 21 22]", rec.writes)
 	}
 }

@@ -21,6 +21,21 @@ func (b *writeBuffer) init(capacity int) {
 	b.enc = make([]byte, 0, capacity)
 }
 
+// clone returns a staging copy of the buffer: same capacity, the same
+// buffered differentials in a private backing array. The batch write path
+// stages against the copy and swaps it in only after the device batch
+// commits, so a failed batch leaves the live buffer untouched.
+func (b *writeBuffer) clone() writeBuffer {
+	c := writeBuffer{capacity: b.capacity, used: b.used}
+	c.diffs = append(make([]diff.Differential, 0, len(b.diffs)), b.diffs...)
+	c.index = make(map[uint32]int, len(b.index))
+	for pid, i := range b.index {
+		c.index[pid] = i
+	}
+	c.enc = make([]byte, 0, b.capacity)
+	return c
+}
+
 // free returns the remaining capacity in bytes.
 func (b *writeBuffer) free() int { return b.capacity - b.used }
 

@@ -24,6 +24,10 @@ var (
 	// ErrBufSize reports a caller buffer whose size does not match the
 	// page geometry.
 	ErrBufSize = errors.New("flash: buffer size does not match page geometry")
+	// ErrDuplicatePPN reports a ProgramBatch naming the same physical page
+	// twice; batch validation checks legality against the pre-batch state,
+	// which is only sound when every page appears once.
+	ErrDuplicatePPN = errors.New("flash: duplicate ppn in program batch")
 )
 
 // PPN is a physical page number: block*PagesPerBlock + pageInBlock.
@@ -168,31 +172,50 @@ func (c *Chip) ReadSpare(ppn PPN, spare []byte) error { return c.Read(ppn, nil, 
 func (c *Chip) Program(ppn PPN, data, spare []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	blk, pg, err := c.addr(ppn)
+	p, err := c.checkProgram(ppn, data, spare)
 	if err != nil {
 		return err
 	}
+	return c.commitProgram(p, data, spare)
+}
+
+// checkProgram validates one full-page program against the current chip
+// state — address, bad block, buffer sizes, AND-legality — and returns
+// the target page. It is the shared validation of Program and
+// ProgramBatch, so the serial and batched paths stay definitionally
+// identical. The caller holds mu.
+func (c *Chip) checkProgram(ppn PPN, data, spare []byte) (*page, error) {
+	blk, pg, err := c.addr(ppn)
+	if err != nil {
+		return nil, err
+	}
 	if c.blocks[blk].bad {
-		return fmt.Errorf("%w: block %d", ErrBadBlock, blk)
+		return nil, fmt.Errorf("%w: block %d", ErrBadBlock, blk)
 	}
 	if len(data) != c.params.DataSize {
-		return fmt.Errorf("%w: data len %d, want %d", ErrBufSize, len(data), c.params.DataSize)
+		return nil, fmt.Errorf("%w: data len %d, want %d (ppn %d)", ErrBufSize, len(data), c.params.DataSize, ppn)
 	}
 	if spare != nil && len(spare) != c.params.SpareSize {
-		return fmt.Errorf("%w: spare len %d, want %d", ErrBufSize, len(spare), c.params.SpareSize)
+		return nil, fmt.Errorf("%w: spare len %d, want %d (ppn %d)", ErrBufSize, len(spare), c.params.SpareSize, ppn)
 	}
 	p := &c.blocks[blk].pages[pg]
 	if err := checkProgrammable(p.data, data); err != nil {
-		return fmt.Errorf("%w (ppn %d)", err, ppn)
+		return nil, fmt.Errorf("%w (ppn %d)", err, ppn)
 	}
 	if spare != nil {
 		if err := checkProgrammable(p.spare, spare); err != nil {
-			return fmt.Errorf("%w (ppn %d spare)", err, ppn)
+			return nil, fmt.Errorf("%w (ppn %d spare)", err, ppn)
 		}
 	}
+	return p, nil
+}
+
+// commitProgram applies a validated full-page program, charging Twrite.
+// If the power-fail countdown fires, an unpredictable prefix of the page
+// is committed — the first half, modeling a torn program — and the spare
+// stays erased. The caller holds mu.
+func (c *Chip) commitProgram(p *page, data, spare []byte) error {
 	if c.tickPowerFail() {
-		// Power was lost mid-program: an unpredictable prefix of the page
-		// is committed. We commit the first half to model a torn program.
 		half := len(data) / 2
 		andInto(p.data[:half], data[:half])
 		p.programmed = true
@@ -206,6 +229,37 @@ func (c *Chip) Program(ppn PPN, data, spare []byte) error {
 	p.programmed = true
 	p.sparePrograms++
 	c.stats.AddWrite(c.params.WriteMicros)
+	return nil
+}
+
+// ProgramBatch implements the batched half of the Device contract: the
+// whole batch is validated against the pre-batch state first (so a
+// validation error programs nothing), then the pages are programmed in
+// slice order under a single bus-lock acquisition, charging Twrite per
+// page. A scheduled power failure interrupts the batch exactly as it
+// would a serial program sequence: the failing page is torn and the
+// pages after it untouched, so flash holds a prefix of the batch.
+func (c *Chip) ProgramBatch(batch []PageProgram) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[PPN]struct{}, len(batch))
+	pages := make([]*page, len(batch))
+	for i, pp := range batch {
+		if _, dup := seen[pp.PPN]; dup {
+			return fmt.Errorf("%w: ppn %d", ErrDuplicatePPN, pp.PPN)
+		}
+		seen[pp.PPN] = struct{}{}
+		p, err := c.checkProgram(pp.PPN, pp.Data, pp.Spare)
+		if err != nil {
+			return err
+		}
+		pages[i] = p
+	}
+	for i, pp := range batch {
+		if err := c.commitProgram(pages[i], pp.Data, pp.Spare); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

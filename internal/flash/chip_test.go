@@ -454,3 +454,77 @@ func TestQuickEraseRestores(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestProgramBatchPowerFailLeavesPrefix(t *testing.T) {
+	p := testParams()
+	c := NewChip(p)
+	const n = 6
+	batch := make([]PageProgram, n)
+	for i := range batch {
+		batch[i] = PageProgram{PPN: PPN(i), Data: filled(p.DataSize, byte(0xF0|i))}
+	}
+	c.SchedulePowerFailure(4) // the 4th page of the batch
+	err := c.ProgramBatch(batch)
+	if !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("err = %v, want ErrPowerLoss", err)
+	}
+	got := make([]byte, p.DataSize)
+	for i := 0; i < 3; i++ {
+		if err := c.ReadData(PPN(i), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, batch[i].Data) {
+			t.Errorf("page %d of the prefix not fully programmed", i)
+		}
+	}
+	// The failing page is torn: committed first half, erased second half.
+	if err := c.ReadData(3, got); err != nil {
+		t.Fatal(err)
+	}
+	half := p.DataSize / 2
+	if !bytes.Equal(got[:half], batch[3].Data[:half]) {
+		t.Error("torn page: first half not programmed")
+	}
+	if !bytes.Equal(got[half:], filled(p.DataSize-half, 0xFF)) {
+		t.Error("torn page: second half unexpectedly programmed")
+	}
+	// Pages after the failure point are untouched.
+	for i := 4; i < n; i++ {
+		if err := c.ReadData(PPN(i), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, filled(p.DataSize, 0xFF)) {
+			t.Errorf("page %d programmed past the power loss", i)
+		}
+	}
+	// The interrupted batch charged one write per attempted page.
+	if w := c.Stats().Writes; w != 4 {
+		t.Errorf("writes = %d, want 4 (three whole pages and the torn one)", w)
+	}
+}
+
+func TestProgramBatchChargesPerPage(t *testing.T) {
+	p := testParams()
+	c := NewChip(p)
+	batch := []PageProgram{
+		{PPN: 0, Data: filled(p.DataSize, 0x0F), Spare: filled(p.SpareSize, 0xF0)},
+		{PPN: 1, Data: filled(p.DataSize, 0x3C)},
+	}
+	if err := c.ProgramBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Writes != 2 {
+		t.Errorf("writes = %d, want 2", st.Writes)
+	}
+	if st.TimeMicros != 2*p.WriteMicros {
+		t.Errorf("time = %d, want %d", st.TimeMicros, 2*p.WriteMicros)
+	}
+	// The emulator counts explicit durability points.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Syncs; got != 1 {
+		t.Errorf("syncs = %d, want 1", got)
+	}
+}

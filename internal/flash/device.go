@@ -40,6 +40,25 @@ type Device interface {
 	// is an AND at the bit level; an image that would raise a 0 bit back
 	// to 1 fails with ErrProgramConflict.
 	Program(ppn PPN, data, spare []byte) error
+	// ProgramBatch programs a group of full pages as one device operation,
+	// charging Twrite per page. The whole batch is validated before any
+	// page is touched — addresses, buffer sizes, bad blocks, duplicate
+	// PPNs (ErrDuplicatePPN), and AND-legality — so a validation failure
+	// programs nothing. Pages are then programmed strictly in slice
+	// order, and a failure at the device-operation level — an I/O error,
+	// a killed process, the emulator's power model — leaves exactly a
+	// prefix of the batch programmed, which is what lets callers order a
+	// batch by time stamp and recover such a crash as a prefix of it.
+	// Persistent backends coalesce durability work across the batch (the
+	// file-backed device issues at most two fsyncs per batch under
+	// SyncAlways, instead of two per page); the price of that coalescing
+	// is that a PHYSICAL power loss between the batch's barriers may
+	// persist any subset of the batch's headers, not necessarily a prefix
+	// — still never a valid header over torn data, so every surviving
+	// page is individually intact and per-page time stamp arbitration
+	// remains sound. Callers needing a strict prefix across power loss
+	// must program serially.
+	ProgramBatch(batch []PageProgram) error
 	// ProgramPartial programs a byte range of the data area of ppn.
 	ProgramPartial(ppn PPN, off int, chunk []byte) error
 	// ProgramSpare partially programs the spare area of ppn with pure AND
@@ -74,11 +93,20 @@ type Device interface {
 	Close() error
 }
 
+// PageProgram is one page of a ProgramBatch: the full data image for ppn
+// plus its spare header (Spare may be nil to leave the spare area alone).
+type PageProgram struct {
+	PPN   PPN
+	Data  []byte
+	Spare []byte
+}
+
 var _ Device = (*Chip)(nil)
 
 // Sync implements Device; the emulator is volatile, so there is nothing
-// to make durable.
-func (c *Chip) Sync() error { return nil }
+// to make durable. The call is still counted in Stats.Syncs so the
+// durability points a caller requests are observable on the emulator too.
+func (c *Chip) Sync() error { c.stats.AddSync(); return nil }
 
 // Close implements Device; the emulator holds no external resources.
 func (c *Chip) Close() error { return nil }

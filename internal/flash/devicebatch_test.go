@@ -1,0 +1,15 @@
+package flash_test
+
+// The device-level batch-programming conformance suite over the emulator;
+// the file-backed device runs the identical suite in its own package. Any
+// future backend should wire ftltest.RunDeviceBatchSuite the same way.
+
+import (
+	"testing"
+
+	"pdl/internal/ftltest"
+)
+
+func TestDeviceBatchConformanceOnEmulator(t *testing.T) {
+	ftltest.RunDeviceBatchSuite(t, ftltest.EmulatorDevice)
+}

@@ -287,3 +287,68 @@ func copyFile(t *testing.T, src, dst string) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeviceBatchConformanceOnFileDevice(t *testing.T) {
+	ftltest.RunDeviceBatchSuite(t, fileDevice)
+}
+
+// TestProgramBatchCoalescesSyncs pins the durability win the batch
+// contract promises: under SyncAlways a batch of N pages costs two fsyncs
+// (data barrier + header pass) where N serial programs cost two each.
+func TestProgramBatchCoalescesSyncs(t *testing.T) {
+	p := ftltest.SmallParams(8)
+	open := func(name string) *filedev.Device {
+		d, err := filedev.Open(filepath.Join(t.TempDir(), name), filedev.Options{
+			Params: p, Sync: filedev.SyncAlways,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	batched, serial := open("batched.img"), open("serial.img")
+
+	const n = 8
+	rng := rand.New(rand.NewSource(5))
+	batch := make([]flash.PageProgram, n)
+	for i := range batch {
+		batch[i] = flash.PageProgram{PPN: flash.PPN(i), Data: make([]byte, p.DataSize), Spare: make([]byte, p.SpareSize)}
+		rng.Read(batch[i].Data)
+		for j := range batch[i].Spare {
+			batch[i].Spare[j] = 0xFF
+		}
+		batch[i].Spare[0] = 0xB0
+	}
+	if err := batched.ProgramBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range batch {
+		if err := serial.Program(pp.PPN, pp.Data, pp.Spare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs, ss := batched.Stats(), serial.Stats()
+	if bs.Writes != ss.Writes {
+		t.Errorf("writes: batched %d, serial %d", bs.Writes, ss.Writes)
+	}
+	if bs.Syncs != 2 {
+		t.Errorf("batched syncs = %d, want 2 (data barrier + header pass)", bs.Syncs)
+	}
+	if ss.Syncs != 2*n {
+		t.Errorf("serial syncs = %d, want %d", ss.Syncs, 2*n)
+	}
+	// Same bytes on both devices regardless of the sync schedule.
+	a, b := make([]byte, p.DataSize), make([]byte, p.DataSize)
+	for _, pp := range batch {
+		if err := batched.ReadData(pp.PPN, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.ReadData(pp.PPN, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("ppn %d: batched and serial contents diverge", pp.PPN)
+		}
+	}
+}

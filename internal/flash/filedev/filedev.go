@@ -397,26 +397,11 @@ func (d *Device) Program(ppn flash.PPN, data, spare []byte) error {
 		return err
 	}
 	p := d.params
-	if len(data) != p.DataSize {
-		return fmt.Errorf("%w: data len %d, want %d", flash.ErrBufSize, len(data), p.DataSize)
-	}
-	if spare != nil && len(spare) != p.SpareSize {
-		return fmt.Errorf("%w: spare len %d, want %d", flash.ErrBufSize, len(spare), p.SpareSize)
-	}
 	if _, err := d.f.ReadAt(d.scratch, d.recordOff(ppn)); err != nil {
 		return err
 	}
-	if err := checkProgrammable(d.scratch[:p.DataSize], data); err != nil {
-		return fmt.Errorf("%w (ppn %d)", err, ppn)
-	}
-	if spare != nil {
-		if err := checkProgrammable(d.scratch[p.DataSize:], spare); err != nil {
-			return fmt.Errorf("%w (ppn %d spare)", err, ppn)
-		}
-	}
-	programInto(d.scratch[:p.DataSize], data)
-	if spare != nil {
-		programInto(d.scratch[p.DataSize:], spare)
+	if err := d.mergeProgram(d.scratch, ppn, data, spare); err != nil {
+		return err
 	}
 	if d.policy == SyncAlways && spare != nil {
 		// Durable write discipline: the data area must be on disk before
@@ -429,7 +414,7 @@ func (d *Device) Program(ppn flash.PPN, data, spare []byte) error {
 		if _, err := d.f.WriteAt(d.scratch[:p.DataSize], d.recordOff(ppn)); err != nil {
 			return err
 		}
-		if err := d.f.Sync(); err != nil {
+		if err := d.fsync(); err != nil {
 			return err
 		}
 		if _, err := d.f.WriteAt(d.scratch[p.DataSize:], d.recordOff(ppn)+int64(p.DataSize)); err != nil {
@@ -444,6 +429,124 @@ func (d *Device) Program(ppn flash.PPN, data, spare []byte) error {
 	}
 	d.stats.AddWrite(p.WriteMicros)
 	return d.maybeSync()
+}
+
+// mergeProgram validates one full-page program — buffer sizes and
+// AND-legality — against the stored-domain record rec and merges it in
+// place, leaving rec the post-program image. It is the shared legality
+// core of Program and ProgramBatch. The caller holds mu.
+func (d *Device) mergeProgram(rec []byte, ppn flash.PPN, data, spare []byte) error {
+	p := d.params
+	if len(data) != p.DataSize {
+		return fmt.Errorf("%w: data len %d, want %d (ppn %d)", flash.ErrBufSize, len(data), p.DataSize, ppn)
+	}
+	if spare != nil && len(spare) != p.SpareSize {
+		return fmt.Errorf("%w: spare len %d, want %d (ppn %d)", flash.ErrBufSize, len(spare), p.SpareSize, ppn)
+	}
+	if err := checkProgrammable(rec[:p.DataSize], data); err != nil {
+		return fmt.Errorf("%w (ppn %d)", err, ppn)
+	}
+	if spare != nil {
+		if err := checkProgrammable(rec[p.DataSize:], spare); err != nil {
+			return fmt.Errorf("%w (ppn %d spare)", err, ppn)
+		}
+	}
+	programInto(rec[:p.DataSize], data)
+	if spare != nil {
+		programInto(rec[p.DataSize:], spare)
+	}
+	return nil
+}
+
+// ProgramBatch implements the batched half of the flash.Device contract.
+// The whole batch is read back, conflict-checked, and merged in memory
+// first, so a validation failure (bad address, wrong buffer size, duplicate
+// PPN, AND-conflict) programs nothing. The merged records are then written
+// with ordered pwrites — a killed process leaves exactly a prefix of the
+// batch at the file's granularity. Under SyncAlways the batch keeps the
+// per-program durability discipline at batch scope: every data area is
+// written and fsynced before any spare header, so a power loss can never
+// persist a valid header over torn data; that is two fsyncs per batch
+// where serial programs pay two per page. The coalescing tradeoff: the
+// headers between the two barriers reach disk in arbitrary writeback
+// order, so an OS crash or power loss there can persist any subset of the
+// batch's pages (each individually intact) rather than a strict prefix —
+// serial SyncAlways programs, which fsync every header, are the option
+// for callers that need prefix durability across power loss.
+func (d *Device) ProgramBatch(batch []flash.PageProgram) error {
+	if len(batch) == 0 {
+		return nil // zero programs cost zero syncs, as they would serially
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.params
+
+	// Pass 0: validate everything and build the merged stored-domain
+	// records before touching the file.
+	recs := make([][]byte, len(batch))
+	defer func() {
+		for _, rec := range recs {
+			if rec != nil {
+				d.readBufs.Put(rec) //nolint:staticcheck // []byte header alloc is fine here
+			}
+		}
+	}()
+	seen := make(map[flash.PPN]struct{}, len(batch))
+	for i, pp := range batch {
+		if _, err := d.addr(pp.PPN); err != nil {
+			return err
+		}
+		if _, dup := seen[pp.PPN]; dup {
+			return fmt.Errorf("%w: ppn %d", flash.ErrDuplicatePPN, pp.PPN)
+		}
+		seen[pp.PPN] = struct{}{}
+		rec := d.readBufs.Get().([]byte)
+		recs[i] = rec
+		if _, err := d.f.ReadAt(rec, d.recordOff(pp.PPN)); err != nil {
+			return err
+		}
+		if err := d.mergeProgram(rec, pp.PPN, pp.Data, pp.Spare); err != nil {
+			return err
+		}
+	}
+
+	if d.policy == SyncAlways {
+		// Pass 1: all data areas, in batch order, then the barrier.
+		for i, pp := range batch {
+			if _, err := d.f.WriteAt(recs[i][:p.DataSize], d.recordOff(pp.PPN)); err != nil {
+				return err
+			}
+		}
+		if err := d.fsync(); err != nil {
+			return err
+		}
+		// Pass 2: the spare headers and page metadata.
+		for i, pp := range batch {
+			if _, err := d.f.WriteAt(recs[i][p.DataSize:], d.recordOff(pp.PPN)+int64(p.DataSize)); err != nil {
+				return err
+			}
+			d.sparePrg[pp.PPN]++
+			if err := d.writePageMeta(pp.PPN); err != nil {
+				return err
+			}
+			d.stats.AddWrite(p.WriteMicros)
+		}
+		return d.maybeSync()
+	}
+
+	// Without write-through there is no ordering to defend between the
+	// two areas of one page: write whole records, in batch order.
+	for i, pp := range batch {
+		if _, err := d.f.WriteAt(recs[i], d.recordOff(pp.PPN)); err != nil {
+			return err
+		}
+		d.sparePrg[pp.PPN]++
+		if err := d.writePageMeta(pp.PPN); err != nil {
+			return err
+		}
+		d.stats.AddWrite(p.WriteMicros)
+	}
+	return nil
 }
 
 // ProgramPartial implements flash.Device for a byte range of the data area.
@@ -606,7 +709,7 @@ func (d *Device) Sync() error {
 	if d.closed {
 		return ErrClosed
 	}
-	return d.f.Sync()
+	return d.fsync()
 }
 
 // Close implements flash.Device: sync per policy and release the file.
@@ -620,7 +723,7 @@ func (d *Device) Close() error {
 	d.closed = true
 	var err error
 	if d.policy != SyncNever {
-		err = d.f.Sync()
+		err = d.fsync()
 	}
 	if cerr := d.f.Close(); err == nil {
 		err = cerr
@@ -630,8 +733,18 @@ func (d *Device) Close() error {
 
 func (d *Device) maybeSync() error {
 	if d.policy == SyncAlways {
-		return d.f.Sync()
+		return d.fsync()
 	}
+	return nil
+}
+
+// fsync syncs the backing file, counting the operation in Stats.Syncs.
+// The caller holds the lock.
+func (d *Device) fsync() error {
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.stats.AddSync()
 	return nil
 }
 

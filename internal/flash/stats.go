@@ -20,6 +20,14 @@ type Stats struct {
 	Writes int64
 	// Erases is the number of block erase operations.
 	Erases int64
+	// Syncs is the number of durability operations the device performed:
+	// fsyncs for the file-backed device (per its SyncPolicy, including the
+	// data/header barrier of SyncAlways programs), explicit Sync calls for
+	// the emulator. It carries no simulated time — the paper's cost model
+	// has no fsync — but it is the counter that makes write batching
+	// observable: a batched flush coalesces the per-program syncs of
+	// SyncAlways into at most two per batch.
+	Syncs int64
 	// TimeMicros is the accumulated simulated I/O time in microseconds.
 	TimeMicros int64
 }
@@ -30,7 +38,7 @@ type Stats struct {
 // Chip and the file-backed device) embed one; the device contents still
 // require external serialization, only the counters are lock-free.
 type Counters struct {
-	reads, writes, erases, timeMicros atomic.Int64
+	reads, writes, erases, syncs, timeMicros atomic.Int64
 }
 
 // AddRead records one page read costing us simulated microseconds.
@@ -42,6 +50,10 @@ func (o *Counters) AddWrite(us int64) { o.writes.Add(1); o.timeMicros.Add(us) }
 // AddErase records one block erase costing us simulated microseconds.
 func (o *Counters) AddErase(us int64) { o.erases.Add(1); o.timeMicros.Add(us) }
 
+// AddSync records one durability operation (fsync or explicit Sync); the
+// paper's cost model assigns it no simulated time.
+func (o *Counters) AddSync() { o.syncs.Add(1) }
+
 // Snapshot returns the current totals. Concurrent with operations the
 // fields are individually (not jointly) consistent, which is all
 // monitoring needs.
@@ -50,6 +62,7 @@ func (o *Counters) Snapshot() Stats {
 		Reads:      o.reads.Load(),
 		Writes:     o.writes.Load(),
 		Erases:     o.erases.Load(),
+		Syncs:      o.syncs.Load(),
 		TimeMicros: o.timeMicros.Load(),
 	}
 }
@@ -59,6 +72,7 @@ func (o *Counters) Reset() {
 	o.reads.Store(0)
 	o.writes.Store(0)
 	o.erases.Store(0)
+	o.syncs.Store(0)
 	o.timeMicros.Store(0)
 }
 
@@ -76,6 +90,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Reads:      s.Reads - o.Reads,
 		Writes:     s.Writes - o.Writes,
 		Erases:     s.Erases - o.Erases,
+		Syncs:      s.Syncs - o.Syncs,
 		TimeMicros: s.TimeMicros - o.TimeMicros,
 	}
 }
@@ -86,6 +101,7 @@ func (s Stats) Add(o Stats) Stats {
 		Reads:      s.Reads + o.Reads,
 		Writes:     s.Writes + o.Writes,
 		Erases:     s.Erases + o.Erases,
+		Syncs:      s.Syncs + o.Syncs,
 		TimeMicros: s.TimeMicros + o.TimeMicros,
 	}
 }
@@ -97,8 +113,8 @@ func (s Stats) Ops() int64 { return s.Reads + s.Writes + s.Erases }
 func (s Stats) Time() time.Duration { return time.Duration(s.TimeMicros) * time.Microsecond }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d erases=%d io=%s",
-		s.Reads, s.Writes, s.Erases, s.Time())
+	return fmt.Sprintf("reads=%d writes=%d erases=%d syncs=%d io=%s",
+		s.Reads, s.Writes, s.Erases, s.Syncs, s.Time())
 }
 
 // TimeOf recomputes the I/O time of s under different timing parameters.

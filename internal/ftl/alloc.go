@@ -228,6 +228,50 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 	return a.take()
 }
 
+// AllocBatch returns the next n free pages in append order, restoring the
+// erased-block reserve up front so that NO garbage collection runs between
+// the first and the last page of the batch. That ordering matters: a
+// batch's pages are programmed after all of them are allocated, and a
+// collection in between could pick a block holding allocated-but-still-
+// unprogrammed pages as its victim (relocation would skip them — their
+// spare areas are erased — and the erase would hand them out a second
+// time). Returns ErrNoSpace if the flash cannot provide n pages plus the
+// reserve even after collecting everything reclaimable. Collected is the
+// number of garbage collections the call ran.
+func (a *Allocator) AllocBatch(n int) (ppns []flash.PPN, collected int, err error) {
+	if n <= 0 {
+		return nil, 0, nil
+	}
+	if !a.inGC {
+		for a.blocksNeededFor(n)+a.reserve > len(a.freeList) {
+			if err := a.collect(); err != nil {
+				return nil, collected, err
+			}
+			collected++
+		}
+	}
+	ppns = make([]flash.PPN, n)
+	for i := range ppns {
+		if ppns[i], err = a.take(); err != nil {
+			return nil, collected, err
+		}
+	}
+	return ppns, collected, nil
+}
+
+// blocksNeededFor returns how many free-list blocks handing out n pages
+// would consume, given the active block's remaining tail.
+func (a *Allocator) blocksNeededFor(n int) int {
+	avail := 0
+	if a.active >= 0 {
+		avail = a.params.PagesPerBlock - a.nextPage
+	}
+	if n <= avail {
+		return 0
+	}
+	return (n - avail + a.params.PagesPerBlock - 1) / a.params.PagesPerBlock
+}
+
 // TryAlloc hands out the next free page only if it can do so without
 // garbage collecting: pages of the current active block are always
 // available, and a block switch succeeds as long as it leaves the

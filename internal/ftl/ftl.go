@@ -67,6 +67,25 @@ type Method interface {
 	Stats() flash.Stats
 }
 
+// PageWrite is one logical page reflection of a write batch: the
+// up-to-date image of page PID. Data must stay untouched for the duration
+// of the batch call that carries it.
+type PageWrite struct {
+	PID  uint32
+	Data []byte
+}
+
+// BatchWriter is implemented by page-update methods whose write path
+// accepts whole batches of reflections at once (the PDL store). A
+// WriteBatch call is semantically equivalent to calling WritePage for each
+// element in slice order, but lets the method coalesce its physical page
+// programs — and the device its durability work — across the batch. The
+// buffer pool's flush path feeds every method through this interface when
+// available and falls back to per-page WritePage otherwise.
+type BatchWriter interface {
+	WriteBatch(writes []PageWrite) error
+}
+
 // Page type tags stored in spare[0]. 0xFF is the erased value, so a free
 // page is distinguishable from every written page type.
 const (

@@ -62,6 +62,151 @@ func RunMethodSuiteOn(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	t.Run("SurvivesHeavyGC", func(t *testing.T) { testHeavyGC(t, newDevice, factory) })
 	t.Run("FlushThenRead", func(t *testing.T) { testFlushThenRead(t, newDevice, factory) })
 	t.Run("PhysicalLegality", func(t *testing.T) { testPhysicalLegality(t, newDevice, factory) })
+	t.Run("BatchWriteMatchesShadow", func(t *testing.T) { testBatchWrite(t, newDevice, factory) })
+}
+
+// RunDeviceBatchSuite runs the ProgramBatch half of the flash.Device
+// contract against devices built by newDevice. Every backend — the
+// emulator, the file-backed device, any future one — must make a batch
+// indistinguishable from the same programs issued serially, validate the
+// whole batch before touching any page, and reject duplicate PPNs.
+func RunDeviceBatchSuite(t *testing.T, newDevice DeviceFactory) {
+	t.Helper()
+	t.Run("BatchMatchesSerial", func(t *testing.T) { testDevBatchMatchesSerial(t, newDevice) })
+	t.Run("ValidationProgramsNothing", func(t *testing.T) { testDevBatchValidation(t, newDevice) })
+	t.Run("DuplicatePPNRejected", func(t *testing.T) { testDevBatchDuplicate(t, newDevice) })
+}
+
+func devBatchFor(t *testing.T, newDevice DeviceFactory) flash.Device {
+	t.Helper()
+	dev := newDevice(t, SmallParams(8))
+	t.Cleanup(func() { dev.Close() })
+	return dev
+}
+
+// batchPattern builds a deterministic page program for ppn.
+func batchPattern(p flash.Params, ppn flash.PPN, seed int64) flash.PageProgram {
+	rng := rand.New(rand.NewSource(seed + int64(ppn)))
+	pp := flash.PageProgram{PPN: ppn, Data: make([]byte, p.DataSize), Spare: make([]byte, p.SpareSize)}
+	rng.Read(pp.Data)
+	for i := range pp.Spare {
+		pp.Spare[i] = 0xFF
+	}
+	pp.Spare[0] = byte(0xA0 | (ppn & 0x0F))
+	return pp
+}
+
+func testDevBatchMatchesSerial(t *testing.T, newDevice DeviceFactory) {
+	batched, serial := devBatchFor(t, newDevice), devBatchFor(t, newDevice)
+	p := batched.Params()
+	// A batch spanning two blocks, including one page with a nil spare.
+	var batch []flash.PageProgram
+	for i := 0; i < p.PagesPerBlock+3; i++ {
+		pp := batchPattern(p, flash.PPN(i), 1)
+		if i == 2 {
+			pp.Spare = nil
+		}
+		batch = append(batch, pp)
+	}
+	before := batched.Stats()
+	if err := batched.ProgramBatch(batch); err != nil {
+		t.Fatalf("ProgramBatch: %v", err)
+	}
+	if got := batched.Stats().Sub(before).Writes; got != int64(len(batch)) {
+		t.Errorf("batch of %d pages charged %d writes", len(batch), got)
+	}
+	for _, pp := range batch {
+		if err := serial.Program(pp.PPN, pp.Data, pp.Spare); err != nil {
+			t.Fatalf("serial Program ppn %d: %v", pp.PPN, err)
+		}
+	}
+	data1, spare1 := make([]byte, p.DataSize), make([]byte, p.SpareSize)
+	data2, spare2 := make([]byte, p.DataSize), make([]byte, p.SpareSize)
+	for _, pp := range batch {
+		if err := batched.Read(pp.PPN, data1, spare1); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.Read(pp.PPN, data2, spare2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data1, data2) || !bytes.Equal(spare1, spare2) {
+			t.Fatalf("ppn %d: batched and serial programs diverge", pp.PPN)
+		}
+	}
+	// The spare-program budget must be charged identically: both devices
+	// accept the same number of further spare programs.
+	spare := make([]byte, p.SpareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	spare[1] = 0x00
+	for {
+		err1 := batched.ProgramSpare(batch[0].PPN, spare)
+		err2 := serial.ProgramSpare(batch[0].PPN, spare)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("spare-program budget diverges: batched err %v, serial err %v", err1, err2)
+		}
+		if err1 != nil {
+			break
+		}
+	}
+}
+
+func testDevBatchValidation(t *testing.T, newDevice DeviceFactory) {
+	dev := devBatchFor(t, newDevice)
+	p := dev.Params()
+	// Pre-program page 1 so that re-programming it with fresh random data
+	// is an AND conflict.
+	taken := batchPattern(p, 1, 7)
+	if err := dev.Program(taken.PPN, taken.Data, taken.Spare); err != nil {
+		t.Fatal(err)
+	}
+	conflict := batchPattern(p, 1, 8)
+	good0, good2 := batchPattern(p, 0, 7), batchPattern(p, 2, 7)
+	err := dev.ProgramBatch([]flash.PageProgram{good0, conflict, good2})
+	if !errors.Is(err, flash.ErrProgramConflict) {
+		t.Fatalf("conflicting batch: err = %v, want ErrProgramConflict", err)
+	}
+	// Validation happens before programming: the good pages around the
+	// conflict must be untouched (still erased).
+	data := make([]byte, p.DataSize)
+	for _, ppn := range []flash.PPN{0, 2} {
+		if err := dev.ReadData(ppn, data); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range data {
+			if b != 0xFF {
+				t.Fatalf("ppn %d byte %d = %#x after failed batch, want erased", ppn, i, b)
+			}
+		}
+	}
+	if err := dev.ProgramBatch([]flash.PageProgram{batchPattern(p, flash.PPN(p.NumPages()), 1)}); !errors.Is(err, flash.ErrOutOfRange) {
+		t.Errorf("out-of-range batch: err = %v, want ErrOutOfRange", err)
+	}
+	short := batchPattern(p, 3, 1)
+	short.Data = short.Data[:p.DataSize-1]
+	if err := dev.ProgramBatch([]flash.PageProgram{short}); !errors.Is(err, flash.ErrBufSize) {
+		t.Errorf("short-buffer batch: err = %v, want ErrBufSize", err)
+	}
+}
+
+func testDevBatchDuplicate(t *testing.T, newDevice DeviceFactory) {
+	dev := devBatchFor(t, newDevice)
+	p := dev.Params()
+	a, b := batchPattern(p, 4, 1), batchPattern(p, 4, 2)
+	err := dev.ProgramBatch([]flash.PageProgram{a, b})
+	if !errors.Is(err, flash.ErrDuplicatePPN) {
+		t.Fatalf("duplicate batch: err = %v, want ErrDuplicatePPN", err)
+	}
+	data := make([]byte, p.DataSize)
+	if err := dev.ReadData(4, data); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range data {
+		if c != 0xFF {
+			t.Fatalf("byte %d = %#x after rejected duplicate batch, want erased", i, c)
+		}
+	}
 }
 
 func pagePattern(pid uint32, version int, size int) []byte {
@@ -281,6 +426,56 @@ func testFlushThenRead(t *testing.T, newDevice DeviceFactory, factory Factory) {
 		t.Fatal(err)
 	}
 	// Flushing twice must be harmless.
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, m, shadow)
+}
+
+func testBatchWrite(t *testing.T, newDevice DeviceFactory, factory Factory) {
+	// Methods that accept whole write batches (ftl.BatchWriter) must be
+	// indistinguishable from serial WritePage calls in slice order,
+	// including batches that rewrite the same pid twice and batches large
+	// enough to force garbage collection. Methods without batch support
+	// pass vacuously.
+	const numPages = 48
+	m, dev := mustNew(t, newDevice, factory, 16, numPages)
+	bw, ok := m.(ftl.BatchWriter)
+	if !ok {
+		t.Skipf("%s does not implement ftl.BatchWriter", m.Name())
+	}
+	size := dev.Params().DataSize
+	shadow := load(t, m, numPages, size)
+	rng := rand.New(rand.NewSource(17))
+	buf := make([]byte, size)
+	for round := 0; round < 30; round++ {
+		n := 1 + rng.Intn(24)
+		batch := make([]ftl.PageWrite, n)
+		for i := range batch {
+			pid := uint32(rng.Intn(numPages))
+			data := pagePattern(pid, round*1000+i+1, size)
+			if rng.Intn(4) == 0 { // small update: exercises the buffered path
+				copy(data, shadow[pid])
+				off := rng.Intn(size - 8)
+				rng.Read(data[off : off+8])
+			}
+			batch[i] = ftl.PageWrite{PID: pid, Data: data}
+			copy(shadow[pid], data)
+		}
+		if err := bw.WriteBatch(batch); err != nil {
+			t.Fatalf("round %d: WriteBatch: %v", round, err)
+		}
+		// Every write of the batch must be immediately visible, exactly as
+		// after serial WritePage calls.
+		for _, w := range batch {
+			if err := m.ReadPage(w.PID, buf); err != nil {
+				t.Fatalf("round %d: read pid %d: %v", round, w.PID, err)
+			}
+			if !bytes.Equal(buf, shadow[w.PID]) {
+				t.Fatalf("round %d: pid %d not visible after batch", round, w.PID)
+			}
+		}
+	}
 	if err := m.Flush(); err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,8 @@ func (r RID) String() string { return fmt.Sprintf("rid(%d,%d)", r.Page, r.Slot) 
 
 // Heap is a heap file over a contiguous range of logical pages accessed
 // through a shared buffer pool. Several heaps (tables) partition one
-// database's page space.
+// database's page space. Durability is the pool's: flushing the shared
+// pool reflects every heap's dirty pages as one pid-ordered write batch.
 type Heap struct {
 	pool     *buffer.Pool
 	first    uint32 // first logical page of the range

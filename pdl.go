@@ -45,6 +45,24 @@
 // boundary is the paper's point: page-differential logging needs only the
 // flash driver, never the DBMS above it.
 //
+// # Batched writes
+//
+// The write pipeline is batch-first end to end. Store.WriteBatch reflects
+// a group of pages as if WritePage had been called for each in order, but
+// computes the differentials shard-parallel and programs every resulting
+// flash page (differential-page spills, new base pages) as one device
+// ProgramBatch — on a SyncAlways file device that is two fsyncs per batch
+// instead of two per page, and crash recovery of an interrupted batch
+// always yields a serially-written prefix of it:
+//
+//	batch := []pdl.PageWrite{{PID: 1, Data: p1}, {PID: 9, Data: p9}}
+//	err := store.WriteBatch(batch) // one device batch, TS-ordered
+//
+// Pool.Flush rides the same path automatically: dirty frames are written
+// back as one pid-ordered WriteBatch whenever the method supports it, and
+// NewPoolOpts can additionally cluster cold dirty frames into the batch
+// on eviction pressure (PoolOptions.EvictionBatch).
+//
 // # Concurrency
 //
 // A Store is safe for concurrent use by multiple goroutines; the baseline
@@ -168,6 +186,17 @@ func OpenFileDevice(path string, opts FileDeviceOptions) (*FileDevice, error) {
 // implement it.
 type Method = ftl.Method
 
+// PageWrite is one logical page reflection of a write batch.
+type PageWrite = ftl.PageWrite
+
+// BatchWriter is the optional batched write interface; the PDL Store
+// implements it (Store.WriteBatch), and the buffer pool feeds any method
+// that does.
+type BatchWriter = ftl.BatchWriter
+
+// PageProgram is one physical page of a Device.ProgramBatch.
+type PageProgram = flash.PageProgram
+
 // Errors shared by all methods.
 var (
 	// ErrNotWritten reports a read of a logical page never written.
@@ -253,12 +282,24 @@ func OpenIPL(dev Device, numPages int, opts IPLOptions) (*IPLStore, error) {
 }
 
 // Pool is an LRU buffer pool over any Method (the DBMS buffer of the
-// paper's Figure 10).
+// paper's Figure 10). Its write-back path is batch-first: Flush collects
+// dirty frames in ascending pid order and hands them to the method as one
+// WriteBatch when the method implements BatchWriter.
 type Pool = buffer.Pool
+
+// PoolOptions tunes a buffer pool beyond its capacity (write-back
+// clustering under eviction pressure).
+type PoolOptions = buffer.Options
 
 // NewPool builds a buffer pool of capacity pages over method.
 func NewPool(method Method, capacity int) (*Pool, error) {
 	return buffer.NewPool(method, capacity)
+}
+
+// NewPoolOpts builds a buffer pool of capacity pages over method with
+// explicit options.
+func NewPoolOpts(method Method, capacity int, opts PoolOptions) (*Pool, error) {
+	return buffer.NewPoolOpts(method, capacity, opts)
 }
 
 // Heap is a slotted-page heap file over a buffer pool.

@@ -154,3 +154,65 @@ func TestPublicAPIPoolHeapBTree(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeWriteBatch(t *testing.T) {
+	chip := pdl.NewChip(pdl.ScaledFlashParams(16))
+	store, err := pdl.Open(chip, 64, pdl.Options{MaxDifferentialSize: 256, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := store.PageSize()
+	batch := make([]pdl.PageWrite, 8)
+	for i := range batch {
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		batch[i] = pdl.PageWrite{PID: uint32(i * 5), Data: data}
+	}
+	var bw pdl.BatchWriter = store // the store advertises batch support
+	if err := bw.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	for _, w := range batch {
+		if err := store.ReadPage(w.PID, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, w.Data) {
+			t.Fatalf("pid %d: batch write not visible", w.PID)
+		}
+	}
+	tel := store.Telemetry()
+	if tel.BatchWrites == 0 || tel.BatchedPages == 0 {
+		t.Errorf("batch telemetry not counted: %+v", tel)
+	}
+
+	// A pool over the store flushes through the batch path, and eviction
+	// clustering is reachable through the facade options.
+	pool, err := pdl.NewPoolOpts(store, 4, pdl.PoolOptions{EvictionBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 8; pid++ {
+		d, err := pool.GetNew(40 + pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[0] = byte(pid)
+		if err := pool.MarkDirty(40 + pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for pid := uint32(0); pid < 8; pid++ {
+		if err := store.ReadPage(40+pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(pid) {
+			t.Fatalf("pool page %d lost", 40+pid)
+		}
+	}
+}
