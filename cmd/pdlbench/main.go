@@ -10,6 +10,7 @@
 //	pdlbench -exp 3 -csv             # CSV for external plotting
 //	pdlbench -exp par -workers 16    # parallel update throughput, PDL vs baselines
 //	pdlbench -exp gctail -workers 8  # reflection tail latency, sync vs background GC
+//	pdlbench -exp read -assertread   # hot reads: diff cache off vs on vs batched
 //	pdlbench -exp 1 -backend file    # same experiment on the persistent backend
 //	pdlbench -exp par -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -69,8 +70,10 @@ func realMain() int {
 		nupdates  = flag.Int("n", 1, "N_updates_till_write for experiments 3 and 4")
 		warehouse = flag.Int("warehouses", 1, "TPC-C warehouses for experiment 7")
 		workers   = flag.Int("workers", 4, "max worker goroutines for the parallel experiment (-exp par)")
-		batchSize = flag.Int("batchsize", 64, "reflections per commit round for the batch experiment (-exp batch)")
+		batchSize = flag.Int("batchsize", 64, "reflections per commit round for the batch experiment (-exp batch), logical reads per ReadBatch for the read experiment (-exp read)")
 		assertB   = flag.Bool("assertbatch", false, "with -exp batch: exit nonzero unless batched mode syncs no more (file backend: strictly less, at no lower throughput) than per-page mode")
+		readcache = flag.String("readcache", "both", "with -exp read: run the cache-off mode, the cache-on modes, or both")
+		assertR   = flag.Bool("assertread", false, "with -exp read: exit nonzero unless the cache cuts device reads per logical read from ~2 to ~1 (needs -readcache both)")
 		backend   = flag.String("backend", "emu", "flash backend: emu (in-memory) or file (persistent)")
 		path      = flag.String("path", "", "directory for -backend file device files (default: a temp dir)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (profile GC and lock behavior directly)")
@@ -244,8 +247,12 @@ func realMain() int {
 			if err := runBatch(g, *backend, *path, *batchSize, *ops, *assertB); err != nil {
 				return err
 			}
+		case "read":
+			if err := runRead(g, *backend, *batchSize, *ops, *readcache, *assertR); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, or all)", id)
+			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, read, or all)", id)
 		}
 		fmt.Println()
 		return nil
@@ -323,6 +330,64 @@ func runBatch(g bench.Geometry, backend, path string, batchSize, ops int, assert
 	}
 	fmt.Printf("# batch check passed: syncs %d vs %d, ops/s %.0f vs %.0f\n",
 		batched.Flash.Syncs, perPage.Flash.Syncs, batched.OpsPerSecond(), perPage.OpsPerSecond())
+	return nil
+}
+
+// runRead runs bench.ExpRead: the identical hot random-read workload over
+// a database in which every page carries a flushed differential, served
+// with the paper's two-read PDL_Reading (cache-off), with the decoded-
+// differential cache (cache-on), and through batched ReadBatch calls
+// (batch). The headline column is reads/op: the cache cuts the two serial
+// flash reads per hot diff-bearing read to one, which halves the simulated
+// I/O time per read — the deterministic form of the >=2x hot-read
+// throughput claim that -assertread enforces.
+func runRead(g bench.Geometry, backend string, batchSize, ops int, cacheSel string, assert bool) error {
+	var modes []string
+	switch cacheSel {
+	case "both":
+	case "on":
+		modes = []string{"cache-on", "batch"}
+	case "off":
+		modes = []string{"cache-off"}
+	default:
+		return fmt.Errorf("unknown -readcache %q (want on, off, or both)", cacheSel)
+	}
+	if assert && cacheSel != "both" {
+		return fmt.Errorf("-assertread needs -readcache both")
+	}
+	maxDiff := g.Params.DataSize / 8
+	fmt.Printf("Read experiment: hot reads of diff-bearing pages, cache off vs on vs batched, PDL(%dB)\n", maxDiff)
+	fmt.Printf("# geometry: %s, DB = %d pages, ~%d reads per mode, backend %s\n",
+		g.Params, g.NumPages(), ops, backend)
+	points, err := bench.ExpRead(g, maxDiff, ops, batchSize, modes...)
+	if err != nil {
+		return err
+	}
+	bench.WriteReadTable(os.Stdout, points)
+	if !assert {
+		return nil
+	}
+	byMode := map[string]bench.ReadPoint{}
+	for _, p := range points {
+		byMode[p.Mode] = p
+	}
+	off, on, batched := byMode["cache-off"], byMode["cache-on"], byMode["batch"]
+	if off.ReadsPerOp() < 1.9 {
+		return fmt.Errorf("cache-off mode cost %.2f device reads per read, want ~2 (the workload failed to make pages diff-bearing)",
+			off.ReadsPerOp())
+	}
+	if on.ReadsPerOp() > 1.15 {
+		return fmt.Errorf("cache-on mode cost %.2f device reads per read, want ~1", on.ReadsPerOp())
+	}
+	if batched.ReadsPerOp() > 1.15 {
+		return fmt.Errorf("batch mode cost %.2f device reads per read, want ~1", batched.ReadsPerOp())
+	}
+	ratio := off.SimMicrosPerOp() / on.SimMicrosPerOp()
+	if ratio < 1.8 {
+		return fmt.Errorf("cache sped hot reads up %.2fx in simulated I/O time, want >=1.8x", ratio)
+	}
+	fmt.Printf("# read check passed: reads/op %.2f -> %.2f (batched %.2f), simulated hot-read speedup %.2fx\n",
+		off.ReadsPerOp(), on.ReadsPerOp(), batched.ReadsPerOp(), ratio)
 	return nil
 }
 

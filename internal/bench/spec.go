@@ -67,6 +67,11 @@ func (s MethodSpec) Build(dev flash.Device, numPages int) (ftl.Method, error) {
 			MaxDifferentialSize: s.Param,
 			ReserveBlocks:       2,
 			Shards:              s.Shards,
+			// The paper-reproduction experiments measure PDL_Reading as
+			// published — two flash reads for a diff-bearing page — so the
+			// decoded-differential cache is pinned off here; -exp read
+			// measures the cache's effect explicitly.
+			DiffCachePages: core.DiffCacheOff,
 		})
 	case KindOPU:
 		return opu.New(dev, numPages, 2)

@@ -1,0 +1,115 @@
+package btree
+
+// Range-scan readahead: with a pool readahead window, the leaf-chain walk
+// must prefetch its upcoming pages in batched device reads without
+// changing the scan's results; without one, behavior is exactly demand
+// paging.
+
+import (
+	"testing"
+
+	"pdl/internal/buffer"
+	"pdl/internal/core"
+	"pdl/internal/flash"
+	"pdl/internal/ftltest"
+)
+
+func scanTree(t *testing.T, opts buffer.Options, poolPages int) ([]uint64, buffer.Stats, flash.Stats) {
+	t.Helper()
+	chip := flash.NewChip(ftltest.SmallParams(32))
+	s, err := core.New(chip, 256, core.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.NewPoolOpts(s, poolPages, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(pool, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4000
+	for k := 0; k < keys; k++ {
+		if err := tree.Insert(uint64(k*7%keys), uint64(k)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the pool's influence: drop everything resident by scanning a
+	// fresh pool? Instead, measure a full-range scan after the load; the
+	// interesting comparison is the device-read pattern below.
+	chip.ResetStats()
+	var got []uint64
+	if err := tree.Range(0, ^uint64(0), func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	return got, pool.Stats(), chip.Stats()
+}
+
+func TestRangeReadaheadMatchesDemandPaging(t *testing.T) {
+	// A pool far smaller than the tree forces the scan to fault leaves.
+	demand, _, demandFlash := scanTree(t, buffer.Options{}, 8)
+	ahead, aheadStats, aheadFlash := scanTree(t, buffer.Options{Readahead: 8}, 8)
+	if len(demand) != len(ahead) {
+		t.Fatalf("scan lengths differ: demand %d, readahead %d", len(demand), len(ahead))
+	}
+	for i := range demand {
+		if demand[i] != ahead[i] {
+			t.Fatalf("scan element %d differs: demand %d, readahead %d", i, demand[i], ahead[i])
+		}
+	}
+	if aheadStats.Readaheads == 0 {
+		t.Error("readahead scan never prefetched")
+	}
+	if demandFlash.Reads == 0 || aheadFlash.Reads == 0 {
+		t.Error("scans did not touch the device; pool too large for the test")
+	}
+	// Prefetching trades read order for batching; it must not cost a
+	// pathological number of extra device reads (window re-reads of pages
+	// evicted before use would show up here).
+	if aheadFlash.Reads > 2*demandFlash.Reads {
+		t.Errorf("readahead scan cost %d device reads vs %d demand-paged (>2x)", aheadFlash.Reads, demandFlash.Reads)
+	}
+}
+
+func TestShortRangeCostsNoSpeculativeIO(t *testing.T) {
+	// A scan that ends on its first leaf must not prefetch at all, even
+	// with a readahead window configured.
+	chip := flash.NewChip(ftltest.SmallParams(32))
+	s, err := core.New(chip, 256, core.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.NewPoolOpts(s, 8, buffer.Options{Readahead: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(pool, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2000; k++ {
+		if err := tree.Insert(uint64(k), uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found := 0
+	if err := tree.Range(10, 10, func(k, v uint64) bool {
+		found++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if found != 1 {
+		t.Fatalf("point Range found %d keys, want 1", found)
+	}
+	if st := pool.Stats(); st.Readaheads != 0 {
+		t.Errorf("point Range prefetched %d pages, want 0", st.Readaheads)
+	}
+}

@@ -37,7 +37,8 @@ type frame struct {
 // are single-threaded, like the I/O path of the paper's experiments.
 type Pool struct {
 	method   ftl.Method
-	batcher  ftl.BatchWriter // method, if it accepts batches; nil otherwise
+	batcher  ftl.BatchWriter // method, if it accepts write batches; nil otherwise
+	breader  ftl.BatchReader // method, if it accepts read batches; nil otherwise
 	capacity int
 	frames   map[uint32]*frame
 	lru      *list.List // front = most recently used
@@ -45,9 +46,12 @@ type Pool struct {
 	// evictionBatch is how many dirty frames one dirty eviction may write
 	// back together (write-back clustering); see Options.
 	evictionBatch int
-	closed        bool
+	// readahead is the speculative prefetch window storage layers may use
+	// (0 = off); see Options.
+	readahead int
+	closed    bool
 
-	hits, misses, evictions, writebacks int64
+	hits, misses, evictions, writebacks, readaheads int64
 }
 
 // Options tunes a pool beyond its capacity.
@@ -63,6 +67,15 @@ type Options struct {
 	// dirty page is reflected; a page re-dirtied after an early write-back
 	// costs one extra reflection, which is why it is opt-in.
 	EvictionBatch int
+	// Readahead is the speculative prefetch window for storage layers
+	// that scan (the B+-tree's Range walks its leaf chain with it): when
+	// positive, such layers call Pool.Readahead for up to Readahead pages
+	// past their current position, which the pool faults in as one method
+	// ReadBatch. 0 (the default) disables readahead, preserving strict
+	// demand paging and the paper's read counts. Readahead never evicts
+	// more of the pool than the window and never changes results — only
+	// when pages are faulted, and in how many device operations.
+	Readahead int
 }
 
 // NewPool builds a pool of capacity pages over method with default
@@ -80,6 +93,10 @@ func NewPoolOpts(method ftl.Method, capacity int, opts Options) (*Pool, error) {
 	if eb < 1 {
 		eb = 1
 	}
+	ra := opts.Readahead
+	if ra < 0 {
+		ra = 0
+	}
 	p := &Pool{
 		method:        method,
 		capacity:      capacity,
@@ -87,9 +104,13 @@ func NewPoolOpts(method ftl.Method, capacity int, opts Options) (*Pool, error) {
 		lru:           list.New(),
 		pageSize:      method.PageSize(),
 		evictionBatch: eb,
+		readahead:     ra,
 	}
 	if bw, ok := method.(ftl.BatchWriter); ok {
 		p.batcher = bw
+	}
+	if br, ok := method.(ftl.BatchReader); ok {
+		p.breader = br
 	}
 	return p, nil
 }
@@ -112,12 +133,20 @@ type Stats struct {
 	Misses     int64
 	Evictions  int64
 	Writebacks int64
+	// Readaheads counts pages faulted in speculatively by Readahead
+	// (misses counts only demand faults).
+	Readaheads int64
 }
 
 // Stats returns the pool counters.
 func (p *Pool) Stats() Stats {
-	return Stats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Writebacks: p.writebacks}
+	return Stats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions,
+		Writebacks: p.writebacks, Readaheads: p.readaheads}
 }
+
+// ReadaheadWindow returns the configured speculative prefetch window
+// (0 = readahead off); scanning storage layers consult it.
+func (p *Pool) ReadaheadWindow() int { return p.readahead }
 
 // Get returns the content of logical page pid, faulting it in on a miss.
 // The returned slice aliases the frame; callers that modify it must call
@@ -141,6 +170,132 @@ func (p *Pool) Get(pid uint32) ([]byte, error) {
 		return nil, err
 	}
 	return f.data, nil
+}
+
+// GetMany returns the contents of the given logical pages, faulting all
+// misses in together: when the method accepts read batches
+// (ftl.BatchReader, the PDL store), every missing page of the call becomes
+// one method ReadBatch — one device batch operation instead of one read
+// per page — with a per-page ReadPage fallback otherwise. The returned
+// slices alias pool frames exactly like Get's; duplicates are allowed and
+// alias the same frame. len(pids) must not exceed the pool capacity, so
+// every returned frame is resident simultaneously. On error no new pages
+// are resident (though eviction write-backs may already have happened).
+func (p *Pool) GetMany(pids []uint32) ([][]byte, error) {
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if len(pids) > p.capacity {
+		return nil, fmt.Errorf("buffer: GetMany of %d pages exceeds pool capacity %d", len(pids), p.capacity)
+	}
+	out := make([][]byte, len(pids))
+	var missPids []uint32
+	var missFrames []*frame
+	var inflight map[uint32]bool // misses of this call, not yet read
+	for i, pid := range pids {
+		if f, ok := p.frames[pid]; ok {
+			// A duplicate of a miss from this same call aliases the frame
+			// but is not a cache hit — the device read is still pending.
+			if !inflight[pid] {
+				p.hits++
+				p.lru.MoveToFront(f.elem)
+			}
+			out[i] = f.data
+			continue
+		}
+		p.misses++
+		f, err := p.allocFrame(pid)
+		if err != nil {
+			p.dropFrames(missFrames)
+			return nil, err
+		}
+		out[i] = f.data
+		missPids = append(missPids, pid)
+		missFrames = append(missFrames, f)
+		if inflight == nil {
+			inflight = make(map[uint32]bool)
+		}
+		inflight[pid] = true
+	}
+	if err := p.faultIn(missPids, missFrames); err != nil {
+		p.dropFrames(missFrames)
+		return nil, err
+	}
+	return out, nil
+}
+
+// Readahead speculatively faults the given pages into the pool (one
+// method ReadBatch when available), skipping pages already resident and
+// capping the faulted count at half the pool capacity — a speculation
+// must never wipe out the resident set it is meant to serve. It returns
+// the number of pids covered (resident after the call): a prefix of pids,
+// so callers advancing a prefetch window know exactly where the cap
+// stopped it (Stats().Readaheads counts the pages actually faulted).
+// Unlike Get, resident pages are not promoted in the LRU — a prefetch is
+// not a use. Callers must only name pages that have been written; an
+// unwritten pid fails the whole call.
+func (p *Pool) Readahead(pids []uint32) (int, error) {
+	if p.closed {
+		return 0, ErrClosed
+	}
+	limit := p.capacity / 2
+	if limit < 1 {
+		limit = 1
+	}
+	covered := 0
+	var missPids []uint32
+	var missFrames []*frame
+	for _, pid := range pids {
+		if _, ok := p.frames[pid]; ok {
+			covered++
+			continue
+		}
+		if len(missPids) >= limit {
+			break
+		}
+		f, err := p.allocFrame(pid)
+		if err != nil {
+			p.dropFrames(missFrames)
+			return 0, err
+		}
+		missPids = append(missPids, pid)
+		missFrames = append(missFrames, f)
+		covered++
+	}
+	if err := p.faultIn(missPids, missFrames); err != nil {
+		p.dropFrames(missFrames)
+		return 0, err
+	}
+	p.readaheads += int64(len(missPids))
+	return covered, nil
+}
+
+// faultIn reads the given pages into their freshly allocated frames, as
+// one method ReadBatch when the method supports it.
+func (p *Pool) faultIn(pids []uint32, frames []*frame) error {
+	switch {
+	case len(pids) == 0:
+		return nil
+	case p.breader != nil && len(pids) > 1:
+		bufs := make([][]byte, len(frames))
+		for i, f := range frames {
+			bufs[i] = f.data
+		}
+		return p.breader.ReadBatch(pids, bufs)
+	default:
+		for i, f := range frames {
+			if err := p.method.ReadPage(pids[i], f.data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func (p *Pool) dropFrames(frames []*frame) {
+	for _, f := range frames {
+		p.dropFrame(f)
+	}
 }
 
 // GetNew returns a zeroed frame for a page being created, without reading

@@ -305,6 +305,14 @@ func (s *Store) writePending(ops []pendingOp) error {
 	}
 	s.tel.BatchWrites++
 	s.tel.BatchedPages += int64(len(batch))
+	for i, op := range ops {
+		if op.spill {
+			// ppns[i] begins a new life as a differential page: fence off
+			// any cached decode of its previous life before the mapping
+			// commits below publish it to readers.
+			s.dcache.invalidate(ppns[i])
+		}
+	}
 
 	for i, op := range ops {
 		if op.spill {

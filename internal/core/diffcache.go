@@ -1,0 +1,206 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"pdl/internal/diff"
+	"pdl/internal/flash"
+)
+
+// diffCache is the decoded-differential cache: a bounded LRU map from a
+// differential page's PPN to the decoded records it holds. PDL_Reading's
+// structural cost is that a cold read of a diff-bearing page needs two
+// serial flash reads (base page, then differential page) plus a decode of
+// the differential page just to pick one record; differential pages are
+// immutable once programmed and typically carry the differentials of many
+// hot pids, so caching the decoded records in DRAM turns every subsequent
+// hot read into one flash read plus a map lookup.
+//
+// # Coherence
+//
+// A cached entry stays valid for exactly as long as its PPN holds the
+// differential page it was decoded from: flash pages only change content
+// through erase + reprogram. The store therefore invalidates a PPN at
+// every point where a differential page dies or is (re)born — when its
+// valid-differential count reaches zero (releaseDiffPage), when garbage
+// collection compacts it away (dropDiffPage in relocate), and whenever a
+// new differential page is programmed over a PPN (shard spills, batched
+// spills, GC compaction targets), which closes the reuse window where an
+// erased PPN comes back as a fresh differential page.
+//
+// Inserts come from the lock-free read path, which may have been preempted
+// between reading flash and inserting; an insert therefore carries the
+// cache generation observed before its flash read and is dropped if the
+// insert's own PPN was invalidated in between (the page read might belong
+// to the PPN's previous life). The fence is per PPN — a recent-invalidation
+// window maps each PPN to the generation of its last invalidation, so
+// spills and GC compactions of unrelated pages never suppress an insert;
+// only a read older than the whole window (invalWindow invalidations have
+// passed since its snapshot) is dropped conservatively. Dropped inserts
+// cost only a future miss, never correctness.
+//
+// The cache holds only DRAM-derived state: it is never persisted, so a
+// restart (and hence recovery) starts from an empty cache and recovered
+// stores are byte-identical whether or not the cache was enabled before
+// the crash.
+//
+// All methods are safe on a nil receiver (cache disabled).
+type diffCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[flash.PPN]*list.Element
+	lru     *list.List // front = most recently used
+	// gen counts invalidations, and inval maps each PPN invalidated
+	// within the last invalWindow generations to the generation of its
+	// most recent invalidation; together they fence inserts (see put).
+	// invalFIFO holds the same events in generation order so expiry pops
+	// from the head in O(1) amortized instead of sweeping the map.
+	gen       uint64
+	inval     map[flash.PPN]uint64
+	invalFIFO []invalEvent
+}
+
+// invalEvent is one invalidation in the retained history window.
+type invalEvent struct {
+	ppn flash.PPN
+	gen uint64
+}
+
+// invalWindow is how many generations of per-PPN invalidation history the
+// cache keeps; it bounds the inval map. An insert whose snapshot is older
+// than the window (≥ invalWindow invalidations elapsed mid-flight, i.e. a
+// reader preempted across an eternity of GC work) is dropped without
+// consulting it.
+const invalWindow = 1024
+
+// diffCacheEntry is one cached differential page. recs is shared with
+// readers and must be treated as immutable (Differential.Apply only reads
+// it).
+type diffCacheEntry struct {
+	ppn  flash.PPN
+	recs []diff.Differential
+}
+
+// newDiffCache builds a cache bounded to capacity differential pages.
+func newDiffCache(capacity int) *diffCache {
+	return &diffCache{
+		cap:     capacity,
+		entries: make(map[flash.PPN]*list.Element, capacity),
+		lru:     list.New(),
+		inval:   make(map[flash.PPN]uint64),
+	}
+}
+
+// genSnapshot returns the current invalidation generation. Readers take it
+// before reading a differential page from flash and pass it to put.
+func (c *diffCache) genSnapshot() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	g := c.gen
+	c.mu.Unlock()
+	return g
+}
+
+// get returns the decoded records cached for ppn, marking the entry
+// recently used. The returned slice is shared: callers must not modify it
+// or the records' Range data.
+func (c *diffCache) get(ppn flash.PPN) ([]diff.Differential, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[ppn]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	recs := el.Value.(*diffCacheEntry).recs
+	c.mu.Unlock()
+	return recs, true
+}
+
+// put caches the decoded records of ppn, evicting the least recently used
+// entry if the cache is full. genBefore must be the genSnapshot taken
+// before the flash read that produced recs: if ppn itself was invalidated
+// since — the read may predate a relocation or reuse of that PPN — the
+// insert is dropped. Invalidations of other PPNs do not suppress it,
+// unless the snapshot is older than the whole invalidation window (then
+// the history needed to judge is gone and the insert is dropped
+// conservatively).
+func (c *diffCache) put(ppn flash.PPN, recs []diff.Differential, genBefore uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != genBefore {
+		if genBefore+invalWindow <= c.gen {
+			return // snapshot predates the retained history
+		}
+		if g, ok := c.inval[ppn]; ok && g > genBefore {
+			return // this PPN changed since the flash read began
+		}
+		// A pruned entry had g <= gen-invalWindow < genBefore, so absence
+		// from the window proves ppn did not change since the snapshot.
+	}
+	if el, ok := c.entries[ppn]; ok {
+		el.Value.(*diffCacheEntry).recs = recs
+		c.lru.MoveToFront(el)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := c.lru.Back()
+		if victim != nil {
+			c.lru.Remove(victim)
+			delete(c.entries, victim.Value.(*diffCacheEntry).ppn)
+		}
+	}
+	c.entries[ppn] = c.lru.PushFront(&diffCacheEntry{ppn: ppn, recs: recs})
+}
+
+// invalidate drops ppn's entry and bumps the generation, fencing off any
+// insert whose flash read began before this call. Called wherever a
+// differential page dies, moves, or is programmed anew; the callers all
+// hold the flash lock, so invalidations are serialized with the mutation
+// they fence.
+func (c *diffCache) invalidate(ppn flash.PPN) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gen++
+	c.inval[ppn] = c.gen
+	c.invalFIFO = append(c.invalFIFO, invalEvent{ppn: ppn, gen: c.gen})
+	// Expire history older than the window from the FIFO head: O(1)
+	// amortized (each event is appended and popped exactly once), so the
+	// flash-lock holders calling here never sweep the whole map. A PPN
+	// re-invalidated within the window appears twice in the FIFO; the map
+	// entry is only dropped when its newest event expires.
+	for len(c.invalFIFO) > 0 && c.invalFIFO[0].gen+invalWindow <= c.gen {
+		ev := c.invalFIFO[0]
+		c.invalFIFO = c.invalFIFO[1:]
+		if c.inval[ev.ppn] == ev.gen {
+			delete(c.inval, ev.ppn)
+		}
+	}
+	if el, ok := c.entries[ppn]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, ppn)
+	}
+	c.mu.Unlock()
+}
+
+// len returns the number of cached differential pages (for tests).
+func (c *diffCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return n
+}

@@ -44,6 +44,10 @@ func (s *Store) relocate(victim int) error {
 			}
 			keep = append(keep, ds...)
 			s.mt.dropDiffPage(ppn)
+			// The page is being compacted away and its block erased:
+			// readers will be repointed (and their version checks fail),
+			// so the cached decode must go before the PPN can be reused.
+			s.dcache.invalidate(ppn)
 		}
 	}
 
@@ -132,6 +136,9 @@ func (s *Store) writeCompactedPage(ds []diff.Differential) error {
 	if err := s.dev.Program(q, img, s.spareBuf); err != nil {
 		return err
 	}
+	// q begins a new life as a compaction target: fence off any cached
+	// decode of its previous life before the repoints publish it.
+	s.dcache.invalidate(q)
 	for _, d := range ds {
 		s.mt.repointDiff(d.PID, q)
 	}

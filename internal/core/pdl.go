@@ -25,17 +25,20 @@
 // decomposed into purpose-built components, each with its own
 // synchronization, in a strict lock hierarchy (outer to inner):
 //
-//		shard lock  >  flash lock  >  mapTable lock
+//		shard lock  >  flash lock  >  mapTable lock  >  diff-cache lock
 //
 //	  - each of the Options.Shards write-buffer shards has its own RWMutex
 //	    serializing the buffered differentials of the pids it owns (so
-//	    per-pid write order is well defined);
+//	    per-pid write order is well defined); ReadBatch/WriteBatch/Flush
+//	    take several shard locks together, always in ascending index order;
 //	  - the flash lock (flashMu) serializes mutations of flash state:
 //	    allocation, page programs with their mapping-table commits, and
 //	    garbage collection. It is held per program — or, in background-GC
 //	    mode, per collected victim — never across a whole collection cycle;
 //	  - the mapTable owns the mapping state (ppmt, time stamps, vdct,
-//	    reverseBase) behind its own RWMutex plus a per-pid version counter.
+//	    reverseBase) behind its own RWMutex plus a per-pid version counter;
+//	  - the decoded-differential cache (see diffCache) has the innermost
+//	    mutex, only ever taken last.
 //
 // Reads take NO store-level lock over the device: ReadPage snapshots the
 // pid's mapping entry with its version, reads the flash pages it points
@@ -115,7 +118,24 @@ type Options struct {
 	// paper's serial single-scan. The recovered state is identical for
 	// every worker count.
 	RecoveryWorkers int
+	// DiffCachePages bounds the decoded-differential cache: the number of
+	// differential pages whose decoded records are kept in DRAM, so hot
+	// reads of diff-bearing pages cost one flash read plus a map lookup
+	// instead of two serial flash reads plus a decode. Zero means a
+	// default of 256 pages (at most a few hundred KB of decoded records);
+	// DiffCacheOff disables the cache, restoring the paper's two-read
+	// PDL_Reading exactly. The cache is pure DRAM state — never persisted
+	// — so recovery is identical with and without it.
+	DiffCachePages int
 }
+
+// DiffCacheOff disables the decoded-differential cache when assigned to
+// Options.DiffCachePages.
+const DiffCacheOff = -1
+
+// defaultDiffCachePages is the decoded-differential cache bound used when
+// Options.DiffCachePages is zero.
+const defaultDiffCachePages = 256
 
 // pageEntry is one row of the physical page mapping table: the pair
 // <base page address, differential page address> of section 4.2.
@@ -151,6 +171,13 @@ type Store struct {
 	// mt owns the mapping tables with their own synchronization.
 	mt  *mapTable
 	tel Telemetry
+	// rtel holds the read-path counters, which are bumped with no lock
+	// held (the read path takes no store-level lock) and folded into
+	// Telemetry snapshots.
+	rtel readTelemetry
+	// dcache is the decoded-differential cache (nil when disabled); its
+	// coherence protocol is documented on the type.
+	dcache *diffCache
 
 	// gcEng is the background garbage-collection engine (nil in
 	// synchronous mode), and gcLow its trigger watermark. lastKickFree
@@ -200,6 +227,26 @@ type Telemetry struct {
 	// through those batches; BatchedPages/BatchWrites is the mean batch
 	// width the device saw (pages per program operation).
 	BatchedPages int64
+	// DiffCacheHits counts reads of diff-bearing pages served from the
+	// decoded-differential cache (one flash read instead of two), and
+	// DiffCacheMisses those that had to read and decode the differential
+	// page. Both stay zero when the cache is disabled.
+	DiffCacheHits, DiffCacheMisses int64
+	// ReadRetries counts optimistic read-path retries: a garbage-collection
+	// relocation or a flush moved the pid's mapping mid-read.
+	ReadRetries int64
+	// BatchReads is the number of device ReadBatch operations the batched
+	// read path issued, and BatchedReads the physical pages read through
+	// them; BatchedReads/BatchReads is the mean read-batch width.
+	BatchReads, BatchedReads int64
+}
+
+// readTelemetry is the lock-free half of the telemetry: counters the read
+// path bumps without holding any store-level lock.
+type readTelemetry struct {
+	diffCacheHits, diffCacheMisses atomic.Int64
+	readRetries                    atomic.Int64
+	batchReads, batchedReads       atomic.Int64
 }
 
 var _ ftl.Method = (*Store)(nil)
@@ -238,6 +285,10 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	if numShards < 0 {
 		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", numShards)
 	}
+	cachePages := opts.DiffCachePages
+	if cachePages == 0 {
+		cachePages = defaultDiffCachePages
+	}
 	s := &Store{
 		dev:      dev,
 		params:   p,
@@ -249,6 +300,9 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		spareBuf: make([]byte, p.SpareSize),
 	}
 	s.pages.New = func() any { return make([]byte, p.DataSize) }
+	if cachePages > 0 {
+		s.dcache = newDiffCache(cachePages)
+	}
 	for i := range s.shards {
 		s.shards[i].dwb.init(p.DataSize)
 	}
@@ -505,6 +559,7 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 		// Step 1: read the base page.
 		err := s.dev.ReadData(e.base, buf)
 		if !s.mt.stable(pid, v) {
+			s.rtel.readRetries.Add(1)
 			continue // relocated mid-read; retry on the new mapping
 		}
 		if err != nil {
@@ -518,23 +573,60 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 		if e.dif == flash.NilPPN {
 			return nil // no differential page; the base page is current
 		}
+		// The decoded-differential cache first: a hit saves the second
+		// flash read and the decode. The stability re-check pins the hit to
+		// the snapshot — a passing check proves e.dif is still pid's
+		// differential page, and the coherence protocol (see diffCache)
+		// guarantees a present entry always matches its PPN's current
+		// content.
+		if recs, ok := s.dcache.get(e.dif); ok {
+			if !s.mt.stable(pid, v) {
+				s.rtel.readRetries.Add(1)
+				continue
+			}
+			s.rtel.diffCacheHits.Add(1)
+			d, ok := newestFor(recs, pid)
+			if !ok {
+				return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
+			}
+			return d.Apply(buf)
+		}
+		gen := s.dcache.genSnapshot()
 		scratch := s.getPage()
 		err = s.dev.ReadData(e.dif, scratch)
 		if !s.mt.stable(pid, v) {
 			s.putPage(scratch)
+			s.rtel.readRetries.Add(1)
 			continue // compacted mid-read; retry (base may have moved too)
 		}
 		if err != nil {
 			s.putPage(scratch)
 			return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
 		}
-		d, ok := findDifferential(scratch, pid)
-		s.putPage(scratch) // decoded ranges are copies; the scratch can go back
+		if s.dcache != nil {
+			// Decode the whole page once and cache it: the differential
+			// page's other records belong to other (likely hot) pids.
+			s.rtel.diffCacheMisses.Add(1)
+			recs := diff.DecodeAll(scratch)
+			s.dcache.put(e.dif, recs, gen)
+			s.putPage(scratch) // decoded ranges are copies; the scratch can go back
+			d, ok := newestFor(recs, pid)
+			if !ok {
+				return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
+			}
+			return d.Apply(buf)
+		}
+		// Cache disabled: scan for pid's record in place and apply it
+		// straight from the wire form — no record is decoded or copied.
+		rec, ok := diff.FindIn(scratch, pid)
 		if !ok {
+			s.putPage(scratch)
 			return fmt.Errorf("core: differential of pid %d missing from differential page %d", pid, e.dif)
 		}
 		// Step 3: merge the base page with the differential.
-		return d.Apply(buf)
+		err = diff.ApplyRecord(rec, buf)
+		s.putPage(scratch)
+		return err
 	}
 }
 
@@ -590,12 +682,13 @@ func (s *Store) Flush() error {
 	return nil
 }
 
-// findDifferential locates the newest differential for pid in a
-// differential page's data area.
-func findDifferential(pageData []byte, pid uint32) (diff.Differential, bool) {
+// newestFor returns the newest decoded differential for pid among the
+// records of one differential page (the read path's arbitration when a
+// page carries several generations for the same pid).
+func newestFor(recs []diff.Differential, pid uint32) (diff.Differential, bool) {
 	var best diff.Differential
 	found := false
-	for _, d := range diff.DecodeAll(pageData) {
+	for _, d := range recs {
 		if d.PID != pid {
 			continue
 		}
@@ -665,6 +758,9 @@ func (s *Store) flushShardLocked(sh *shard) error {
 	if err := s.dev.Program(q, sh.dwb.encode(), s.spareBuf); err != nil {
 		return fmt.Errorf("core: writing differential page: %w", err)
 	}
+	// q begins a new life as a differential page: fence off any cached
+	// decode of its previous life before a reader can look it up.
+	s.dcache.invalidate(q)
 	s.tel.BufferFlushes++
 	s.tel.DiffsWritten += int64(len(sh.dwb.diffs))
 	s.tel.DiffBytesWritten += int64(sh.dwb.used)
@@ -688,6 +784,10 @@ func (s *Store) releaseDiffPage(dp flash.PPN) error {
 	if !s.mt.decDiffCount(dp) {
 		return nil
 	}
+	// The page died: no mapping points at it anymore, so its decoded
+	// records can never be consulted again — drop them from the cache
+	// before the allocator can reclaim and reuse the PPN.
+	s.dcache.invalidate(dp)
 	if err := s.alloc.MarkObsolete(dp); err != nil {
 		return fmt.Errorf("core: obsoleting differential page %d: %w", dp, err)
 	}
@@ -740,6 +840,19 @@ func (s *Store) ValidDifferentialPages() int {
 // Telemetry returns the store's internal event counters.
 func (s *Store) Telemetry() Telemetry {
 	s.flashMu.Lock()
-	defer s.flashMu.Unlock()
-	return s.tel
+	t := s.tel
+	s.flashMu.Unlock()
+	t.DiffCacheHits = s.rtel.diffCacheHits.Load()
+	t.DiffCacheMisses = s.rtel.diffCacheMisses.Load()
+	t.ReadRetries = s.rtel.readRetries.Load()
+	t.BatchReads = s.rtel.batchReads.Load()
+	t.BatchedReads = s.rtel.batchedReads.Load()
+	return t
 }
+
+// DiffCacheLen returns the number of differential pages currently held by
+// the decoded-differential cache (0 when disabled); for tests and tooling.
+func (s *Store) DiffCacheLen() int { return s.dcache.len() }
+
+// DiffCacheEnabled reports whether the decoded-differential cache is on.
+func (s *Store) DiffCacheEnabled() bool { return s.dcache != nil }

@@ -426,12 +426,25 @@ func TestFindDifferentialPicksNewest(t *testing.T) {
 	enc := d1.AppendTo(nil)
 	enc = d2.AppendTo(enc)
 	copy(page, enc)
-	got, ok := findDifferential(page, 3)
+	// Both read-path searches — the cached decode and the in-place scan —
+	// must arbitrate to the newest record.
+	got, ok := newestFor(diff.DecodeAll(page), 3)
 	if !ok || got.TS != 9 {
-		t.Errorf("findDifferential = %+v ok=%v, want ts 9", got, ok)
+		t.Errorf("newestFor = %+v ok=%v, want ts 9", got, ok)
 	}
-	if _, ok := findDifferential(page, 4); ok {
+	if _, ok := newestFor(diff.DecodeAll(page), 4); ok {
 		t.Error("found differential for absent pid")
+	}
+	rec, ok := diff.FindIn(page, 3)
+	if !ok {
+		t.Fatal("FindIn missed pid 3")
+	}
+	out := make([]byte, 512)
+	if err := diff.ApplyRecord(rec, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Errorf("FindIn picked byte %d, want the newest record's 2", out[0])
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Errors returned by the codec.
@@ -75,35 +76,35 @@ type Differential struct {
 //
 // Compute is the heart of the paper's DBMS-independence argument: it needs
 // only the two page images, not the history of update operations, so it can
-// run entirely inside the flash driver.
+// run entirely inside the flash driver. It runs once per reflection over
+// two full page images, so the scan compares eight bytes per step (word
+// loads with a byte-wise tail); the output is identical to a byte-at-a-time
+// comparison.
 func Compute(pid uint32, ts uint64, base, cur []byte) (Differential, error) {
 	if len(base) != len(cur) {
 		return Differential{}, fmt.Errorf("%w: %d vs %d", ErrSizeMismatch, len(base), len(cur))
 	}
 	d := Differential{PID: pid, TS: ts}
-	i := 0
 	n := len(cur)
+	i := nextDiffering(base, cur, 0)
 	for i < n {
-		if base[i] == cur[i] {
-			i++
-			continue
-		}
-		// Start of a changed range. Extend it while bytes differ, and
+		// Start of a changed range at i. Extend it while bytes differ, and
 		// absorb equal-byte gaps shorter than rangeOverhead.
 		start := i
-		end := i + 1
+		end := nextEqual(base, cur, i+1)
 		for end < n {
-			if base[end] != cur[end] {
-				end++
-				continue
-			}
-			// Look ahead: count equal bytes.
+			// end sits on an equal byte; measure the equal run, up to the
+			// coalescing threshold.
 			gap := end
-			for gap < n && base[gap] == cur[gap] && gap-end < rangeOverhead {
+			lim := end + rangeOverhead
+			if lim > n {
+				lim = n
+			}
+			for gap < lim && base[gap] == cur[gap] {
 				gap++
 			}
-			if gap < n && base[gap] != cur[gap] && gap-end < rangeOverhead {
-				end = gap + 1 // absorb the short gap
+			if gap < n && gap-end < rangeOverhead && base[gap] != cur[gap] {
+				end = nextEqual(base, cur, gap+1) // absorb the short gap
 				continue
 			}
 			break
@@ -111,9 +112,52 @@ func Compute(pid uint32, ts uint64, base, cur []byte) (Differential, error) {
 		data := make([]byte, end-start)
 		copy(data, cur[start:end])
 		d.Ranges = append(d.Ranges, Range{Off: start, Data: data})
-		i = end
+		i = nextDiffering(base, cur, end)
 	}
 	return d, nil
+}
+
+// nextDiffering returns the lowest index >= i at which a and b differ, or
+// len(a) if none. Equal prefixes — the common case, since updates change a
+// small fraction of a page — are skipped eight bytes per comparison.
+func nextDiffering(a, b []byte, i int) int {
+	n := len(a)
+	for ; i+8 <= n; i += 8 {
+		if x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]); x != 0 {
+			return i + bits.TrailingZeros64(x)/8
+		}
+	}
+	for ; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// nextEqual returns the lowest index >= i at which a and b agree, or
+// len(a) if none. The XOR of two words has a zero byte exactly where the
+// inputs agree; the zero-byte trick finds the lowest one without a byte
+// loop (the borrow it may propagate only corrupts lanes above the first
+// zero, and only the first is used).
+func nextEqual(a, b []byte, i int) int {
+	const (
+		ones = 0x0101010101010101
+		tops = 0x8080808080808080
+	)
+	n := len(a)
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		if z := (x - ones) & ^x & tops; z != 0 {
+			return i + bits.TrailingZeros64(z)/8
+		}
+	}
+	for ; i < n; i++ {
+		if a[i] == b[i] {
+			return i
+		}
+	}
+	return n
 }
 
 // Empty reports whether the differential records no change.
@@ -208,16 +252,97 @@ func DecodeAll(pageData []byte) []Differential {
 	return out
 }
 
+// FindIn locates the newest differential record for pid in a differential
+// page's data area, returning the encoded record as a subslice of pageData
+// (no decoding, no allocation). Like DecodeAll it stops at the erased-flash
+// end marker or at the first byte sequence that cannot be a record, so a
+// torn trailing record is ignored. Apply the result with ApplyRecord; the
+// record aliases pageData and is only valid while pageData is.
+func FindIn(pageData []byte, pid uint32) (rec []byte, ok bool) {
+	var bestTS uint64
+	off := 0
+	for off+headerSize <= len(pageData) {
+		size := int(binary.LittleEndian.Uint16(pageData[off:]))
+		if size == endMarker || size < headerSize || off+size > len(pageData) {
+			break
+		}
+		r := pageData[off : off+size]
+		if !validRecord(r) {
+			break
+		}
+		if binary.LittleEndian.Uint32(r[2:]) == pid {
+			if ts := binary.LittleEndian.Uint64(r[6:]); !ok || ts > bestTS {
+				rec, bestTS, ok = r, ts, true
+			}
+		}
+		off += size
+	}
+	return rec, ok
+}
+
+// validRecord reports whether rec (whose leading size field already equals
+// len(rec)) is a well-formed differential record: its range headers and
+// range data tile the record exactly. It accepts precisely the records
+// Decode accepts, without copying any range data.
+func validRecord(rec []byte) bool {
+	nr := int(binary.LittleEndian.Uint16(rec[14:]))
+	off := headerSize
+	for i := 0; i < nr; i++ {
+		if off+rangeOverhead > len(rec) {
+			return false
+		}
+		off += rangeOverhead + int(binary.LittleEndian.Uint16(rec[off+2:]))
+		if off > len(rec) {
+			return false
+		}
+	}
+	return off == len(rec)
+}
+
+// ApplyRecord overlays an encoded differential record (as returned by
+// FindIn) onto page, straight from the wire form: no range is decoded into
+// a heap copy first. Every range is validated — against the record and
+// against the page bounds — before the first byte of page is touched, so a
+// corrupt record returns ErrCorrupt with page unmodified.
+func ApplyRecord(rec, page []byte) error {
+	if len(rec) < headerSize || int(binary.LittleEndian.Uint16(rec)) != len(rec) || !validRecord(rec) {
+		return fmt.Errorf("%w: malformed record of %d bytes", ErrCorrupt, len(rec))
+	}
+	nr := int(binary.LittleEndian.Uint16(rec[14:]))
+	off := headerSize
+	for i := 0; i < nr; i++ {
+		ro := int(binary.LittleEndian.Uint16(rec[off:]))
+		rl := int(binary.LittleEndian.Uint16(rec[off+2:]))
+		if ro+rl > len(page) {
+			return fmt.Errorf("%w: range [%d,%d) outside page of %d bytes",
+				ErrCorrupt, ro, ro+rl, len(page))
+		}
+		off += rangeOverhead + rl
+	}
+	off = headerSize
+	for i := 0; i < nr; i++ {
+		ro := int(binary.LittleEndian.Uint16(rec[off:]))
+		rl := int(binary.LittleEndian.Uint16(rec[off+2:]))
+		off += rangeOverhead
+		copy(page[ro:], rec[off:off+rl])
+		off += rl
+	}
+	return nil
+}
+
 // Apply overlays the differential onto page, recreating the up-to-date
 // logical page from a copy of its base page (the merge step of
-// PDL_Reading). Ranges beyond the page bounds indicate corruption and
-// return ErrCorrupt with the page partially patched.
+// PDL_Reading). Every range is bounds-checked before the first byte is
+// written, so a corrupt differential returns ErrCorrupt with page
+// unmodified — never half-applied.
 func (d Differential) Apply(page []byte) error {
 	for _, r := range d.Ranges {
 		if r.Off < 0 || r.Off+len(r.Data) > len(page) {
 			return fmt.Errorf("%w: range [%d,%d) outside page of %d bytes",
 				ErrCorrupt, r.Off, r.Off+len(r.Data), len(page))
 		}
+	}
+	for _, r := range d.Ranges {
 		copy(page[r.Off:], r.Data)
 	}
 	return nil

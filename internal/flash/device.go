@@ -35,6 +35,18 @@ type Device interface {
 	ReadData(ppn PPN, data []byte) error
 	// ReadSpare reads only the spare area of ppn.
 	ReadSpare(ppn PPN, spare []byte) error
+	// ReadBatch reads a group of pages as one device operation, charging
+	// Tread per page; the filled buffers are indistinguishable from a loop
+	// of Read calls in slice order. The whole batch is validated first —
+	// addresses, buffer sizes, bad blocks — so a validation failure fills
+	// no buffer at all and reports the first offending page; reads are
+	// non-destructive, so unlike ProgramBatch there is no partial-prefix
+	// state to reason about. Implementations serve the batch under a
+	// single read-lock acquisition (batches ride one bus grant, and
+	// backends with positioned I/O coalesce PPN-contiguous runs into
+	// single transfers), which is what makes a batch cheaper than the
+	// equivalent loop. Duplicate PPNs are allowed.
+	ReadBatch(batch []PageRead) error
 
 	// Program programs the full page at ppn, charging Twrite. Programming
 	// is an AND at the bit level; an image that would raise a 0 bit back
@@ -96,6 +108,16 @@ type Device interface {
 // PageProgram is one page of a ProgramBatch: the full data image for ppn
 // plus its spare header (Spare may be nil to leave the spare area alone).
 type PageProgram struct {
+	PPN   PPN
+	Data  []byte
+	Spare []byte
+}
+
+// PageRead is one page of a ReadBatch: the destination buffers for ppn.
+// Either buffer may be nil to skip that area (like Read, a spare-only
+// element still charges a full page read); an element with both nil is
+// address-validated but transfers nothing.
+type PageRead struct {
 	PPN   PPN
 	Data  []byte
 	Spare []byte

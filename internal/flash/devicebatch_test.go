@@ -13,3 +13,7 @@ import (
 func TestDeviceBatchConformanceOnEmulator(t *testing.T) {
 	ftltest.RunDeviceBatchSuite(t, ftltest.EmulatorDevice)
 }
+
+func TestDeviceReadBatchConformanceOnEmulator(t *testing.T) {
+	ftltest.RunDeviceReadBatchSuite(t, ftltest.EmulatorDevice)
+}

@@ -292,6 +292,10 @@ func TestDeviceBatchConformanceOnFileDevice(t *testing.T) {
 	ftltest.RunDeviceBatchSuite(t, fileDevice)
 }
 
+func TestDeviceReadBatchConformanceOnFileDevice(t *testing.T) {
+	ftltest.RunDeviceReadBatchSuite(t, fileDevice)
+}
+
 // TestProgramBatchCoalescesSyncs pins the durability win the batch
 // contract promises: under SyncAlways a batch of N pages costs two fsyncs
 // (data barrier + header pass) where N serial programs cost two each.

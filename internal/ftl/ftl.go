@@ -86,6 +86,18 @@ type BatchWriter interface {
 	WriteBatch(writes []PageWrite) error
 }
 
+// BatchReader is implemented by page-update methods whose read path
+// accepts whole batches of logical page reads at once (the PDL store). A
+// ReadBatch call fills bufs[i] with the content of pids[i] exactly as
+// calling ReadPage for each pair would, but lets the method group its
+// physical page reads into device batch operations. On error the buffer
+// contents are unspecified; no mapping or flash state changes (reads never
+// mutate). The buffer pool's batched fault path feeds methods through this
+// interface when available and falls back to per-page ReadPage otherwise.
+type BatchReader interface {
+	ReadBatch(pids []uint32, bufs [][]byte) error
+}
+
 // Page type tags stored in spare[0]. 0xFF is the erased value, so a free
 // page is distinguishable from every written page type.
 const (

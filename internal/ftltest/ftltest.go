@@ -63,6 +63,7 @@ func RunMethodSuiteOn(t *testing.T, newDevice DeviceFactory, factory Factory) {
 	t.Run("FlushThenRead", func(t *testing.T) { testFlushThenRead(t, newDevice, factory) })
 	t.Run("PhysicalLegality", func(t *testing.T) { testPhysicalLegality(t, newDevice, factory) })
 	t.Run("BatchWriteMatchesShadow", func(t *testing.T) { testBatchWrite(t, newDevice, factory) })
+	t.Run("BatchReadMatchesSerial", func(t *testing.T) { testBatchRead(t, newDevice, factory) })
 }
 
 // RunDeviceBatchSuite runs the ProgramBatch half of the flash.Device
@@ -75,6 +76,113 @@ func RunDeviceBatchSuite(t *testing.T, newDevice DeviceFactory) {
 	t.Run("BatchMatchesSerial", func(t *testing.T) { testDevBatchMatchesSerial(t, newDevice) })
 	t.Run("ValidationProgramsNothing", func(t *testing.T) { testDevBatchValidation(t, newDevice) })
 	t.Run("DuplicatePPNRejected", func(t *testing.T) { testDevBatchDuplicate(t, newDevice) })
+}
+
+// RunDeviceReadBatchSuite runs the ReadBatch half of the flash.Device
+// contract against devices built by newDevice. Every backend must make a
+// batch fill its buffers exactly as the same Reads issued serially would,
+// charge one read per page, validate the whole batch before filling any
+// buffer, and accept duplicate PPNs.
+func RunDeviceReadBatchSuite(t *testing.T, newDevice DeviceFactory) {
+	t.Helper()
+	t.Run("BatchMatchesSerial", func(t *testing.T) { testDevReadBatchMatchesSerial(t, newDevice) })
+	t.Run("ValidationFillsNothing", func(t *testing.T) { testDevReadBatchValidation(t, newDevice) })
+}
+
+func testDevReadBatchMatchesSerial(t *testing.T, newDevice DeviceFactory) {
+	dev := devBatchFor(t, newDevice)
+	p := dev.Params()
+	// Program a spread of pages across two blocks, leaving gaps so the
+	// batch mixes programmed and erased pages.
+	for i := 0; i < p.PagesPerBlock+4; i += 2 {
+		pp := batchPattern(p, flash.PPN(i), 3)
+		if err := dev.Program(pp.PPN, pp.Data, pp.Spare); err != nil {
+			t.Fatalf("Program ppn %d: %v", pp.PPN, err)
+		}
+	}
+	// The batch covers a contiguous ascending run (coalescible), a
+	// duplicate PPN, out-of-order jumps, and every buffer shape: data+spare,
+	// data only, spare only, both nil.
+	var ppns []flash.PPN
+	for i := 0; i <= p.PagesPerBlock+4; i++ {
+		ppns = append(ppns, flash.PPN(i))
+	}
+	ppns = append(ppns, 3, p.PPNOf(1, 2), 0, 0)
+	batch := make([]flash.PageRead, len(ppns))
+	for i, ppn := range ppns {
+		pr := flash.PageRead{PPN: ppn}
+		switch {
+		case i == 5:
+			// Both buffers nil: address-validated, transfers nothing, but
+			// still charged as one page read like every other element.
+		case i%4 == 2:
+			pr.Data = make([]byte, p.DataSize)
+		case i%4 == 3:
+			pr.Spare = make([]byte, p.SpareSize)
+		default:
+			pr.Data = make([]byte, p.DataSize)
+			pr.Spare = make([]byte, p.SpareSize)
+		}
+		batch[i] = pr
+	}
+	before := dev.Stats()
+	if err := dev.ReadBatch(batch); err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if got := dev.Stats().Sub(before).Reads; got != int64(len(batch)) {
+		t.Errorf("batch of %d pages charged %d reads", len(batch), got)
+	}
+	data, spare := make([]byte, p.DataSize), make([]byte, p.SpareSize)
+	for i, pr := range batch {
+		if err := dev.Read(pr.PPN, data, spare); err != nil {
+			t.Fatalf("serial Read ppn %d: %v", pr.PPN, err)
+		}
+		if pr.Data != nil && !bytes.Equal(pr.Data, data) {
+			t.Errorf("element %d (ppn %d): batched data diverges from serial Read", i, pr.PPN)
+		}
+		if pr.Spare != nil && !bytes.Equal(pr.Spare, spare) {
+			t.Errorf("element %d (ppn %d): batched spare diverges from serial Read", i, pr.PPN)
+		}
+	}
+}
+
+func testDevReadBatchValidation(t *testing.T, newDevice DeviceFactory) {
+	dev := devBatchFor(t, newDevice)
+	p := dev.Params()
+	pp := batchPattern(p, 0, 9)
+	if err := dev.Program(pp.PPN, pp.Data, pp.Spare); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = 0x77
+		}
+		return b
+	}
+	good := flash.PageRead{PPN: 0, Data: sentinel(p.DataSize), Spare: sentinel(p.SpareSize)}
+	check := func(label string, batch []flash.PageRead, want error) {
+		t.Helper()
+		before := dev.Stats()
+		if err := dev.ReadBatch(batch); !errors.Is(err, want) {
+			t.Fatalf("%s: err = %v, want %v", label, err, want)
+		}
+		if got := dev.Stats().Sub(before).Reads; got != 0 {
+			t.Errorf("%s: failed batch charged %d reads, want 0", label, got)
+		}
+		for i := range good.Data {
+			if good.Data[i] != 0x77 {
+				t.Fatalf("%s: failed batch filled a buffer (validation must precede transfer)", label)
+			}
+		}
+	}
+	check("out of range", []flash.PageRead{good, {PPN: flash.PPN(p.NumPages()), Data: make([]byte, p.DataSize)}}, flash.ErrOutOfRange)
+	check("short data buffer", []flash.PageRead{good, {PPN: 1, Data: make([]byte, p.DataSize-1)}}, flash.ErrBufSize)
+	check("short spare buffer", []flash.PageRead{good, {PPN: 1, Spare: make([]byte, p.SpareSize+1)}}, flash.ErrBufSize)
+	if err := dev.MarkBad(p.NumBlocks - 1); err != nil {
+		t.Fatal(err)
+	}
+	check("bad block", []flash.PageRead{good, {PPN: p.PPNOf(p.NumBlocks-1, 0), Data: make([]byte, p.DataSize)}}, flash.ErrBadBlock)
 }
 
 func devBatchFor(t *testing.T, newDevice DeviceFactory) flash.Device {
@@ -480,6 +588,92 @@ func testBatchWrite(t *testing.T, newDevice DeviceFactory, factory Factory) {
 		t.Fatal(err)
 	}
 	verifyAll(t, m, shadow)
+}
+
+func testBatchRead(t *testing.T, newDevice DeviceFactory, factory Factory) {
+	// Methods that accept whole read batches (ftl.BatchReader) must fill
+	// every buffer byte-identically to a loop of ReadPage calls, through
+	// every state a page can be in — buffered differential, flushed
+	// differential page, fresh base page, garbage-collected relocation —
+	// and must surface ErrNotWritten like the loop would. Methods without
+	// batch support pass vacuously.
+	const numBlocks = 12
+	params := SmallParams(numBlocks)
+	numPages := numBlocks * params.PagesPerBlock * 45 / 100
+	m, dev := mustNew(t, newDevice, factory, numBlocks, numPages)
+	br, ok := m.(ftl.BatchReader)
+	if !ok {
+		t.Skipf("%s does not implement ftl.BatchReader", m.Name())
+	}
+	size := dev.Params().DataSize
+	shadow := load(t, m, numPages, size)
+	rng := rand.New(rand.NewSource(29))
+	serial := make([]byte, size)
+	for round := 0; round < 40; round++ {
+		// Mutate between read batches: full rewrites and small updates,
+		// with enough volume across rounds to force garbage collection, so
+		// batches read pages whose mappings GC has relocated.
+		for i := 0; i < numPages/2; i++ {
+			pid := uint32(rng.Intn(numPages))
+			if rng.Intn(3) == 0 {
+				next := pagePattern(pid, round*1000+i, size)
+				copy(shadow[pid], next)
+			} else {
+				off := rng.Intn(size - 8)
+				rng.Read(shadow[pid][off : off+8])
+			}
+			if err := m.WritePage(pid, shadow[pid]); err != nil {
+				t.Fatalf("round %d write pid %d: %v", round, pid, err)
+			}
+		}
+		if round%3 == 0 {
+			if err := m.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A batch of random pids, duplicates included.
+		n := 1 + rng.Intn(2*numPages)
+		pids := make([]uint32, n)
+		bufs := make([][]byte, n)
+		for i := range pids {
+			pids[i] = uint32(rng.Intn(numPages))
+			bufs[i] = make([]byte, size)
+		}
+		if err := br.ReadBatch(pids, bufs); err != nil {
+			t.Fatalf("round %d: ReadBatch: %v", round, err)
+		}
+		for i, pid := range pids {
+			if !bytes.Equal(bufs[i], shadow[pid]) {
+				t.Fatalf("round %d: batch element %d (pid %d) differs from shadow", round, i, pid)
+			}
+			if err := m.ReadPage(pid, serial); err != nil {
+				t.Fatalf("round %d: serial read pid %d: %v", round, pid, err)
+			}
+			if !bytes.Equal(bufs[i], serial) {
+				t.Fatalf("round %d: batch element %d (pid %d) differs from serial ReadPage", round, i, pid)
+			}
+		}
+	}
+	if dev.Stats().Erases == 0 {
+		t.Error("no erases happened; batch reads were not exercised across GC")
+	}
+
+	// An unwritten pid in the batch fails like the serial loop does.
+	fresh, _ := mustNew(t, newDevice, factory, 8, 16)
+	fb, ok := fresh.(ftl.BatchReader)
+	if !ok {
+		return
+	}
+	if err := fresh.WritePage(0, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	err := fb.ReadBatch([]uint32{0, 5}, [][]byte{make([]byte, size), make([]byte, size)})
+	if !errors.Is(err, ftl.ErrNotWritten) {
+		t.Errorf("batch with unwritten pid: err = %v, want ErrNotWritten", err)
+	}
+	if err := fb.ReadBatch([]uint32{0, 1}, [][]byte{make([]byte, size)}); err == nil {
+		t.Error("mismatched pids/bufs lengths accepted")
+	}
 }
 
 func testPhysicalLegality(t *testing.T, newDevice DeviceFactory, factory Factory) {

@@ -63,6 +63,30 @@
 // NewPoolOpts can additionally cluster cold dirty frames into the batch
 // on eviction pressure (PoolOptions.EvictionBatch).
 //
+// # Batched, cache-aware reads
+//
+// The read pipeline mirrors the write pipeline. Store.ReadBatch recreates
+// a group of logical pages as if ReadPage had been called for each, but
+// reads all their base pages as one device ReadBatch and deduplicates the
+// differential pages they share into a second one:
+//
+//	pids := []uint32{1, 9, 42}
+//	bufs := [][]byte{p1, p9, p42} // page-sized buffers
+//	err := store.ReadBatch(pids, bufs)
+//
+// A Store also keeps a decoded-differential cache (Options.DiffCachePages;
+// DiffCacheOff disables it): the decoded records of hot differential pages
+// stay in DRAM, so a hot read of a diff-bearing page costs one flash read
+// plus a map lookup instead of the paper's two serial flash reads plus a
+// decode. The cache is pure DRAM state, invalidated wherever a
+// differential page dies or moves, and never survives a restart — so
+// recovery is byte-identical with the cache on or off.
+//
+// Pool.GetMany faults a group of pages through ReadBatch when the method
+// supports it (Pool.Readahead prefetches speculatively the same way), and
+// a pool built with PoolOptions.Readahead > 0 makes B+-tree range scans
+// prefetch their leaf chain in batches.
+//
 // # Concurrency
 //
 // A Store is safe for concurrent use by multiple goroutines; the baseline
@@ -194,8 +218,21 @@ type PageWrite = ftl.PageWrite
 // that does.
 type BatchWriter = ftl.BatchWriter
 
+// BatchReader is the optional batched read interface; the PDL Store
+// implements it (Store.ReadBatch), and the buffer pool's GetMany and
+// Readahead feed any method that does.
+type BatchReader = ftl.BatchReader
+
 // PageProgram is one physical page of a Device.ProgramBatch.
 type PageProgram = flash.PageProgram
+
+// PageRead is one physical page of a Device.ReadBatch.
+type PageRead = flash.PageRead
+
+// DiffCacheOff disables the Store's decoded-differential cache when
+// assigned to Options.DiffCachePages, restoring the paper's two-read
+// PDL_Reading exactly.
+const DiffCacheOff = core.DiffCacheOff
 
 // Errors shared by all methods.
 var (

@@ -216,3 +216,96 @@ func TestFacadeWriteBatch(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeReadBatchAndDiffCache(t *testing.T) {
+	chip := pdl.NewChip(pdl.ScaledFlashParams(16))
+	store, err := pdl.Open(chip, 64, pdl.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := store.PageSize()
+	rng := rand.New(rand.NewSource(9))
+	shadow := make([][]byte, 64)
+	for pid := range shadow {
+		shadow[pid] = make([]byte, size)
+		rng.Read(shadow[pid])
+		if err := store.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Small updates + Flush make every page diff-bearing (base + diff).
+	for pid := range shadow {
+		shadow[pid][7] ^= 0xFF
+		if err := store.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var br pdl.BatchReader = store // the store advertises batch reads
+	pids := []uint32{3, 9, 27, 9}
+	bufs := make([][]byte, len(pids))
+	for i := range bufs {
+		bufs[i] = make([]byte, size)
+	}
+	if err := br.ReadBatch(pids, bufs); err != nil {
+		t.Fatal(err)
+	}
+	for i, pid := range pids {
+		if !bytes.Equal(bufs[i], shadow[pid]) {
+			t.Fatalf("batch element %d (pid %d) wrong", i, pid)
+		}
+	}
+	tel := store.Telemetry()
+	if tel.BatchReads == 0 || tel.BatchedReads == 0 {
+		t.Errorf("read-batch telemetry not counted: %+v", tel)
+	}
+	// Re-reading a pid hits the decoded-differential cache: one device
+	// read instead of two.
+	chip.ResetStats()
+	if err := store.ReadPage(3, bufs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := chip.Stats().Reads; got != 1 {
+		t.Errorf("hot read cost %d device reads, want 1 (cache hit)", got)
+	}
+	if store.Telemetry().DiffCacheHits == 0 {
+		t.Error("no cache hit recorded")
+	}
+
+	// DiffCacheOff restores the paper's two-read PDL_Reading.
+	off, err := pdl.Recover(chip, 64, pdl.Options{MaxDifferentialSize: 256, DiffCachePages: pdl.DiffCacheOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.ResetStats()
+	if err := off.ReadPage(3, bufs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufs[0], shadow[3]) {
+		t.Fatal("recovered cache-off read wrong content")
+	}
+	if got := chip.Stats().Reads; got != 2 {
+		t.Errorf("cache-off read cost %d device reads, want 2", got)
+	}
+
+	// Pool.GetMany and Readahead are reachable through the facade.
+	pool, err := pdl.NewPoolOpts(store, 8, pdl.PoolOptions{Readahead: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pool.GetMany([]uint32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pid := range []uint32{1, 2, 3} {
+		if !bytes.Equal(out[i], shadow[pid]) {
+			t.Fatalf("GetMany pid %d wrong", pid)
+		}
+	}
+	if n, err := pool.Readahead([]uint32{10, 11}); err != nil || n != 2 {
+		t.Fatalf("Readahead = (%d, %v), want (2, nil)", n, err)
+	}
+}
