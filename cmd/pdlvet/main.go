@@ -1,0 +1,109 @@
+// Command pdlvet runs the repository's invariant analyzers (see
+// internal/analysis/pdlvet): the lock-hierarchy checker, the device-call
+// discipline checker, the atomic-counter checker, and the diff-cache
+// generation-fence checker.
+//
+// Two modes:
+//
+//	pdlvet [-json] [packages]     standalone, defaults to ./...
+//	go vet -vettool=$(which pdlvet) ./...
+//
+// The second form speaks the go command's unitchecker protocol: the
+// -V=full and -flags handshakes, then one invocation per package with a
+// *.cfg file describing the typed unit.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdl/internal/analysis/pdlvet"
+	"pdl/internal/analysis/vetkit"
+)
+
+func main() {
+	// go vet handshakes, before normal flag parsing: it probes the tool
+	// with -V=full (build fingerprint for its action cache) and -flags
+	// (JSON list of tool flags it should accept and forward).
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V="):
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		vetkit.RunUnitchecker(args[0], pdlvet.Analyzers())
+		return // unreachable; RunUnitchecker exits
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := vetkit.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdlvet: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := vetkit.Run(pkgs, pdlvet.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdlvet: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if diags == nil {
+			diags = []vetkit.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "pdlvet: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion implements the -V=full handshake: the go command hashes
+// this line into its action cache key, so it must change whenever the
+// executable does. Format follows x/tools' unitchecker.
+func printVersion() {
+	progname := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		f, err2 := os.Open(exe)
+		if err2 == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		} else {
+			err = err2
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdlvet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}

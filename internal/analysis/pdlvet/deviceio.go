@@ -1,0 +1,106 @@
+package pdlvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pdl/internal/analysis/vetkit"
+)
+
+// DeviceIO enforces the device-call discipline:
+//
+//   - no flash.Device operation may run while the mapTable lock or the
+//     diff-cache lock is held — the mapping tables and the decoded-
+//     differential cache are innermost state, and a device call under
+//     either stalls every lock-free reader behind a flash I/O;
+//   - device mutations (Program*, Erase, MarkBad) may only be issued
+//     from the packages that own flash state transitions: the
+//     page-update methods, the allocator, garbage collection, and the
+//     device implementations themselves. Everything else (buffer pool,
+//     B-tree, workloads, tools) goes through an ftl.Method.
+var DeviceIO = &vetkit.Analyzer{
+	Name: "deviceio",
+	Doc: "check that flash.Device calls never run under the mapTable or diff-cache lock\n" +
+		"and that device mutations stay inside the allowlisted FTL packages",
+	Run: runDeviceIO,
+}
+
+// deviceMethods is the full flash.Device operation surface the
+// under-lock rule applies to.
+var deviceMethods = map[string]bool{
+	"Read": true, "ReadData": true, "ReadSpare": true, "ReadBatch": true,
+	"Program": true, "ProgramBatch": true, "ProgramPartial": true, "ProgramSpare": true,
+	"Erase": true, "MarkBad": true, "Sync": true,
+}
+
+// deviceMutations is the subset that changes flash state.
+var deviceMutations = map[string]bool{
+	"Program": true, "ProgramBatch": true, "ProgramPartial": true, "ProgramSpare": true,
+	"Erase": true, "MarkBad": true,
+}
+
+// mutationAllowlist names the package path elements allowed to issue
+// device mutations: the FTL core and methods, the allocator, GC, the
+// device implementations, and the conformance suite.
+var mutationAllowlist = map[string]bool{
+	"core": true, "ftl": true, "gc": true,
+	"opu": true, "ipu": true, "ipl": true,
+	"flash": true, "filedev": true, "ftltest": true,
+}
+
+func runDeviceIO(pass *vetkit.Pass) error {
+	parts := strings.Split(pass.Pkg.Path(), "/")
+	pkgAllowed := mutationAllowlist[parts[len(parts)-1]]
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			walkFunc(pass, fd, hooks{
+				onCall: func(call *ast.CallExpr, callee types.Object, held lockSet) {
+					name, ok := deviceCall(pass.TypesInfo, call)
+					if !ok {
+						return
+					}
+					for _, inner := range []lockClass{classMapTable, classDCache} {
+						if _, bad := held[inner]; bad {
+							pass.Reportf(call.Pos(),
+								"device %s call while holding the %s lock: flash I/O must never run under the %s lock",
+								name, inner, inner)
+						}
+					}
+					if deviceMutations[name] && !pkgAllowed {
+						pass.Reportf(call.Pos(),
+							"device mutation %s outside the FTL packages (core/ftl/gc/opu/ipu/ipl/flash): go through an ftl.Method",
+							name)
+					}
+				},
+			})
+		}
+	}
+	return nil
+}
+
+// deviceCall reports whether call is a method call on a flash device —
+// the Device interface or one of its implementations (Chip, the
+// file-backed Device) — returning the method name.
+func deviceCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !deviceMethods[name] {
+		return "", false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	if tn := namedTypeName(t); tn == "Chip" || tn == "Device" {
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,180 @@
+package pdlvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pdl/internal/analysis/vetkit"
+)
+
+// FencedCache enforces the decoded-differential cache's coherence
+// protocol:
+//
+//   - every diffCache.put must carry a generation fence taken with
+//     genSnapshot *before* the flash read that produced the decoded
+//     records (or a parameter threaded down from a caller that did) —
+//     inserting with a made-up generation lets a stale decode overwrite
+//     a post-invalidation entry;
+//   - every function that kills or rebirths a differential mapping
+//     (mapTable.setDiffPage / repointDiff / dropDiffPage /
+//     decDiffCount) must also call the diffCache invalidation helper,
+//     so readers never decode a dead physical page from cache.
+var FencedCache = &vetkit.Analyzer{
+	Name: "fencedcache",
+	Doc: "check that diff-cache inserts carry a genSnapshot generation fence and that every\n" +
+		"diff-mapping mutation is paired with a diff-cache invalidation",
+	Run: runFencedCache,
+}
+
+// diffMutators are the mapTable methods that kill or rebirth a
+// differential mapping.
+var diffMutators = map[string]bool{
+	"setDiffPage": true, "repointDiff": true, "dropDiffPage": true, "decDiffCount": true,
+}
+
+func runFencedCache(pass *vetkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPutFences(pass, fd)
+			checkInvalidatePairing(pass, fd)
+		}
+	}
+	return nil
+}
+
+// methodCallOn reports whether call invokes method name on a receiver
+// whose named type is recvType.
+func methodCallOn(info *types.Info, call *ast.CallExpr, recvType, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return namedTypeName(info.Types[sel.X].Type) == recvType
+}
+
+// checkPutFences verifies the generation argument of each diffCache.put
+// in fd: a direct genSnapshot() call, an identifier assigned from one
+// earlier in the body, or a parameter of the enclosing function.
+func checkPutFences(pass *vetkit.Pass, fd *ast.FuncDecl) {
+	// Positions at which identifiers were assigned from genSnapshot().
+	snapAt := make(map[types.Object]token.Pos)
+	params := make(map[types.Object]bool)
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			for _, name := range fld.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !methodCallOn(pass.TypesInfo, call, "diffCache", "genSnapshot") {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				snapAt[obj] = as.Pos()
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !methodCallOn(pass.TypesInfo, call, "diffCache", "put") {
+			return true
+		}
+		if len(call.Args) < 3 {
+			return true
+		}
+		gen := call.Args[2]
+		switch g := gen.(type) {
+		case *ast.CallExpr:
+			if methodCallOn(pass.TypesInfo, g, "diffCache", "genSnapshot") {
+				// Snapshot taken at insert time: always stale-safe (the
+				// records were decoded no later than now).
+				return true
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[g]
+			if obj != nil {
+				if params[obj] {
+					return true // fence threaded down from the caller
+				}
+				if at, ok := snapAt[obj]; ok {
+					if at < call.Pos() {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"diff-cache put uses a generation snapshotted after the insert point; take genSnapshot before reading the records")
+					return true
+				}
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"diff-cache put without a generation fence: the generation argument must come from genSnapshot taken before the read")
+		return true
+	})
+}
+
+// checkInvalidatePairing reports functions that mutate a differential
+// mapping without invalidating the diff cache in the same body.
+// mapTable's own methods are exempt: they are the mutation primitives,
+// and their callers own the pairing.
+func checkInvalidatePairing(pass *vetkit.Pass, fd *ast.FuncDecl) {
+	if recvTypeName(pass, fd) == "mapTable" {
+		return
+	}
+	var firstMutation *ast.CallExpr
+	mutName := ""
+	invalidates := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if diffMutators[sel.Sel.Name] && namedTypeName(pass.TypesInfo.Types[sel.X].Type) == "mapTable" {
+				if firstMutation == nil {
+					firstMutation, mutName = call, sel.Sel.Name
+				}
+			}
+		}
+		if methodCallOn(pass.TypesInfo, call, "diffCache", "invalidate") {
+			invalidates = true
+		}
+		return true
+	})
+	if firstMutation != nil && !invalidates {
+		pass.Reportf(firstMutation.Pos(),
+			"%s kills or rebirths a differential mapping but this function never invalidates the diff cache; pair it with the invalidation helper",
+			mutName)
+	}
+}
+
+// recvTypeName returns the bare receiver type name of a method decl.
+func recvTypeName(pass *vetkit.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	return namedTypeName(pass.TypesInfo.Types[fd.Recv.List[0].Type].Type)
+}

@@ -1,0 +1,44 @@
+// Package atomiccounter is the atomiccounter analyzer's corpus. This
+// file is the regression case: it reproduces the pre-PR-2 Chip.Stats
+// bug, where the device counters were bumped under the bus lock but
+// snapshotted without it — a torn read the race detector only catches
+// when a test happens to overlap the two.
+package atomiccounter
+
+import "sync"
+
+// Stats mirrors flash.Stats: a plain counter snapshot struct.
+type Stats struct {
+	Reads, Writes int64
+}
+
+// Chip reproduces the pre-PR-2 shape: stats guarded by mu at every
+// write site, read bare in Stats.
+type Chip struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (c *Chip) DoRead() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Reads++
+}
+
+func (c *Chip) DoWrite() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Writes++
+}
+
+func (c *Chip) Stats() Stats {
+	return c.stats // want `access of counter Chip.stats without the bus lock that guards its writes \(torn-snapshot race\)`
+}
+
+// StatsLocked is the post-PR-2 correction: snapshot under the same lock
+// the writers hold.
+func (c *Chip) StatsLocked() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

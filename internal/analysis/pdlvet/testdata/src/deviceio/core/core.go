@@ -1,0 +1,30 @@
+// Package core is the allowlisted half of the deviceio corpus: its
+// path element ("core") may issue device mutations, so only the
+// under-lock rule applies here.
+package core
+
+import "sync"
+
+type Chip struct{ mu sync.RWMutex }
+
+func (c *Chip) Read(p uint32, b []byte) error           { return nil }
+func (c *Chip) Program(p uint32, b, spare []byte) error { return nil }
+
+type mapTable struct{ mu sync.RWMutex }
+
+type Store struct {
+	dev *Chip
+	mt  *mapTable
+}
+
+// goodProgram mutates the device from an allowlisted package with no
+// inner lock held: silent.
+func (s *Store) goodProgram(b []byte) {
+	s.dev.Program(0, b, nil)
+}
+
+func (s *Store) badProgramUnderMapTable(b []byte) {
+	s.mt.mu.Lock()
+	defer s.mt.mu.Unlock()
+	s.dev.Program(0, b, nil) // want `device Program call while holding the maptable lock`
+}

@@ -1,0 +1,51 @@
+// Package deviceio is the deviceio analyzer's corpus. Its package path
+// element ("deviceio") is NOT on the mutation allowlist, so every
+// Program/Erase here doubles as an outside-the-FTL finding; the
+// allowlisted counterpart lives in the core subpackage.
+package deviceio
+
+import "sync"
+
+type PPN uint32
+
+// Chip mirrors flash.Chip's shape: the analyzer matches device calls by
+// receiver type name and method name.
+type Chip struct{ mu sync.RWMutex }
+
+func (c *Chip) Read(p PPN, b []byte) error           { return nil }
+func (c *Chip) Program(p PPN, b, spare []byte) error { return nil }
+func (c *Chip) Erase(block int) error                { return nil }
+
+type mapTable struct{ mu sync.RWMutex }
+
+type diffCache struct{ mu sync.Mutex }
+
+type Store struct {
+	dev    *Chip
+	mt     *mapTable
+	dcache *diffCache
+}
+
+func (s *Store) goodReadNoLock(b []byte) {
+	s.dev.Read(0, b)
+}
+
+func (s *Store) badReadUnderMapTable(b []byte) {
+	s.mt.mu.Lock()
+	defer s.mt.mu.Unlock()
+	s.dev.Read(0, b) // want `device Read call while holding the maptable lock`
+}
+
+func (s *Store) badProgramUnderDCache(b []byte) {
+	s.dcache.mu.Lock()
+	defer s.dcache.mu.Unlock()
+	s.dev.Program(0, b, nil) // want `device Program call while holding the dcache lock` `device mutation Program outside the FTL packages`
+}
+
+func (s *Store) badMutationHere(b []byte) {
+	s.dev.Program(0, b, nil) // want `device mutation Program outside the FTL packages`
+}
+
+func (s *Store) badEraseHere() {
+	s.dev.Erase(3) // want `device mutation Erase outside the FTL packages`
+}

@@ -1,0 +1,157 @@
+// Package lockorder is the lockorder analyzer's corpus: stub types
+// mirroring the real tree's lock-bearing shapes (matched by type and
+// field name), with seeded hierarchy violations and their corrected
+// counterparts.
+package lockorder
+
+import (
+	"sort"
+	"sync"
+)
+
+type mapTable struct{ mu sync.RWMutex }
+
+type diffCache struct{ mu sync.Mutex }
+
+type shard struct{ mu sync.Mutex }
+
+type Store struct {
+	flashMu sync.Mutex
+	shards  []shard
+	mt      *mapTable
+	dcache  *diffCache
+}
+
+// goodOrder acquires outer-to-inner with deferred releases.
+func (s *Store) goodOrder() {
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
+	s.mt.mu.Lock()
+	defer s.mt.mu.Unlock()
+}
+
+func (s *Store) badInversion() {
+	s.mt.mu.Lock()
+	s.flashMu.Lock() // want `acquiring the flash lock while holding the maptable lock inverts the lock hierarchy`
+	s.flashMu.Unlock()
+	s.mt.mu.Unlock()
+}
+
+func (s *Store) badReacquire() {
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
+	s.flashMu.Lock() // want `re-acquiring the flash lock already held \(self-deadlock\)`
+}
+
+func (s *Store) goodShardsAscendingConst() {
+	s.shards[0].mu.Lock()
+	s.shards[1].mu.Lock()
+	s.shards[1].mu.Unlock()
+	s.shards[0].mu.Unlock()
+}
+
+func (s *Store) badShardsDescendingConst() {
+	s.shards[1].mu.Lock()
+	s.shards[0].mu.Lock() // want `shard lock 0 acquired while shard lock 1 is held`
+	s.shards[0].mu.Unlock()
+	s.shards[1].mu.Unlock()
+}
+
+func (s *Store) badShardsUnknownOrder(i, j int) {
+	s.shards[i].mu.Lock()
+	s.shards[j].mu.Lock() // want `second shard lock acquired while one is held, in an order that cannot be proven ascending`
+	s.shards[j].mu.Unlock()
+	s.shards[i].mu.Unlock()
+}
+
+// goodShardsKeyRange locks every shard in index order: the range key
+// ascends by construction.
+func (s *Store) goodShardsKeyRange() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+}
+
+// goodShardsSortedRange is the WriteBatch idiom: sort the involved
+// indices, then lock in slice order.
+func (s *Store) goodShardsSortedRange(involved []int) {
+	sort.Ints(involved)
+	for _, si := range involved {
+		s.shards[si].mu.Lock()
+	}
+	defer func() {
+		for _, si := range involved {
+			s.shards[si].mu.Unlock()
+		}
+	}()
+}
+
+func (s *Store) badShardsUnsortedRange(involved []int) {
+	for _, si := range involved {
+		s.shards[si].mu.Lock() // want `shard locks acquired in a loop whose index order cannot be proven ascending`
+	}
+	defer func() {
+		for _, si := range involved {
+			s.shards[si].mu.Unlock()
+		}
+	}()
+}
+
+func (s *Store) badLeak(cond bool) {
+	s.flashMu.Lock() // want `flash lock acquired here is still held at the return on line \d+ without a deferred unlock`
+	if cond {
+		return
+	}
+	s.flashMu.Unlock()
+}
+
+// commitLocked declares the caller-holds convention the real mapping
+// committers use.
+//
+//pdlvet:holds flash
+func (s *Store) commitLocked() {
+	s.mt.mu.Lock()
+	s.mt.mu.Unlock()
+}
+
+func (s *Store) goodCaller() {
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
+	s.commitLocked()
+}
+
+func (s *Store) badCaller() {
+	s.commitLocked() // want `call to commitLocked requires holding the flash lock \(declared //pdlvet:holds flash\)`
+}
+
+func (s *Store) takesFlash() {
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
+}
+
+func (s *Store) badIndirectInversion() {
+	s.mt.mu.Lock()
+	defer s.mt.mu.Unlock()
+	s.takesFlash() // want `call to takesFlash may acquire the flash lock while the maptable lock is held`
+}
+
+func (s *Store) badIndirectReacquire() {
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
+	s.takesFlash() // want `call to takesFlash may re-acquire the flash lock already held`
+}
+
+// suppressed shows a documented suppression: the inversion below is
+// intentional corpus material and carries an ignore directive.
+func (s *Store) suppressed() {
+	s.mt.mu.Lock()
+	//pdlvet:ignore lockorder seeded violation kept quiet to exercise the directive
+	s.flashMu.Lock()
+	s.flashMu.Unlock()
+	s.mt.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+package vetkit
+
+import "testing"
+
+// TestLoadSmoke loads the repository itself through the export-data
+// loader: every package must parse and type-check offline.
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := Load("../../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; loader is dropping units", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Files) == 0 {
+			t.Errorf("package %s loaded with no files", p.PkgPath)
+		}
+		if p.Types == nil || p.TypesInfo == nil {
+			t.Errorf("package %s loaded without type information", p.PkgPath)
+		}
+	}
+}

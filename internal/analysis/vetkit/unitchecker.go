@@ -1,0 +1,156 @@
+package vetkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// unitConfig is the JSON configuration the go command writes for each
+// package when a vet tool runs under `go vet -vettool=...`. The field
+// set follows the contract established by x/tools' unitchecker (the go
+// command's side lives in cmd/go/internal/work); unknown fields are
+// ignored so the protocol can grow without breaking the tool.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker implements the vet tool side of the protocol for one
+// .cfg file: load and type-check the unit, run the analyzers, print
+// findings to stderr in the `file:line:col: message` form the go
+// command relays, and exit non-zero if anything was found. The facts
+// file named by VetxOutput is always written (empty — these analyzers
+// export no facts) because the go command caches and requires it.
+func RunUnitchecker(cfgPath string, analyzers []*Analyzer) {
+	code, err := runUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdlvet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer:  unitImporter{cfg.ImportMap, gcImp},
+		GoVersion: normalizeGoVersion(cfg.GoVersion),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type checking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := Run([]*Package{{
+		PkgPath:   cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// normalizeGoVersion maps the config's GoVersion (which the go command
+// may spell with or without the "go" prefix) to the "go1.N" form
+// go/types expects, or empty to accept any version.
+func normalizeGoVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	return v
+}
+
+// unitImporter resolves source-level import paths through the config's
+// ImportMap before consulting the compiler export data.
+type unitImporter struct {
+	importMap map[string]string
+	gc        types.Importer
+}
+
+func (u unitImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := u.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}

@@ -1,0 +1,136 @@
+// Package vetkit is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis: just enough framework to write typed
+// static analyzers against the standard library's go/ast and go/types,
+// load packages offline through the go command's export data, run under
+// `go vet -vettool` via the unitchecker config protocol, and test
+// analyzers against analysistest-style `// want` corpora.
+//
+// The module deliberately vendors no third-party code: analyzers here
+// guard the repository's concurrency invariants, and the tool that
+// checks the tree must build from a bare toolchain (CI included) with
+// `go build ./cmd/pdlvet` and nothing else.
+//
+// The shape mirrors go/analysis on purpose — Analyzer with a Run over a
+// Pass carrying Fset/Files/Pkg/TypesInfo and a Report callback — so the
+// analyzers port to the upstream framework mechanically if the
+// dependency ever becomes available.
+package vetkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -json output, and
+	// //pdlvet:ignore suppressions. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: first line is the summary.
+	Doc string
+	// Run performs the analysis over one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one package being
+// analyzed, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String formats the diagnostic in the go vet style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics: suppressed findings (see ignore.go) are dropped, findings
+// in _test.go files are dropped (tests intentionally reach into
+// internals the invariants govern), and the rest are sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ig := ignoresOf(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+					continue
+				}
+				if ig.suppressed(a.Name, d.Pos) {
+					continue
+				}
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	// Dedup exact repeats: abstract interpretation may visit a program
+	// point more than once (loop bodies get a second iteration) and the
+	// same finding must surface once.
+	seen := make(map[Diagnostic]bool, len(all))
+	out := all[:0]
+	for _, d := range all {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+// Package vettest runs vetkit analyzers over analysistest-style
+// corpora: a testdata/src tree of small packages whose lines carry
+// `// want "regexp"` comments naming the diagnostics the analyzer must
+// report there. The corpus is copied into a throwaway module (module
+// path "p") so intra-corpus imports like "p/flash" resolve, loaded with
+// the same offline loader the pdlvet driver uses, and the reported
+// diagnostics are matched one-to-one against the expectations: a
+// missing finding, an extra finding, and a finding with the wrong
+// message are all test failures.
+package vettest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pdl/internal/analysis/vetkit"
+)
+
+// expectation is one `// want` clause: a line that must receive a
+// diagnostic matching re.
+type expectation struct {
+	file string // path relative to the corpus root
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run copies the corpus at srcdir (conventionally "testdata/src") into
+// a fresh module and checks analyzers' diagnostics over the named
+// packages (paths relative to the corpus root, e.g. "lockorder")
+// against the corpus's want comments.
+func Run(t *testing.T, srcdir string, analyzers []*vetkit.Analyzer, pkgs ...string) {
+	t.Helper()
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module p\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyTree(srcdir, mod); err != nil {
+		t.Fatalf("copying corpus: %v", err)
+	}
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "p/" + p
+	}
+	loaded, err := vetkit.Load(mod, patterns...)
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range loaded {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			rel, err := filepath.Rel(mod, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := parseWants(rel, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	diags, err := vetkit.Run(loaded, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		rel, err := filepath.Rel(mod, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != rel || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", rel, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// copyTree copies the directory tree at src into dst.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o777)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o666)
+	})
+}
+
+// wantRE matches one quoted regexp of a want clause: a Go interpreted
+// or raw string literal.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts expectations from one file's source text: each
+// `// want "re" ...` comment attaches to its own line.
+func parseWants(rel string, src []byte) ([]*expectation, error) {
+	var out []*expectation
+	for i, lineText := range strings.Split(string(src), "\n") {
+		_, rest, ok := strings.Cut(lineText, "// want ")
+		if !ok {
+			continue
+		}
+		matches := wantRE.FindAllString(rest, -1)
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s:%d: malformed want comment (no quoted regexp)", rel, i+1)
+		}
+		for _, m := range matches {
+			var pat string
+			if m[0] == '`' {
+				pat = m[1 : len(m)-1]
+			} else {
+				var err error
+				pat, err = strconv.Unquote(m)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want string %s: %v", rel, i+1, m, err)
+				}
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", rel, i+1, pat, err)
+			}
+			out = append(out, &expectation{file: rel, line: i + 1, re: re})
+		}
+	}
+	return out, nil
+}

@@ -129,6 +129,7 @@ func (s *Store) WriteBatch(writes []ftl.PageWrite) error {
 			wg.Add(1)
 			go func(k, si int) {
 				defer wg.Done()
+				//pdlvet:ignore lockorder the parent WriteBatch holds every involved shard lock for this goroutine's whole lifetime
 				staged[k], bufs[k], errs[k] = s.stageShard(&s.shards[si], writes, order[si], tsBase)
 			}(k, si)
 		}
@@ -172,6 +173,8 @@ func (s *Store) WriteBatch(writes []ftl.PageWrite) error {
 // page for the pid will exist once the staged ops commit (which decides
 // whether an empty differential may be elided or must be written to
 // supersede a stale one durably).
+//
+//pdlvet:holds shard
 func (s *Store) stageShard(sh *shard, writes []ftl.PageWrite, idxs []int, tsBase uint64) (ops []pendingOp, buf writeBuffer, err error) {
 	cur := sh.dwb.clone()
 	pendImg := make(map[uint32][]byte)
@@ -273,11 +276,22 @@ func (s *Store) snapshotSpill(buf *writeBuffer, idx int, ts uint64) pendingOp {
 // order (= time stamp order), and the mapping-table commits replay in the
 // same order afterwards. The caller holds the involved shard locks; the
 // flash lock is taken here, once, for the whole batch.
+//
+//pdlvet:holds shard
 func (s *Store) writePending(ops []pendingOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].idx < ops[j].idx })
+	if invariantsEnabled {
+		// Batch order and time stamp order must coincide: recovery
+		// arbitrates by TS, so a crash mid-batch only recovers as a
+		// prefix of the batch if the programs land in TS order.
+		for i := 1; i < len(ops); i++ {
+			assertf(ops[i].ts > ops[i-1].ts,
+				"batch TS order broken at position %d: ts %d follows %d", i, ops[i].ts, ops[i-1].ts)
+		}
+	}
 
 	s.flashMu.Lock()
 	defer s.flashMu.Unlock()
@@ -349,6 +363,8 @@ func (s *Store) writePending(ops []pendingOp) error {
 // flash lock, with allocPage's background-GC etiquette: the engine is
 // kicked at the watermark, and an inline collection (the batch hit the
 // reserve floor) counts as a backpressure fallback.
+//
+//pdlvet:holds flash
 func (s *Store) allocPages(n int) ([]flash.PPN, error) {
 	ppns, collected, err := s.alloc.AllocBatch(n)
 	if s.gcEng != nil {

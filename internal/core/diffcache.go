@@ -137,6 +137,10 @@ func (c *diffCache) put(ppn flash.PPN, recs []diff.Differential, genBefore uint6
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if invariantsEnabled {
+		assertf(genBefore <= c.gen,
+			"diff-cache insert of ppn %d carries generation %d from the future (current %d)", ppn, genBefore, c.gen)
+	}
 	if c.gen != genBefore {
 		if genBefore+invalWindow <= c.gen {
 			return // snapshot predates the retained history
@@ -167,6 +171,8 @@ func (c *diffCache) put(ppn flash.PPN, recs []diff.Differential, genBefore uint6
 // differential page dies, moves, or is programmed anew; the callers all
 // hold the flash lock, so invalidations are serialized with the mutation
 // they fence.
+//
+//pdlvet:holds flash
 func (c *diffCache) invalidate(ppn flash.PPN) {
 	if c == nil {
 		return

@@ -22,6 +22,8 @@ import (
 // locks order before the flash lock). Every mapping repoint happens
 // before the allocator erases the victim, which is what the lock-free
 // read path's version check relies on.
+//
+//pdlvet:holds flash
 func (s *Store) relocate(victim int) error {
 	p := s.params
 
@@ -71,6 +73,8 @@ func (s *Store) relocate(victim int) error {
 }
 
 // relocateBasePage copies one valid base page out of a victim block.
+//
+//pdlvet:holds flash
 func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 	scratch := s.getPage()
 	defer s.putPage(scratch)
@@ -96,6 +100,8 @@ func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
 // validDifferentials reads a differential page and returns the
 // differentials that are still current (the mapping table still points at
 // this page for their pid).
+//
+//pdlvet:holds flash
 func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 	scratch := s.getPage()
 	defer s.putPage(scratch)
@@ -116,6 +122,8 @@ func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 // built in a pooled scratch page — garbage collection compacts a page per
 // surviving batch, and allocating a fresh image each time put a page-sized
 // allocation on every collection increment.
+//
+//pdlvet:holds flash
 func (s *Store) writeCompactedPage(ds []diff.Differential) error {
 	p := s.params
 	q, err := s.alloc.Alloc()

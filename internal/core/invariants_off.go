@@ -1,0 +1,9 @@
+//go:build !pdlinvariants
+
+package core
+
+// invariantsEnabled is false in normal builds: assertion sites compile
+// to nothing. See invariants_on.go.
+const invariantsEnabled = false
+
+func assertf(bool, string, ...any) {}

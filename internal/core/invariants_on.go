@@ -1,0 +1,20 @@
+//go:build pdlinvariants
+
+package core
+
+import "fmt"
+
+// invariantsEnabled gates the runtime assertion layer: cheap checks of
+// the invariants the pdlvet analyzers enforce statically, compiled in
+// only under the pdlinvariants build tag (CI runs the race hammers with
+// it). Production builds compile the assertions out entirely.
+const invariantsEnabled = true
+
+// assertf panics with a formatted message when cond is false. Call
+// sites guard with invariantsEnabled so argument evaluation also
+// disappears from untagged builds.
+func assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("pdl invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

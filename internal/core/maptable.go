@@ -78,21 +78,32 @@ func (t *mapTable) snapshot(pid uint32) (pageEntry, uint64) {
 // still owns.
 func (t *mapTable) stable(pid uint32, v uint64) bool {
 	t.mu.RLock()
-	ok := t.ver[pid] == v
+	cur := t.ver[pid]
 	t.mu.RUnlock()
-	return ok
+	if invariantsEnabled {
+		assertf(cur >= v, "mapTable version of pid %d moved backwards: snapshot saw %d, now %d", pid, v, cur)
+	}
+	return cur == v
 }
 
 // entry returns pid's current entry. The caller holds the flash lock (the
 // only writer context), so no read lock is needed.
+//
+//pdlvet:holds flash
 func (t *mapTable) entry(pid uint32) pageEntry { return t.ppmt[pid] }
 
 // setBasePage commits a writeNewBasePage: pid's base becomes ppn with
 // creation time stamp ts, and any previous base/differential linkage is
 // returned to the caller for release. Caller holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) setBasePage(pid uint32, ppn flash.PPN, ts uint64) (old pageEntry) {
 	t.mu.Lock()
 	old = t.ppmt[pid]
+	if invariantsEnabled {
+		assertf(old.base == flash.NilPPN || ts > t.baseTS[pid],
+			"base page TS not monotone for pid %d: committed %d after %d", pid, ts, t.baseTS[pid])
+	}
 	if old.base != flash.NilPPN {
 		delete(t.reverseBase, old.base)
 	}
@@ -109,6 +120,8 @@ func (t *mapTable) setBasePage(pid uint32, ppn flash.PPN, ts uint64) (old pageEn
 // during garbage collection. The creation time stamp is deliberately
 // unchanged: relocation copies content, it does not make it newer.
 // Caller holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) relocateBase(pid uint32, dst flash.PPN) {
 	t.mu.Lock()
 	delete(t.reverseBase, t.ppmt[pid].base)
@@ -122,9 +135,18 @@ func (t *mapTable) relocateBase(pid uint32, dst flash.PPN) {
 // becomes ppn with time stamp ts, ppn's valid count grows, and the
 // previous differential page (if any) is returned for release. Caller
 // holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) setDiffPage(pid uint32, ppn flash.PPN, ts uint64) (old flash.PPN) {
 	t.mu.Lock()
 	old = t.ppmt[pid].dif
+	if invariantsEnabled {
+		// Equality is legal: a flush that failed after committing some
+		// mappings leaves the buffer intact, and the retry re-commits
+		// the same differentials with their original time stamps.
+		assertf(ts >= t.diffTS[pid],
+			"differential TS not monotone for pid %d: committed %d after %d", pid, ts, t.diffTS[pid])
+	}
 	t.ppmt[pid].dif = ppn
 	t.diffTS[pid] = ts
 	t.vdct[ppn]++
@@ -137,6 +159,8 @@ func (t *mapTable) setDiffPage(pid uint32, ppn flash.PPN, ts uint64) (old flash.
 // (same differential content and time stamp, new location). The old
 // page's count is not touched: compaction drops whole victim pages via
 // dropDiffPage. Caller holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) repointDiff(pid uint32, ppn flash.PPN) {
 	t.mu.Lock()
 	t.ppmt[pid].dif = ppn
@@ -149,6 +173,8 @@ func (t *mapTable) repointDiff(pid uint32, ppn flash.PPN) {
 // half (Figure 8): decrement dp's valid count, deleting the entry when it
 // reaches zero, and report whether the page just became obsolete. Caller
 // holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) decDiffCount(dp flash.PPN) (obsolete bool) {
 	t.mu.Lock()
 	t.vdct[dp]--
@@ -162,11 +188,15 @@ func (t *mapTable) decDiffCount(dp flash.PPN) (obsolete bool) {
 
 // diffCount returns dp's valid differential count (0 if absent). Caller
 // holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) diffCount(dp flash.PPN) int { return t.vdct[dp] }
 
 // dropDiffPage forgets a differential page wholesale (its survivors have
 // been compacted elsewhere and its block is about to be erased). Caller
 // holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) dropDiffPage(dp flash.PPN) {
 	t.mu.Lock()
 	delete(t.vdct, dp)
@@ -175,6 +205,8 @@ func (t *mapTable) dropDiffPage(dp flash.PPN) {
 
 // pidOfBase returns the pid whose base page lives at ppn, if any. Caller
 // holds the flash lock.
+//
+//pdlvet:holds flash
 func (t *mapTable) pidOfBase(ppn flash.PPN) (uint32, bool) {
 	pid, ok := t.reverseBase[ppn]
 	return pid, ok

@@ -427,6 +427,8 @@ func (s *Store) putPage(b []byte) { s.pages.Put(b) } //nolint:staticcheck // []b
 // the non-collecting fast path, nudges the engine when the pool sinks to
 // the watermark, and only collects on this goroutine if the reserve floor
 // itself is reached — the backpressure case.
+//
+//pdlvet:holds flash
 func (s *Store) allocPage() (flash.PPN, error) {
 	if s.gcEng == nil {
 		return s.alloc.Alloc()
@@ -704,6 +706,8 @@ func newestFor(recs []diff.Differential, pid uint32) (diff.Differential, bool) {
 // the logical page itself is written into a newly allocated base page, the
 // old base page is set obsolete, and any old differential is released.
 // The caller holds the flash lock (and the pid's shard lock).
+//
+//pdlvet:holds shard,flash
 func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
 	q, err := s.allocPage()
 	if err != nil {
@@ -732,6 +736,8 @@ func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
 
 // flushShard acquires the flash lock and writes one shard's buffer out.
 // The caller holds the shard lock.
+//
+//pdlvet:holds shard
 func (s *Store) flushShard(sh *shard) error {
 	if sh.dwb.empty() {
 		return nil
@@ -745,6 +751,8 @@ func (s *Store) flushShard(sh *shard) error {
 // (Figure 8) for one shard: the buffer's contents become a new differential
 // page, and the mapping and valid-count tables are updated for every
 // differential in it. The caller holds the shard lock and the flash lock.
+//
+//pdlvet:holds shard,flash
 func (s *Store) flushShardLocked(sh *shard) error {
 	if sh.dwb.empty() {
 		return nil
@@ -780,6 +788,8 @@ func (s *Store) flushShardLocked(sh *shard) error {
 // decrement the valid differential count of dp and set the page obsolete
 // when it reaches zero (the count entry itself is deleted at zero so the
 // table only ever holds live pages). The caller holds the flash lock.
+//
+//pdlvet:holds flash
 func (s *Store) releaseDiffPage(dp flash.PPN) error {
 	if !s.mt.decDiffCount(dp) {
 		return nil
