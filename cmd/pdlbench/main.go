@@ -37,7 +37,9 @@ import (
 	"pdl/internal/bench"
 	"pdl/internal/flash"
 	"pdl/internal/flash/filedev"
+	"pdl/internal/kv"
 	"pdl/internal/tpcc"
+	"pdl/internal/ycsb"
 )
 
 // sanitize turns a method label into a file-name-safe fragment.
@@ -76,6 +78,12 @@ func realMain() int {
 		assertR   = flag.Bool("assertread", false, "with -exp read: exit nonzero unless the cache cuts device reads per logical read from ~2 to ~1 (needs -readcache both)")
 		backend   = flag.String("backend", "emu", "flash backend: emu (in-memory) or file (persistent)")
 		path      = flag.String("path", "", "directory for -backend file device files (default: a temp dir)")
+		report    = flag.String("report", "", "directory for BENCH_*.json reports (par/gctail/batch/read/ycsb; default: none, except -exp ycsb which defaults to '.')")
+		workloads = flag.String("workloads", "A,B,C,D,E,F", "with -exp ycsb: comma-separated core workloads to run")
+		records   = flag.Int("records", 100_000, "with -exp ycsb: initial key count")
+		clients   = flag.Int("clients", 4, "with -exp ycsb: concurrent client goroutines")
+		valueSize = flag.Int("valuesize", 100, "with -exp ycsb: value size in bytes")
+		assertY   = flag.Bool("assertycsb", false, "with -exp ycsb: exit nonzero unless PDL beats OPU's simulated I/O time on every write-heavy zipfian workload run (A, F)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (profile GC and lock behavior directly)")
 		memprof   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -236,23 +244,31 @@ func realMain() int {
 			}
 			bench.WriteExp7Table(os.Stdout, points)
 		case "par":
-			if err := runParallel(g, *workers, *ops); err != nil {
+			if err := runParallel(g, *workers, *ops, *report, *backend); err != nil {
 				return err
 			}
 		case "gctail":
-			if err := runGCTail(g, *workers, *ops); err != nil {
+			if err := runGCTail(g, *workers, *ops, *report, *backend); err != nil {
 				return err
 			}
 		case "batch":
-			if err := runBatch(g, *backend, *path, *batchSize, *ops, *assertB); err != nil {
+			if err := runBatch(g, *backend, *path, *batchSize, *ops, *assertB, *report); err != nil {
 				return err
 			}
 		case "read":
-			if err := runRead(g, *backend, *batchSize, *ops, *readcache, *assertR); err != nil {
+			if err := runRead(g, *backend, *batchSize, *ops, *readcache, *assertR, *report); err != nil {
+				return err
+			}
+		case "ycsb":
+			dir := *report
+			if dir == "" {
+				dir = "." // serving reports are the experiment's product; always emit
+			}
+			if err := runYCSB(g, *backend, *workloads, *records, *clients, *valueSize, *ops, dir, *assertY); err != nil {
 				return err
 			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, read, or all)", id)
+			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, read, ycsb, or all)", id)
 		}
 		fmt.Println()
 		return nil
@@ -274,13 +290,139 @@ func realMain() int {
 	return 0
 }
 
+// emitReport writes one BENCH_*.json document when a report directory
+// was requested, echoing the path so scripts can collect the files.
+func emitReport(dir string, r bench.Report) error {
+	if dir == "" {
+		return nil
+	}
+	path, err := bench.WriteReportFile(dir, r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# report: %s\n", path)
+	return nil
+}
+
+// geometryParams projects a geometry into the report's parameter block.
+func geometryParams(g bench.Geometry) bench.ReportParams {
+	return bench.ReportParams{
+		NumBlocks:     g.Params.NumBlocks,
+		PagesPerBlock: g.Params.PagesPerBlock,
+		PageSize:      g.Params.DataSize,
+		NumPages:      g.NumPages(),
+		Seed:          g.Seed,
+	}
+}
+
+// runYCSB runs the serving-layer experiment: the kv store under the YCSB
+// core workload mixes, PDL versus the baselines, with per-operation
+// latency percentiles and one schema-versioned report per point.
+func runYCSB(g bench.Geometry, backend, workloadSel string, records, clients, valueSize, ops int,
+	reportDir string, assert bool) error {
+	var wls []ycsb.Workload
+	for _, name := range strings.Split(workloadSel, ",") {
+		w, err := ycsb.Lookup(strings.TrimSpace(strings.ToUpper(name)))
+		if err != nil {
+			return err
+		}
+		wls = append(wls, w)
+	}
+	cfg := ycsb.Config{
+		Records:   records,
+		Ops:       ops,
+		Clients:   clients,
+		ValueSize: valueSize,
+		Seed:      g.Seed,
+	}
+	// Bucket the key space at twice the client count (nearest power of
+	// two) so bucket-lock collisions stay rare, and give each bucket a
+	// pool around an eighth of its pages — enough locality to matter,
+	// small enough that the methods underneath still see the workload.
+	kvOpts := kv.Options{Buckets: 8, Readahead: 8}
+	for kvOpts.Buckets < 2*clients && kvOpts.Buckets < 64 {
+		kvOpts.Buckets *= 2
+	}
+	est := int(kv.PagesNeeded(records, valueSize, g.Params.DataSize, kvOpts))
+	kvOpts.PoolPages = est / kvOpts.Buckets / 8
+	if kvOpts.PoolPages < 64 {
+		kvOpts.PoolPages = 64
+	}
+	specs := []bench.MethodSpec{
+		{Kind: bench.KindPDL, Param: g.Params.DataSize / 8, Shards: clients},
+		{Kind: bench.KindPDL, Param: g.Params.DataSize, Shards: clients},
+		{Kind: bench.KindOPU},
+		{Kind: bench.KindIPU},
+	}
+	names := make([]string, len(wls))
+	for i, w := range wls {
+		names[i] = w.Name
+	}
+	fmt.Printf("YCSB serving experiment: workloads %s, %d records, %d clients, %dB values\n",
+		strings.Join(names, ","), records, clients, valueSize)
+	fmt.Printf("# geometry: %s, kv: %d buckets x %d pool pages, ~%d ops per point, backend %s\n",
+		g.Params, kvOpts.Buckets, kvOpts.PoolPages, ops, backend)
+	fmt.Printf("# throughput is host wall-clock; fl-* columns are the per-phase device work\n")
+	points, err := bench.ExpYCSB(g, specs, wls, cfg, kvOpts)
+	if err != nil {
+		return err
+	}
+	bench.WriteYCSBTable(os.Stdout, points)
+	for _, pt := range points {
+		if err := emitReport(reportDir, bench.YCSBReport(pt, backend, g, cfg, kvOpts)); err != nil {
+			return err
+		}
+	}
+	if !assert {
+		return nil
+	}
+	// The serving-layer form of the paper's headline claim: on
+	// write-heavy zipfian mixes, page-differential logging must cost
+	// less device I/O time than whole-page out-of-place updating.
+	type key struct{ workload, method string }
+	sim := map[key]int64{}
+	for _, pt := range points {
+		sim[key{pt.Result.Workload, pt.Method}] = pt.Flash.TimeMicros
+	}
+	checked := 0
+	for _, w := range wls {
+		if w.Name != "A" && w.Name != "F" {
+			continue
+		}
+		opu, ok := sim[key{w.Name, "OPU"}]
+		if !ok {
+			continue
+		}
+		for _, spec := range specs {
+			name := spec.Name(g.Params)
+			if spec.Kind != bench.KindPDL {
+				continue
+			}
+			pdl, ok := sim[key{w.Name, name}]
+			if !ok {
+				continue
+			}
+			checked++
+			if pdl >= opu {
+				return fmt.Errorf("workload %s: %s cost %d us of simulated I/O, OPU %d: PDL must beat whole-page OPU on write-heavy zipfian mixes",
+					w.Name, name, pdl, opu)
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("-assertycsb needs workload A or F and both PDL and OPU points")
+	}
+	fmt.Printf("# ycsb check passed: PDL under OPU's simulated I/O time on %d write-heavy points\n", checked)
+	return nil
+}
+
 // runBatch runs bench.ExpBatch: the same commit-round update workload
 // reflected one WritePage at a time versus through WriteBatch. On the
 // file backend the devices use SyncAlways — the batch pipeline's reason
 // to exist is coalescing that policy's per-program fsyncs — so the syncs
 // column is the headline there; on the emulator the comparison is about
 // lock acquisitions and shows up in ops/s only.
-func runBatch(g bench.Geometry, backend, path string, batchSize, ops int, assert bool) error {
+func runBatch(g bench.Geometry, backend, path string, batchSize, ops int, assert bool, reportDir string) error {
 	if backend == "file" {
 		dir := path
 		if dir == "" {
@@ -310,6 +452,27 @@ func runBatch(g bench.Geometry, backend, path string, batchSize, ops int, assert
 		return err
 	}
 	bench.WriteBatchTable(os.Stdout, points)
+	for _, p := range points {
+		fl := p.Flash
+		err := emitReport(reportDir, bench.Report{
+			Experiment:    "batch-" + p.Mode,
+			Method:        fmt.Sprintf("PDL(%dB)", maxDiff),
+			Backend:       backend,
+			Params:        geometryParams(g),
+			Ops:           p.Ops,
+			ElapsedMicros: p.Elapsed.Microseconds(),
+			OpsPerSec:     p.OpsPerSecond(),
+			Flash:         &fl,
+			Extra: map[string]float64{
+				"batch_size":    float64(p.BatchSize),
+				"batch_writes":  float64(p.BatchWrites),
+				"batched_pages": float64(p.BatchedPages),
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
 	if !assert {
 		return nil
 	}
@@ -341,7 +504,7 @@ func runBatch(g bench.Geometry, backend, path string, batchSize, ops int, assert
 // flash reads per hot diff-bearing read to one, which halves the simulated
 // I/O time per read — the deterministic form of the >=2x hot-read
 // throughput claim that -assertread enforces.
-func runRead(g bench.Geometry, backend string, batchSize, ops int, cacheSel string, assert bool) error {
+func runRead(g bench.Geometry, backend string, batchSize, ops int, cacheSel string, assert bool, reportDir string) error {
 	var modes []string
 	switch cacheSel {
 	case "both":
@@ -364,6 +527,30 @@ func runRead(g bench.Geometry, backend string, batchSize, ops int, cacheSel stri
 		return err
 	}
 	bench.WriteReadTable(os.Stdout, points)
+	for _, p := range points {
+		fl := p.Flash
+		err := emitReport(reportDir, bench.Report{
+			Experiment:    "read-" + p.Mode,
+			Method:        fmt.Sprintf("PDL(%dB)", maxDiff),
+			Backend:       backend,
+			Params:        geometryParams(g),
+			Ops:           p.Ops,
+			ElapsedMicros: p.Elapsed.Microseconds(),
+			Flash:         &fl,
+			Extra: map[string]float64{
+				"reads_per_op":  p.ReadsPerOp(),
+				"p50_us":        float64(p.P50.Nanoseconds()) / 1000,
+				"p99_us":        float64(p.P99.Nanoseconds()) / 1000,
+				"cache_hits":    float64(p.CacheHits),
+				"cache_misses":  float64(p.CacheMisses),
+				"batch_reads":   float64(p.BatchReads),
+				"batched_reads": float64(p.BatchedReads),
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
 	if !assert {
 		return nil
 	}
@@ -397,7 +584,7 @@ func runRead(g bench.Geometry, backend string, batchSize, ops int, cacheSel stri
 // headline column is p99: background GC moves victim relocation off the
 // write path, so the collection cycles that synchronous mode charges to
 // unlucky reflections disappear from the tail.
-func runGCTail(g bench.Geometry, workers, ops int) error {
+func runGCTail(g bench.Geometry, workers, ops int, reportDir, backend string) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -405,11 +592,34 @@ func runGCTail(g bench.Geometry, workers, ops int) error {
 	fmt.Printf("# geometry: %s, DB = %d pages, %d ops per mode, conditioning %.1f GC rounds/block\n",
 		g.Params, g.NumPages(), ops, g.GCRounds)
 	fmt.Printf("# latencies are host wall-clock; compare the two rows, not machines\n")
-	points, err := bench.ExpGCTail(g, g.Params.DataSize/8, workers, ops)
+	maxDiff := g.Params.DataSize / 8
+	points, err := bench.ExpGCTail(g, maxDiff, workers, ops)
 	if err != nil {
 		return err
 	}
 	bench.WriteGCTailTable(os.Stdout, points)
+	for _, p := range points {
+		lat := p.Latency
+		params := geometryParams(g)
+		params.Workers = p.Workers
+		err := emitReport(reportDir, bench.Report{
+			Experiment:    "gctail-" + p.Mode,
+			Method:        fmt.Sprintf("PDL(%dB)", maxDiff),
+			Backend:       backend,
+			Params:        params,
+			Ops:           p.Ops,
+			ElapsedMicros: p.Elapsed.Microseconds(),
+			Latency:       &lat,
+			Extra: map[string]float64{
+				"gc_runs":   float64(p.GCRuns),
+				"bg_runs":   float64(p.BackgroundRuns),
+				"fallbacks": float64(p.Fallbacks),
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -417,7 +627,7 @@ func runGCTail(g bench.Geometry, workers, ops int) error {
 // serialized baselines as worker goroutines grow — and prints the table.
 // Host throughput (ops/s) depends on the machine; with several workers
 // the simulated columns are scheduling-dependent too.
-func runParallel(g bench.Geometry, maxWorkers, ops int) error {
+func runParallel(g bench.Geometry, maxWorkers, ops int, reportDir, backend string) error {
 	if maxWorkers < 1 {
 		maxWorkers = 1
 	}
@@ -457,6 +667,29 @@ func runParallel(g bench.Geometry, maxWorkers, ops int) error {
 			p.Result.OpsPerSecond(),
 			float64(p.Result.Flash.TimeMicros)/float64(p.Result.Ops),
 			mode)
+	}
+	for _, p := range points {
+		fl := p.Result.Flash
+		params := geometryParams(g)
+		params.Workers = p.Workers
+		serialized := 0.0
+		if p.Result.Serialized {
+			serialized = 1
+		}
+		err := emitReport(reportDir, bench.Report{
+			Experiment:    fmt.Sprintf("par-%dw", p.Workers),
+			Method:        p.Method,
+			Backend:       backend,
+			Params:        params,
+			Ops:           p.Result.Ops,
+			ElapsedMicros: p.Result.Elapsed.Microseconds(),
+			OpsPerSec:     p.Result.OpsPerSecond(),
+			Flash:         &fl,
+			Extra:         map[string]float64{"serialized": serialized},
+		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

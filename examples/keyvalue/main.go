@@ -1,10 +1,11 @@
-// Keyvalue: an embedded key-value store — B+-tree index over heap records,
-// behind an LRU buffer pool — run over page-differential logging and over
-// the page-based baseline, comparing simulated flash I/O.
+// Keyvalue: the serving layer's concurrent key-value store — lock-striped
+// buckets of B+-tree index over heap records, each behind its own buffer
+// pool — run over page-differential logging and over the page-based
+// baseline, comparing simulated flash I/O.
 //
 // The workload is the one the paper's motivation targets: many small
-// in-place record updates. PDL turns each page write-back into a small
-// differential; the page-based method rewrites whole pages.
+// record updates from concurrent clients. PDL turns each page write-back
+// into a small differential; the page-based method rewrites whole pages.
 package main
 
 import (
@@ -12,18 +13,16 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 
 	"pdl"
 )
 
 const (
-	numPages   = 4096 // logical database size
-	heapPages  = 2048
-	treePages  = 1024
-	poolFrames = 64
 	numKeys    = 4000
 	numUpdates = 20000
 	valueSize  = 64
+	clients    = 4
 )
 
 func main() {
@@ -39,85 +38,103 @@ func main() {
 }
 
 func run(method string) (pdl.FlashStats, error) {
+	opts := pdl.KVOptions{Buckets: 8, PoolPages: 8}
+	numPages := pdl.KVPagesNeeded(numKeys, valueSize, pdl.ScaledFlashParams(1).DataSize, opts)
 	chip := pdl.NewChip(pdl.ScaledFlashParams(256)) // 32 MB
 	var m pdl.Method
 	var err error
 	switch method {
 	case "PDL(256B)":
-		m, err = pdl.Open(chip, numPages, pdl.Options{MaxDifferentialSize: 256})
+		// Shards sized to the client count: concurrent writers land on
+		// distinct differential buffers.
+		m, err = pdl.Open(chip, int(numPages), pdl.Options{MaxDifferentialSize: 256, Shards: clients})
 	case "OPU":
-		m, err = pdl.OpenOPU(chip, numPages)
+		// The baseline is not concurrency-safe; the kv store funnels it
+		// through one mutex automatically.
+		m, err = pdl.OpenOPU(chip, int(numPages))
 	default:
 		return pdl.FlashStats{}, fmt.Errorf("unknown method %q", method)
 	}
 	if err != nil {
 		return pdl.FlashStats{}, err
 	}
-	pool, err := pdl.NewPool(m, poolFrames)
+	db, err := pdl.OpenKV(m, numPages, opts)
 	if err != nil {
 		return pdl.FlashStats{}, err
 	}
-	heap, err := pdl.NewHeap(pool, 0, heapPages)
-	if err != nil {
-		return pdl.FlashStats{}, err
-	}
-	tree, err := pdl.NewBTree(pool, heapPages, treePages)
-	if err != nil {
-		return pdl.FlashStats{}, err
-	}
+	defer db.Close()
 
+	// Load: insert records in batches (each batch is atomic with respect
+	// to concurrent Scans).
 	rng := rand.New(rand.NewSource(42))
-	val := make([]byte, valueSize)
-
-	// Load: insert records, index them by key.
+	batch := make([]pdl.KVEntry, 0, 64)
 	for k := uint64(0); k < numKeys; k++ {
+		val := make([]byte, valueSize)
 		rng.Read(val)
 		binary.LittleEndian.PutUint64(val, k) // embed the key for checking
-		rid, err := heap.Insert(val)
-		if err != nil {
-			return pdl.FlashStats{}, err
-		}
-		if err := tree.Insert(k, packRID(rid)); err != nil {
-			return pdl.FlashStats{}, err
+		batch = append(batch, pdl.KVEntry{Key: k, Value: val})
+		if len(batch) == cap(batch) || k == numKeys-1 {
+			if err := db.PutBatch(batch); err != nil {
+				return pdl.FlashStats{}, err
+			}
+			batch = batch[:0]
 		}
 	}
-	if err := pool.Flush(); err != nil {
+	if err := db.Sync(); err != nil {
 		return pdl.FlashStats{}, err
 	}
 
-	// Measure: point updates through the index (each changes a few bytes
-	// of one record), with occasional reads.
+	// Measure: concurrent point updates through the store (each bumps a
+	// counter field of one record).
 	chip.ResetStats()
-	for i := 0; i < numUpdates; i++ {
-		k := uint64(rng.Intn(numKeys))
-		packed, err := tree.Get(k)
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			buf := make([]byte, 0, valueSize)
+			for i := 0; i < numUpdates/clients; i++ {
+				k := uint64(rng.Intn(numKeys))
+				rec, err := db.Get(k, buf)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if got := binary.LittleEndian.Uint64(rec); got != k {
+					errs[c] = fmt.Errorf("key %d resolved to record of key %d", k, got)
+					return
+				}
+				binary.LittleEndian.PutUint32(rec[8:], binary.LittleEndian.Uint32(rec[8:])+1)
+				if err := db.Put(k, rec); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return pdl.FlashStats{}, err
-		}
-		rid := unpackRID(packed)
-		rec, err := heap.Get(rid, val[:0])
-		if err != nil {
-			return pdl.FlashStats{}, err
-		}
-		if got := binary.LittleEndian.Uint64(rec); got != k {
-			return pdl.FlashStats{}, fmt.Errorf("key %d resolved to record of key %d", k, got)
-		}
-		// Small in-place update: bump a counter field.
-		binary.LittleEndian.PutUint32(rec[8:], binary.LittleEndian.Uint32(rec[8:])+1)
-		if err := heap.Update(rid, rec); err != nil {
 			return pdl.FlashStats{}, err
 		}
 	}
-	if err := pool.Flush(); err != nil {
+
+	// A snapshot-consistent scan sees every loaded key exactly once.
+	seen := 0
+	err = db.Scan(0, ^uint64(0), numKeys+1, func(k uint64, v []byte) bool {
+		seen++
+		return true
+	})
+	if err != nil {
+		return pdl.FlashStats{}, err
+	}
+	if seen != numKeys {
+		return pdl.FlashStats{}, fmt.Errorf("scan saw %d keys, want %d", seen, numKeys)
+	}
+	if err := db.Sync(); err != nil {
 		return pdl.FlashStats{}, err
 	}
 	return chip.Stats(), nil
-}
-
-func packRID(rid pdl.RID) uint64 {
-	return uint64(rid.Page)<<16 | uint64(rid.Slot)
-}
-
-func unpackRID(v uint64) pdl.RID {
-	return pdl.RID{Page: uint32(v >> 16), Slot: uint16(v & 0xFFFF)}
 }

@@ -10,19 +10,19 @@ import (
 
 // LockOrder reports violations of the documented lock hierarchy
 //
-//	shard > flash > bus > maptable > dcache
+//	kv > shard > flash > bus > maptable > dcache
 //
 // (README "Architecture"): acquiring an outer lock while an inner one
 // is held — directly or by calling a same-package function that may
-// acquire one — re-acquiring a class already held, multi-shard
-// acquisitions whose index order cannot be proven ascending, locks
-// still held at a return without a deferred or explicit unlock, and
-// calls into functions that declare `//pdlvet:holds <lock>` from
-// contexts that do not hold it.
+// acquire one — re-acquiring a class already held, multi-instance
+// (kv bucket, shard) acquisitions whose index order cannot be proven
+// ascending, locks still held at a return without a deferred or
+// explicit unlock, and calls into functions that declare
+// `//pdlvet:holds <lock>` from contexts that do not hold it.
 var LockOrder = &vetkit.Analyzer{
 	Name: "lockorder",
-	Doc: "check lock acquisitions against the shard > flash > bus > maptable > dcache hierarchy,\n" +
-		"ascending shard-lock order, unlock-on-return discipline, and //pdlvet:holds declarations",
+	Doc: "check lock acquisitions against the kv > shard > flash > bus > maptable > dcache hierarchy,\n" +
+		"ascending bucket/shard-lock order, unlock-on-return discipline, and //pdlvet:holds declarations",
 	Run: runLockOrder,
 }
 
@@ -45,7 +45,7 @@ func checkLockOrder(pass *vetkit.Pass, decl *ast.FuncDecl, sums map[types.Object
 		onAcquire: func(t *tracker, call *ast.CallExpr, op lockOp, before lockSet) {
 			if r, c := before.maxRank(); r > op.class.rank() {
 				pass.Reportf(call.Pos(),
-					"acquiring the %s lock while holding the %s lock inverts the lock hierarchy (shard > flash > bus > maptable > dcache)",
+					"acquiring the %s lock while holding the %s lock inverts the lock hierarchy (kv > shard > flash > bus > maptable > dcache)",
 					op.class, c)
 				return
 			}
@@ -53,29 +53,32 @@ func checkLockOrder(pass *vetkit.Pass, decl *ast.FuncDecl, sums map[types.Object
 			if !already {
 				return
 			}
-			if op.class != classShard {
+			if !op.class.multiInstance() {
 				pass.Reportf(call.Pos(), "re-acquiring the %s lock already held (self-deadlock)", op.class)
 				return
 			}
-			// Multi-shard acquisition: must be provably ascending.
+			// Multi-instance acquisition (shard, kv bucket): must be
+			// provably ascending.
 			if held.pos == call.Pos() {
 				// The same acquisition site re-executed by a loop.
 				if !t.loopAscending(op) {
 					pass.Reportf(call.Pos(),
-						"shard locks acquired in a loop whose index order cannot be proven ascending (sort the index slice first)")
+						"%s locks acquired in a loop whose index order cannot be proven ascending (sort the index slice first)",
+						op.class)
 				}
 				return
 			}
 			if v, ok := constIndex(pass.TypesInfo, op.index); ok && held.shardIdxKnown {
 				if v <= held.shardIdx {
 					pass.Reportf(call.Pos(),
-						"shard lock %d acquired while shard lock %d is held; shard locks must be taken in ascending index order",
-						v, held.shardIdx)
+						"%s lock %d acquired while %s lock %d is held; %s locks must be taken in ascending index order",
+						op.class, v, op.class, held.shardIdx, op.class)
 				}
 				return
 			}
 			pass.Reportf(call.Pos(),
-				"second shard lock acquired while one is held, in an order that cannot be proven ascending")
+				"second %s lock acquired while one is held, in an order that cannot be proven ascending",
+				op.class)
 		},
 		onCall: func(call *ast.CallExpr, callee types.Object, held lockSet) {
 			if callee == nil {
@@ -101,7 +104,7 @@ func checkLockOrder(pass *vetkit.Pass, decl *ast.FuncDecl, sums map[types.Object
 					pass.Reportf(call.Pos(),
 						"call to %s may acquire the %s lock while the %s lock is held, inverting the lock hierarchy",
 						callee.Name(), c, maxClass)
-				} else if _, ok := held[c]; ok && c != classShard {
+				} else if _, ok := held[c]; ok && !c.multiInstance() {
 					pass.Reportf(call.Pos(),
 						"call to %s may re-acquire the %s lock already held (self-deadlock)",
 						callee.Name(), c)

@@ -19,16 +19,19 @@ import (
 // lockClass identifies one lock of the documented hierarchy
 // (README "Architecture", core package comment):
 //
-//	shard lock > flash lock > device bus lock > mapTable lock > diff-cache lock
+//	kv bucket lock > shard lock > flash lock > device bus lock > mapTable lock > diff-cache lock
 //
-// The device bus locks (flash.Chip.mu, filedev.Device.mu) sit between
-// the flash lock and the mapTable lock: programs run under the flash
-// lock and every mapping commit happens after the device call returns,
-// never inside it.
+// The kv bucket locks are the serving layer's outermost tier: a bucket
+// operation faults pages through its pool, which re-enters the engine
+// and takes shard locks below. The device bus locks (flash.Chip.mu,
+// filedev.Device.mu) sit between the flash lock and the mapTable lock:
+// programs run under the flash lock and every mapping commit happens
+// after the device call returns, never inside it.
 type lockClass int
 
 const (
 	classNone lockClass = iota
+	classKV
 	classShard
 	classFlash
 	classBus
@@ -39,8 +42,15 @@ const (
 // rank orders the classes outermost (smallest) to innermost.
 func (c lockClass) rank() int { return int(c) }
 
+// multiInstance reports whether the class names a family of locks —
+// one per shard or per kv bucket — where holding two members at once
+// is legal if (and only if) they are taken in ascending index order.
+func (c lockClass) multiInstance() bool { return c == classShard || c == classKV }
+
 func (c lockClass) String() string {
 	switch c {
+	case classKV:
+		return "kv"
 	case classShard:
 		return "shard"
 	case classFlash:
@@ -57,7 +67,7 @@ func (c lockClass) String() string {
 
 // classByName resolves a //pdlvet:holds name.
 func classByName(name string) lockClass {
-	for _, c := range []lockClass{classShard, classFlash, classBus, classMapTable, classDCache} {
+	for _, c := range []lockClass{classKV, classShard, classFlash, classBus, classMapTable, classDCache} {
 		if c.String() == name {
 			return c
 		}
@@ -70,6 +80,7 @@ func classByName(name string) lockClass {
 // analyzers work identically on the real tree and on testdata corpora
 // that mirror its shapes.
 var lockModel = map[[2]string]lockClass{
+	{"bucket", "mu"}:     classKV,
 	{"shard", "mu"}:      classShard,
 	{"Store", "flashMu"}: classFlash,
 	{"Chip", "mu"}:       classBus,

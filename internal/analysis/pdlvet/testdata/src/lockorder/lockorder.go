@@ -155,3 +155,96 @@ func (s *Store) suppressed() {
 	s.flashMu.Unlock()
 	s.mt.mu.Unlock()
 }
+
+// bucket mirrors the serving layer's per-bucket lock (internal/kv),
+// the hierarchy's outermost tier: kv > shard > ... .
+type bucket struct{ mu sync.Mutex }
+
+type DB struct {
+	buckets []bucket
+	store   *Store
+}
+
+// goodBucketThenEngine descends the hierarchy: bucket lock first, the
+// engine's locks below it.
+func (d *DB) goodBucketThenEngine() {
+	d.buckets[0].mu.Lock()
+	defer d.buckets[0].mu.Unlock()
+	d.store.flashMu.Lock()
+	defer d.store.flashMu.Unlock()
+}
+
+func (d *DB) badBucketUnderFlash() {
+	d.store.flashMu.Lock()
+	defer d.store.flashMu.Unlock()
+	d.buckets[0].mu.Lock() // want `acquiring the kv lock while holding the flash lock inverts the lock hierarchy`
+	d.buckets[0].mu.Unlock()
+}
+
+func (d *DB) badBucketUnderShard() {
+	d.store.shards[0].mu.Lock()
+	defer d.store.shards[0].mu.Unlock()
+	d.buckets[0].mu.Lock() // want `acquiring the kv lock while holding the shard lock inverts the lock hierarchy`
+	d.buckets[0].mu.Unlock()
+}
+
+// goodBucketsKeyRange is the kv snapshot idiom: lock every bucket in
+// index order before collecting, release in a deferred sweep.
+func (d *DB) goodBucketsKeyRange() {
+	for i := range d.buckets {
+		d.buckets[i].mu.Lock()
+	}
+	defer func() {
+		for i := range d.buckets {
+			d.buckets[i].mu.Unlock()
+		}
+	}()
+}
+
+// goodBucketsSortedRange is the kv PutBatch idiom: sort the involved
+// bucket indices, then lock in slice order.
+func (d *DB) goodBucketsSortedRange(involved []int) {
+	sort.Ints(involved)
+	for _, bi := range involved {
+		d.buckets[bi].mu.Lock()
+	}
+	defer func() {
+		for _, bi := range involved {
+			d.buckets[bi].mu.Unlock()
+		}
+	}()
+}
+
+func (d *DB) badBucketsUnsortedRange(involved []int) {
+	for _, bi := range involved {
+		d.buckets[bi].mu.Lock() // want `kv locks acquired in a loop whose index order cannot be proven ascending`
+	}
+	defer func() {
+		for _, bi := range involved {
+			d.buckets[bi].mu.Unlock()
+		}
+	}()
+}
+
+func (d *DB) badBucketsDescendingConst() {
+	d.buckets[1].mu.Lock()
+	d.buckets[0].mu.Lock() // want `kv lock 0 acquired while kv lock 1 is held; kv locks must be taken in ascending index order`
+	d.buckets[0].mu.Unlock()
+	d.buckets[1].mu.Unlock()
+}
+
+// putLocked declares the caller-holds convention the kv bucket helpers
+// (put, get, collectRange) use.
+//
+//pdlvet:holds kv
+func (d *DB) putLocked() {}
+
+func (d *DB) goodBucketCaller() {
+	d.buckets[0].mu.Lock()
+	defer d.buckets[0].mu.Unlock()
+	d.putLocked()
+}
+
+func (d *DB) badBucketCaller() {
+	d.putLocked() // want `call to putLocked requires holding the kv lock \(declared //pdlvet:holds kv\)`
+}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
 	"pdl/internal/core"
+	"pdl/internal/latency"
 )
 
 // TailPoint is one measured configuration of the garbage-collection
@@ -24,6 +24,10 @@ type TailPoint struct {
 	// so the percentile columns compare at comparable throughput.
 	Elapsed       time.Duration
 	P50, P99, Max time.Duration
+	// Latency is the full summary (p50/p90/p95/p99/max + histogram) that
+	// the persisted report schema carries; P50/P99/Max above are its
+	// table-column projections.
+	Latency latency.Summary
 	// GCRuns is the total number of victim collections during measurement;
 	// BackgroundRuns of them ran on the engine goroutine, and Fallbacks
 	// counts foreground allocations that hit the reserve floor anyway
@@ -176,25 +180,18 @@ func runTailPoint(g Geometry, mode string, maxDiff, workers, ops int) (TailPoint
 	if len(all) == 0 {
 		return TailPoint{}, fmt.Errorf("no reflections measured (ops=%d, workers=%d)", ops, workers)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p int) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		i := len(all) * p / 100
-		if i >= len(all) {
-			i = len(all) - 1
-		}
-		return all[i]
-	}
+	// Summarize sorts in place; the percentile rule is the shared one in
+	// internal/latency, so these columns and the persisted reports agree.
+	sum := latency.Summarize(all)
 	return TailPoint{
 		Mode:           mode,
 		Workers:        workers,
-		Ops:            int64(len(all)),
+		Ops:            sum.Count,
 		Elapsed:        elapsed,
-		P50:            pct(50),
-		P99:            pct(99),
+		P50:            latency.Percentile(all, 50),
+		P99:            latency.Percentile(all, 99),
 		Max:            all[len(all)-1],
+		Latency:        sum,
 		GCRuns:         s.Allocator().GCRuns() - gcBefore,
 		BackgroundRuns: s.BackgroundGCStats().Collected - bgBefore,
 		Fallbacks:      s.Telemetry().SyncGCFallbacks - fbBefore,

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"pdl/internal/buffer"
+	"pdl/internal/core"
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
+	"pdl/internal/kv"
+	"pdl/internal/ycsb"
+)
+
+// YCSBPoint is one (method, workload) measurement of the serving-layer
+// experiment: the workload result plus the engine-side counters it cost.
+type YCSBPoint struct {
+	Method string
+	Result ycsb.Result
+	// Flash is the device work of this workload phase alone (counters
+	// are snapshotted around each phase).
+	Flash flash.Stats
+	// Pool is the bucket buffer pools' work over the phase.
+	Pool buffer.Stats
+	// Telemetry is the PDL store's counter delta over the phase; nil for
+	// the baseline methods.
+	Telemetry *core.Telemetry
+}
+
+// ExpYCSB runs the YCSB serving-layer experiment: for every method, one
+// store is created and loaded with cfg.Records keys, then every workload
+// in sequence runs over it (YCSB's load-once-run-many convention — later
+// phases inherit the keys earlier insert phases added, exactly as a YCSB
+// campaign against a persistent store would). Flash, pool, and telemetry
+// counters are snapshotted around each phase so every point carries only
+// its own engine work.
+//
+// The geometry's NumBlocks is scaled up automatically when cfg needs
+// more logical pages than g provides at its DBFrac, so million-key runs
+// need no manual device sizing.
+func ExpYCSB(g Geometry, specs []MethodSpec, workloads []ycsb.Workload,
+	cfg ycsb.Config, kvOpts kv.Options) ([]YCSBPoint, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("bench: ycsb needs at least one workload")
+	}
+	// Size the logical page space for the initial records plus the keys
+	// insert-bearing workloads (D, E) will add across every phase.
+	headroom := 0
+	for range workloads {
+		headroom += cfg.Ops/10 + cfg.WarmupOps/10
+	}
+	numPages := kv.PagesNeeded(cfg.Records+headroom, cfg.ValueSize, g.Params.DataSize, kvOpts)
+	p := g.Params
+	needBlocks := int(float64(numPages)/g.DBFrac)/p.PagesPerBlock + 1
+	if p.NumBlocks < needBlocks {
+		p.NumBlocks = needBlocks
+	}
+
+	var points []YCSBPoint
+	for _, spec := range specs {
+		name := spec.Name(p)
+		dev, err := g.device(p, "ycsb-"+name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: device for %s: %w", name, err)
+		}
+		m, err := spec.Build(dev, int(numPages))
+		if err != nil {
+			dev.Close()
+			return nil, fmt.Errorf("bench: building %s: %w", name, err)
+		}
+		pts, err := runYCSBMethod(m, name, workloads, cfg, kvOpts, numPages)
+		if c, ok := m.(interface{ Close() error }); ok {
+			c.Close()
+		}
+		dev.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: ycsb %s: %w", name, err)
+		}
+		points = append(points, pts...)
+	}
+	return points, nil
+}
+
+func runYCSBMethod(m ftl.Method, name string, workloads []ycsb.Workload, cfg ycsb.Config,
+	kvOpts kv.Options, numPages uint32) ([]YCSBPoint, error) {
+	db, err := kv.Open(m, numPages, kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := ycsb.Load(db, cfg); err != nil {
+		return nil, err
+	}
+	var points []YCSBPoint
+	for _, w := range workloads {
+		flashBefore := m.Stats()
+		poolBefore := db.PoolStats()
+		telBefore := telemetryOf(m)
+		res, err := ycsb.Run(db, w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		pt := YCSBPoint{
+			Method: name,
+			Result: res,
+			Flash:  subFlash(m.Stats(), flashBefore),
+			Pool:   subPool(db.PoolStats(), poolBefore),
+		}
+		if telAfter := telemetryOf(m); telAfter != nil && telBefore != nil {
+			d := subTelemetry(*telAfter, *telBefore)
+			pt.Telemetry = &d
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func telemetryOf(m any) *core.Telemetry {
+	if t, ok := m.(interface{ Telemetry() core.Telemetry }); ok {
+		tel := t.Telemetry()
+		return &tel
+	}
+	return nil
+}
+
+func subFlash(a, b flash.Stats) flash.Stats {
+	return flash.Stats{
+		Reads:      a.Reads - b.Reads,
+		Writes:     a.Writes - b.Writes,
+		Erases:     a.Erases - b.Erases,
+		Syncs:      a.Syncs - b.Syncs,
+		TimeMicros: a.TimeMicros - b.TimeMicros,
+	}
+}
+
+func subPool(a, b buffer.Stats) buffer.Stats {
+	return buffer.Stats{
+		Hits:       a.Hits - b.Hits,
+		Misses:     a.Misses - b.Misses,
+		Evictions:  a.Evictions - b.Evictions,
+		Writebacks: a.Writebacks - b.Writebacks,
+		Readaheads: a.Readaheads - b.Readaheads,
+	}
+}
+
+func subTelemetry(a, b core.Telemetry) core.Telemetry {
+	return core.Telemetry{
+		BufferFlushes:    a.BufferFlushes - b.BufferFlushes,
+		NewBasePages:     a.NewBasePages - b.NewBasePages,
+		DiffBytesWritten: a.DiffBytesWritten - b.DiffBytesWritten,
+		DiffsWritten:     a.DiffsWritten - b.DiffsWritten,
+		SyncGCFallbacks:  a.SyncGCFallbacks - b.SyncGCFallbacks,
+		BatchWrites:      a.BatchWrites - b.BatchWrites,
+		BatchedPages:     a.BatchedPages - b.BatchedPages,
+		DiffCacheHits:    a.DiffCacheHits - b.DiffCacheHits,
+		DiffCacheMisses:  a.DiffCacheMisses - b.DiffCacheMisses,
+		ReadRetries:      a.ReadRetries - b.ReadRetries,
+		BatchReads:       a.BatchReads - b.BatchReads,
+		BatchedReads:     a.BatchedReads - b.BatchedReads,
+	}
+}
+
+// WriteYCSBTable prints the serving-layer comparison, one row per
+// (workload, method) point.
+func WriteYCSBTable(w io.Writer, points []YCSBPoint) {
+	fmt.Fprintf(w, "%-9s %-12s %8s %10s %10s %10s %10s %9s %9s %7s\n",
+		"workload", "method", "clients", "ops/s", "p50-us", "p99-us", "max-us",
+		"fl-reads", "fl-writes", "erases")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-9s %-12s %8d %10.0f %10.1f %10.1f %10.1f %9d %9d %7d\n",
+			p.Result.Workload, p.Method, p.Result.Clients, p.Result.OpsPerSecond(),
+			p.Result.Latency.P50Micros, p.Result.Latency.P99Micros, p.Result.Latency.MaxMicros,
+			p.Flash.Reads, p.Flash.Writes, p.Flash.Erases)
+	}
+}
+
+// YCSBReport converts one point into the persisted report document.
+func YCSBReport(p YCSBPoint, backend string, g Geometry, cfg ycsb.Config, kvOpts kv.Options) Report {
+	flash := p.Flash
+	pool := p.Pool
+	counts := p.Result.Counts
+	lat := p.Result.Latency
+	return Report{
+		Experiment: "ycsb-" + p.Result.Workload,
+		Method:     p.Method,
+		Backend:    backend,
+		Params: ReportParams{
+			NumBlocks:     g.Params.NumBlocks,
+			PagesPerBlock: g.Params.PagesPerBlock,
+			PageSize:      g.Params.DataSize,
+			Records:       cfg.Records,
+			Clients:       p.Result.Clients,
+			ValueSize:     cfg.ValueSize,
+			Theta:         cfg.Theta,
+			Buckets:       kvOpts.Buckets,
+			Seed:          cfg.Seed,
+		},
+		Ops:           p.Result.Ops,
+		ElapsedMicros: p.Result.Elapsed.Microseconds(),
+		OpsPerSec:     p.Result.OpsPerSecond(),
+		Counts:        &counts,
+		Latency:       &lat,
+		Flash:         &flash,
+		Telemetry:     p.Telemetry,
+		Pool:          &pool,
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/kv"
+	"pdl/internal/ycsb"
+)
+
+func TestReportFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := Report{
+		Experiment: "ycsb-A",
+		Method:     "PDL(256B)",
+		Backend:    "emu",
+		Params:     ReportParams{Records: 100, Clients: 4},
+		Ops:        1000,
+		OpsPerSec:  123.4,
+	}
+	path, err := WriteReportFile(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "BENCH_ycsb-a_pdl_256b__emu.json"; !strings.HasSuffix(path, want) {
+		t.Errorf("report path %s, want suffix %s", path, want)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema version %d", got.SchemaVersion)
+	}
+	if got.Experiment != r.Experiment || got.Method != r.Method || got.OpsPerSec != r.OpsPerSec {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// A tampered version must be rejected.
+	bad := got
+	bad.SchemaVersion = ReportSchemaVersion + 1
+	badPath, err := WriteReportFile(dir, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = badPath // WriteReportFile restamps the version, so re-read must succeed
+	if _, err := ReadReportFile(badPath); err != nil {
+		t.Errorf("restamped report rejected: %v", err)
+	}
+}
+
+// TestExpYCSBSmoke runs a small A/C pair over PDL and OPU on the
+// emulator and sanity-checks the points and their report documents.
+func TestExpYCSBSmoke(t *testing.T) {
+	g := Geometry{
+		Params: flash.ScaledParams(64),
+		DBFrac: 0.5,
+		Seed:   1,
+	}
+	p := g.Params
+	p.PagesPerBlock = 16
+	p.DataSize = 512
+	p.SpareSize = 32
+	g.Params = p
+	cfg := ycsb.Config{
+		Records:   500,
+		Ops:       1500,
+		WarmupOps: 100,
+		Clients:   4,
+		ValueSize: 40,
+		Seed:      3,
+	}
+	// PoolPages is kept below each bucket's working set so the measured
+	// phases actually reach the device instead of being absorbed by the
+	// serving layer's caches.
+	kvOpts := kv.Options{Buckets: 8, PoolPages: 8}
+	specs := []MethodSpec{
+		{Kind: KindPDL, Param: 128, Shards: cfg.Clients},
+		{Kind: KindOPU},
+	}
+	wA, err := ycsb.Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wC, err := ycsb.Lookup("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := ExpYCSB(g, specs, []ycsb.Workload{wA, wC}, cfg, kvOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for _, pt := range points {
+		if pt.Result.Ops != int64(cfg.Ops) {
+			t.Errorf("%s/%s: ops %d", pt.Method, pt.Result.Workload, pt.Result.Ops)
+		}
+		if pt.Result.OpsPerSecond() <= 0 {
+			t.Errorf("%s/%s: no throughput", pt.Method, pt.Result.Workload)
+		}
+		if pt.Flash.Reads <= 0 {
+			t.Errorf("%s/%s: no flash reads", pt.Method, pt.Result.Workload)
+		}
+		if strings.HasPrefix(pt.Method, "PDL") {
+			if pt.Telemetry == nil {
+				t.Errorf("PDL point missing telemetry")
+			}
+		} else if pt.Telemetry != nil {
+			t.Errorf("baseline point has telemetry")
+		}
+		// Workload A writes; C must not cost device programs beyond noise.
+		if pt.Result.Workload == "A" && pt.Flash.Writes == 0 {
+			t.Errorf("%s/A: no flash writes", pt.Method)
+		}
+		rep := YCSBReport(pt, "emu", g, cfg, kvOpts)
+		dir := t.TempDir()
+		path, err := WriteReportFile(dir, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadReportFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Latency == nil || got.Latency.Count != int64(cfg.Ops) {
+			t.Errorf("report latency section wrong: %+v", got.Latency)
+		}
+		if got.Flash == nil || got.Counts == nil || got.Pool == nil {
+			t.Errorf("report missing sections")
+		}
+	}
+	var sb strings.Builder
+	WriteYCSBTable(&sb, points)
+	if !strings.Contains(sb.String(), "ops/s") || !strings.Contains(sb.String(), "OPU") {
+		t.Errorf("table output malformed:\n%s", sb.String())
+	}
+}

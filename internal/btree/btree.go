@@ -99,6 +99,61 @@ func New(pool *buffer.Pool, first, numPages uint32) (*Tree, error) {
 	return t, nil
 }
 
+// State is the volatile tree metadata a caller must persist to reopen a
+// tree over the same pages later (the page contents themselves live in
+// flash; this is only the bootstrap: where the root is and how far the
+// bump allocator got). The KV layer stores one State per bucket in its
+// metadata page and rebuilds trees with Open after a restart or crash
+// recovery.
+type State struct {
+	Root      uint32
+	NextAlloc uint32
+	Height    int
+	Size      int
+}
+
+// State captures the tree's reopen metadata. It is only meaningful while
+// no mutation is in flight.
+func (t *Tree) State() State {
+	return State{Root: t.root, NextAlloc: t.nextAlloc, Height: t.height, Size: t.size}
+}
+
+// Open rebuilds a tree over pages [first, first+numPages) from a
+// previously captured State. The node pages must already exist (written
+// through the pool's method before the State was captured); Open does not
+// read them, it only validates the bootstrap against the range.
+func Open(pool *buffer.Pool, first, numPages uint32, st State) (*Tree, error) {
+	if numPages < 1 {
+		return nil, fmt.Errorf("btree: need at least one page")
+	}
+	ps := pool.PageSize()
+	t := &Tree{
+		pool:     pool,
+		first:    first,
+		num:      numPages,
+		pageSize: ps,
+		leafCap:  (ps - nodeHdrSize) / leafEntrySize,
+		intCap:   (ps - nodeHdrSize - 4) / intEntrySize,
+	}
+	if t.leafCap < 2 || t.intCap < 2 {
+		return nil, fmt.Errorf("btree: page size %d too small", ps)
+	}
+	if st.NextAlloc < 1 || st.NextAlloc > numPages {
+		return nil, fmt.Errorf("btree: reopen NextAlloc %d outside page range of %d", st.NextAlloc, numPages)
+	}
+	if st.Root < first || st.Root >= first+st.NextAlloc {
+		return nil, fmt.Errorf("btree: reopen root %d outside allocated span [%d,%d)", st.Root, first, first+st.NextAlloc)
+	}
+	if st.Height < 1 || st.Size < 0 {
+		return nil, fmt.Errorf("btree: reopen height %d / size %d invalid", st.Height, st.Size)
+	}
+	t.root = st.Root
+	t.nextAlloc = st.NextAlloc
+	t.height = st.Height
+	t.size = st.Size
+	return t, nil
+}
+
 // Size returns the number of keys in the tree.
 func (t *Tree) Size() int { return t.size }
 

@@ -310,3 +310,91 @@ func TestQuickAgainstMap(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOpenFromState(t *testing.T) {
+	chip := flash.NewChip(flash.ScaledParams(64))
+	m, err := core.New(chip, 512, core.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.NewPool(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pool, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for k := uint64(0); k < n; k++ {
+		if err := tr.Insert(k*7, k); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.State()
+	if st.Height < 2 {
+		t.Fatalf("tree too small to be interesting: height %d", st.Height)
+	}
+
+	// Reopen over a fresh pool (fresh cache) and verify contents and that
+	// the bump allocator continues where it left off.
+	pool2, err := buffer.NewPool(m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(pool2, 0, 256, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Size() != n || tr2.Height() != st.Height {
+		t.Fatalf("reopened size/height = %d/%d, want %d/%d", tr2.Size(), tr2.Height(), n, st.Height)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, err := tr2.Get(k * 7)
+		if err != nil {
+			t.Fatalf("get %d after reopen: %v", k*7, err)
+		}
+		if v != k {
+			t.Fatalf("get %d = %d, want %d", k*7, v, k)
+		}
+	}
+	// Mutations keep working (allocator must not hand out used pages).
+	for k := uint64(0); k < 500; k++ {
+		if err := tr2.Insert(1_000_000+k, k); err != nil {
+			t.Fatalf("post-reopen insert: %v", err)
+		}
+	}
+	got := 0
+	if err := tr2.Range(0, ^uint64(0), func(k, v uint64) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != n+500 {
+		t.Fatalf("post-reopen range saw %d keys, want %d", got, n+500)
+	}
+}
+
+func TestOpenRejectsBadState(t *testing.T) {
+	chip := flash.NewChip(flash.ScaledParams(64))
+	m, err := core.New(chip, 512, core.Options{MaxDifferentialSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.NewPool(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []State{
+		{Root: 0, NextAlloc: 0, Height: 1},
+		{Root: 9, NextAlloc: 4, Height: 1},
+		{Root: 0, NextAlloc: 300, Height: 1},
+		{Root: 0, NextAlloc: 1, Height: 0},
+		{Root: 0, NextAlloc: 1, Height: 1, Size: -1},
+	} {
+		if _, err := Open(pool, 0, 256, st); err == nil {
+			t.Errorf("Open accepted invalid state %+v", st)
+		}
+	}
+}

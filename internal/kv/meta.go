@@ -1,0 +1,118 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"pdl/internal/btree"
+	"pdl/internal/ftl"
+)
+
+// The recovery metadata lives in logical page 0 and is rewritten on
+// every Sync, after the bucket pools flush and before the final method
+// flush + device sync. It carries everything Reopen needs that is not
+// reconstructible from flash: the store layout and each bucket's B+-tree
+// state and heap insert hint. Little-endian throughout, like the rest of
+// the on-flash structures.
+//
+//	off  0  magic     u64  "PDLKV\x01" (little-endian packed)
+//	off  8  version   u32
+//	off 12  buckets   u32
+//	off 16  numPages  u32
+//	off 20  treePages u32  (per bucket)
+//	off 24  checksum  u64  FNV-1a over the bucket records
+//	off 32  bucket records, metaRecSize bytes each:
+//	        root u32, nextAlloc u32, height u32, size u64, heapHint u32
+const (
+	metaMagic   = uint64(0x01564B4C4450) // "PDLKV\x01" read as little-endian
+	metaVersion = uint32(1)
+	metaHdrSize = 32
+	metaRecSize = 24
+	// maxBuckets caps Options.Buckets; 64 bucket records need
+	// 32+64*24 = 1568 bytes, within the smallest supported page.
+	maxBuckets = 64
+)
+
+type bucketState struct {
+	tree     btree.State
+	heapHint uint32
+}
+
+type metaState struct {
+	numPages  uint32
+	treePages uint32
+	states    []bucketState
+}
+
+// checkMetaFits rejects geometries whose metadata cannot fit page 0.
+func checkMetaFits(pageSize, buckets int) error {
+	if need := metaHdrSize + buckets*metaRecSize; need > pageSize {
+		return fmt.Errorf("kv: metadata for %d buckets needs %d bytes, page holds %d",
+			buckets, need, pageSize)
+	}
+	return nil
+}
+
+func writeMeta(m ftl.Method, st metaState) error {
+	buf := make([]byte, m.PageSize())
+	binary.LittleEndian.PutUint64(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint32(buf[8:], metaVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(st.states)))
+	binary.LittleEndian.PutUint32(buf[16:], st.numPages)
+	binary.LittleEndian.PutUint32(buf[20:], st.treePages)
+	recs := buf[metaHdrSize : metaHdrSize+len(st.states)*metaRecSize]
+	for i, bs := range st.states {
+		r := recs[i*metaRecSize:]
+		binary.LittleEndian.PutUint32(r[0:], bs.tree.Root)
+		binary.LittleEndian.PutUint32(r[4:], bs.tree.NextAlloc)
+		binary.LittleEndian.PutUint32(r[8:], uint32(bs.tree.Height))
+		binary.LittleEndian.PutUint64(r[12:], uint64(bs.tree.Size))
+		binary.LittleEndian.PutUint32(r[20:], bs.heapHint)
+	}
+	h := fnv.New64a()
+	h.Write(recs)
+	binary.LittleEndian.PutUint64(buf[24:], h.Sum64())
+	return m.WritePage(0, buf)
+}
+
+func readMeta(m ftl.Method) (metaState, error) {
+	buf := make([]byte, m.PageSize())
+	if err := m.ReadPage(0, buf); err != nil {
+		return metaState{}, fmt.Errorf("kv: no recovery metadata (store never synced?): %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(buf[0:]); got != metaMagic {
+		return metaState{}, fmt.Errorf("kv: bad metadata magic %#x", got)
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != metaVersion {
+		return metaState{}, fmt.Errorf("kv: metadata version %d, want %d", v, metaVersion)
+	}
+	buckets := int(binary.LittleEndian.Uint32(buf[12:]))
+	if buckets < 1 || buckets > maxBuckets || metaHdrSize+buckets*metaRecSize > len(buf) {
+		return metaState{}, fmt.Errorf("kv: metadata names %d buckets", buckets)
+	}
+	recs := buf[metaHdrSize : metaHdrSize+buckets*metaRecSize]
+	h := fnv.New64a()
+	h.Write(recs)
+	if want := binary.LittleEndian.Uint64(buf[24:]); h.Sum64() != want {
+		return metaState{}, fmt.Errorf("kv: metadata checksum mismatch")
+	}
+	st := metaState{
+		numPages:  binary.LittleEndian.Uint32(buf[16:]),
+		treePages: binary.LittleEndian.Uint32(buf[20:]),
+		states:    make([]bucketState, buckets),
+	}
+	for i := range st.states {
+		r := recs[i*metaRecSize:]
+		st.states[i] = bucketState{
+			tree: btree.State{
+				Root:      binary.LittleEndian.Uint32(r[0:]),
+				NextAlloc: binary.LittleEndian.Uint32(r[4:]),
+				Height:    int(binary.LittleEndian.Uint32(r[8:])),
+				Size:      int(binary.LittleEndian.Uint64(r[12:])),
+			},
+			heapHint: binary.LittleEndian.Uint32(r[20:]),
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,132 @@
+// Package latency is the module's shared per-operation latency
+// machinery: recording wall-clock samples cheaply on the hot path,
+// merging per-worker sample sets, and summarizing them into the
+// percentile columns the tail-latency experiment introduced (p50/p99/max)
+// plus a compact logarithmic histogram for persisted reports.
+//
+// It exists so the GC tail-latency experiment, the YCSB serving
+// benchmark, and the BENCH_*.json report schema all agree on exactly how
+// a percentile is computed.
+package latency
+
+import (
+	"sort"
+	"time"
+)
+
+// Recorder accumulates duration samples for one worker. It is NOT safe
+// for concurrent use: give each worker goroutine its own Recorder and
+// merge them afterwards with Summarize or MergeSummarize.
+type Recorder struct {
+	samples []time.Duration
+}
+
+// NewRecorder pre-sizes a recorder for about n samples.
+func NewRecorder(n int) *Recorder {
+	if n < 0 {
+		n = 0
+	}
+	return &Recorder{samples: make([]time.Duration, 0, n)}
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) { r.samples = append(r.samples, d) }
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// Samples returns the raw sample slice (owned by the recorder).
+func (r *Recorder) Samples() []time.Duration { return r.samples }
+
+// Bucket is one bin of the logarithmic latency histogram: Count samples
+// were <= UpToMicros (and greater than the previous bucket's bound).
+type Bucket struct {
+	UpToMicros float64 `json:"up_to_us"`
+	Count      int64   `json:"count"`
+}
+
+// Summary condenses a sample set into the columns reports carry. All
+// times are in microseconds, matching the simulated-I/O unit the rest of
+// the module reports in.
+type Summary struct {
+	Count      int64    `json:"count"`
+	MeanMicros float64  `json:"mean_us"`
+	P50Micros  float64  `json:"p50_us"`
+	P90Micros  float64  `json:"p90_us"`
+	P95Micros  float64  `json:"p95_us"`
+	P99Micros  float64  `json:"p99_us"`
+	MaxMicros  float64  `json:"max_us"`
+	Histogram  []Bucket `json:"histogram,omitempty"`
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of an ascending
+// sorted sample slice, using the same nearest-rank rule the GC
+// tail-latency experiment established; zero for an empty slice.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * p / 100)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Summarize sorts samples in place and condenses them. The histogram
+// uses power-of-two microsecond bounds from 1us up to the bucket
+// containing the maximum (at most 32 buckets), so merged reports from
+// different runs always share bucket bounds.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+	s := Summary{
+		Count:      int64(len(samples)),
+		MeanMicros: us(sum) / float64(len(samples)),
+		P50Micros:  us(Percentile(samples, 50)),
+		P90Micros:  us(Percentile(samples, 90)),
+		P95Micros:  us(Percentile(samples, 95)),
+		P99Micros:  us(Percentile(samples, 99)),
+		MaxMicros:  us(samples[len(samples)-1]),
+	}
+	bound := time.Microsecond
+	i := 0
+	for i < len(samples) && len(s.Histogram) < 32 {
+		n := int64(0)
+		for i < len(samples) && samples[i] <= bound {
+			i++
+			n++
+		}
+		s.Histogram = append(s.Histogram, Bucket{UpToMicros: us(bound), Count: n})
+		bound *= 2
+	}
+	if i < len(samples) { // overflow of the 32-bucket cap
+		s.Histogram = append(s.Histogram, Bucket{UpToMicros: s.MaxMicros, Count: int64(len(samples) - i)})
+	}
+	return s
+}
+
+// MergeSummarize concatenates every recorder's samples and summarizes
+// the union — the join point after per-worker recording.
+func MergeSummarize(recs []*Recorder) Summary {
+	total := 0
+	for _, r := range recs {
+		if r != nil {
+			total += len(r.samples)
+		}
+	}
+	all := make([]time.Duration, 0, total)
+	for _, r := range recs {
+		if r != nil {
+			all = append(all, r.samples...)
+		}
+	}
+	return Summarize(all)
+}

@@ -1,0 +1,73 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizePercentiles(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Microsecond)
+	}
+	s := Summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	// Nearest-rank on a sorted 1..100us ladder.
+	if s.P50Micros != 51 {
+		t.Errorf("P50 = %g, want 51", s.P50Micros)
+	}
+	if s.P99Micros != 100 {
+		t.Errorf("P99 = %g, want 100", s.P99Micros)
+	}
+	if s.MaxMicros != 100 {
+		t.Errorf("Max = %g, want 100", s.MaxMicros)
+	}
+	if s.MeanMicros != 50.5 {
+		t.Errorf("Mean = %g, want 50.5", s.MeanMicros)
+	}
+	var n int64
+	for _, b := range s.Histogram {
+		n += b.Count
+	}
+	if n != 100 {
+		t.Errorf("histogram counts sum to %d, want 100", n)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.MaxMicros != 0 || len(s.Histogram) != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestMergeSummarize(t *testing.T) {
+	a, b := NewRecorder(4), NewRecorder(4)
+	for i := 1; i <= 4; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+		b.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := MergeSummarize([]*Recorder{a, nil, b})
+	if s.Count != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count)
+	}
+	if s.MaxMicros != 4000 {
+		t.Errorf("Max = %g, want 4000", s.MaxMicros)
+	}
+}
+
+func TestPercentileMatchesTailRule(t *testing.T) {
+	// The rule PR 3's tail experiment used: index = len*p/100, clamped.
+	sorted := []time.Duration{1, 2, 3, 4, 5}
+	if got := Percentile(sorted, 50); got != 3 {
+		t.Errorf("P50 of 1..5 = %d, want 3", got)
+	}
+	if got := Percentile(sorted, 99); got != 5 {
+		t.Errorf("P99 of 1..5 = %d, want 5", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50 of empty = %d, want 0", got)
+	}
+}

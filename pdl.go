@@ -127,6 +127,26 @@
 // (default one per CPU); the recovered state is identical for every
 // worker count.
 //
+// # Serving layer
+//
+// The kv subsystem is a concurrent key-value store assembled from the
+// repository's own layers — B+-tree index over a slotted heap, behind
+// per-bucket buffer pools — over any Method. It hash-partitions the key
+// space into lock-striped buckets so Put/Get/Delete from many
+// goroutines proceed in parallel (over a PDL store the engine below is
+// concurrent too; the baselines are funneled through one mutex), and
+// its Scan is snapshot-consistent: it locks every bucket, collects, and
+// releases, so a scan never observes a torn PutBatch:
+//
+//	db, err := pdl.OpenKV(store, pdl.KVPagesNeeded(100_000, 100, store.PageSize(), pdl.KVOptions{}), pdl.KVOptions{})
+//	err = db.Put(42, []byte("value"))
+//	v, err := db.Get(42, nil)
+//	err = db.Scan(0, ^uint64(0), 10, func(k uint64, v []byte) bool { ... return true })
+//	err = db.Sync()  // flush pools, persist metadata, sync the device
+//	db.Close()
+//	// later, over a device holding a synced store:
+//	db, err = pdl.ReopenKV(method, numPages, pdl.KVOptions{})
+//
 // All flash timing is simulated: each read, program, and erase advances
 // the chip's clock by the configured datasheet latency (Table 1 of the
 // paper), so performance comparisons are deterministic and reproducible.
@@ -141,6 +161,7 @@ import (
 	"pdl/internal/ftl"
 	"pdl/internal/ipl"
 	"pdl/internal/ipu"
+	"pdl/internal/kv"
 	"pdl/internal/opu"
 	"pdl/internal/storage"
 	"pdl/internal/tpcc"
@@ -357,6 +378,52 @@ type BTree = btree.Tree
 // [first, first+numPages).
 func NewBTree(pool *Pool, first, numPages uint32) (*BTree, error) {
 	return btree.New(pool, first, numPages)
+}
+
+// KV is the serving layer: a concurrent key-value store (uint64 keys,
+// byte-slice values) with snapshot-consistent range scans and crash
+// recovery, layered on the repository's B+-tree, heap, and buffer pool
+// over any Method. See OpenKV.
+type KV = kv.DB
+
+// KVOptions tunes a KV store's bucket count and per-bucket pool.
+type KVOptions = kv.Options
+
+// KVEntry is one key-value pair yielded by KV.Scan.
+type KVEntry = kv.Entry
+
+// Serving-layer errors.
+var (
+	// ErrKeyNotFound reports a Get/Delete of an absent key.
+	ErrKeyNotFound = kv.ErrNotFound
+	// ErrKVClosed reports an operation on a closed KV store.
+	ErrKVClosed = kv.ErrClosed
+	// ErrValueTooLarge reports a value over KV.MaxValueSize.
+	ErrValueTooLarge = kv.ErrValueTooLarge
+	// ErrKVFull reports page-space exhaustion in a bucket; size the
+	// store with KVPagesNeeded.
+	ErrKVFull = kv.ErrFull
+)
+
+// OpenKV builds a fresh KV store over method, owning logical pages
+// [0, numPages). Size numPages with KVPagesNeeded.
+func OpenKV(method Method, numPages uint32, opts KVOptions) (*KV, error) {
+	return kv.Open(method, numPages, opts)
+}
+
+// ReopenKV rebuilds a KV store from a device that already holds one —
+// after KV.Sync (or Close) and a process restart, or after crash
+// recovery of the method below (Recover). It restores the structure
+// present at the last Sync.
+func ReopenKV(method Method, numPages uint32, opts KVOptions) (*KV, error) {
+	return kv.Reopen(method, numPages, opts)
+}
+
+// KVPagesNeeded estimates the logical pages a KV store needs for the
+// given record count and value size, including index space and bucket
+// imbalance headroom.
+func KVPagesNeeded(records, valueSize, pageSize int, opts KVOptions) uint32 {
+	return kv.PagesNeeded(records, valueSize, pageSize, opts)
 }
 
 // TPCC is a loaded, scaled TPC-C database over a method — the workload of
