@@ -72,6 +72,7 @@ func realMain() int {
 		nupdates  = flag.Int("n", 1, "N_updates_till_write for experiments 3 and 4")
 		warehouse = flag.Int("warehouses", 1, "TPC-C warehouses for experiment 7")
 		workers   = flag.Int("workers", 4, "max worker goroutines for the parallel experiment (-exp par)")
+		channels  = flag.Int("channels", 1, "stripe every run's device over N channels (block-granular, flash.Striped); -exp par and gctail sweep channel counts 1..N in powers of two")
 		batchSize = flag.Int("batchsize", 64, "reflections per commit round for the batch experiment (-exp batch), logical reads per ReadBatch for the read experiment (-exp read)")
 		assertB   = flag.Bool("assertbatch", false, "with -exp batch: exit nonzero unless batched mode syncs no more (file backend: strictly less, at no lower throughput) than per-page mode")
 		readcache = flag.String("readcache", "both", "with -exp read: run the cache-off mode, the cache-on modes, or both")
@@ -131,6 +132,10 @@ func realMain() int {
 	g.ConditionMaxOps = 20_000_000
 	g.MeasureOps = *ops
 	g.Seed = *seed
+	if *channels < 1 {
+		*channels = 1
+	}
+	g.Channels = *channels
 	switch *backend {
 	case "emu":
 		// Default: fresh emulated chips.
@@ -306,13 +311,31 @@ func emitReport(dir string, r bench.Report) error {
 
 // geometryParams projects a geometry into the report's parameter block.
 func geometryParams(g bench.Geometry) bench.ReportParams {
+	nchan := g.Channels
+	if nchan < 1 {
+		nchan = 1
+	}
 	return bench.ReportParams{
 		NumBlocks:     g.Params.NumBlocks,
 		PagesPerBlock: g.Params.PagesPerBlock,
 		PageSize:      g.Params.DataSize,
+		Channels:      nchan,
 		NumPages:      g.NumPages(),
 		Seed:          g.Seed,
 	}
+}
+
+// channelSweep returns the channel counts an experiment sweeps for the
+// -channels flag: powers of two up to max, plus max itself.
+func channelSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var counts []int
+	for c := 1; c < max; c *= 2 {
+		counts = append(counts, c)
+	}
+	return append(counts, max)
 }
 
 // runYCSB runs the serving-layer experiment: the kv store under the YCSB
@@ -588,28 +611,39 @@ func runGCTail(g bench.Geometry, workers, ops int, reportDir, backend string) er
 	if workers < 1 {
 		workers = 1
 	}
-	fmt.Printf("GC tail-latency experiment: reflection latency percentiles at %d workers, sync vs background GC\n", workers)
+	sweep := channelSweep(g.Channels)
+	fmt.Printf("GC tail-latency experiment: reflection latency percentiles at %d workers, sync vs background GC, channels %v\n",
+		workers, sweep)
 	fmt.Printf("# geometry: %s, DB = %d pages, %d ops per mode, conditioning %.1f GC rounds/block\n",
 		g.Params, g.NumPages(), ops, g.GCRounds)
-	fmt.Printf("# latencies are host wall-clock; compare the two rows, not machines\n")
+	fmt.Printf("# latencies are host wall-clock; compare the rows, not machines\n")
 	maxDiff := g.Params.DataSize / 8
-	points, err := bench.ExpGCTail(g, maxDiff, workers, ops)
-	if err != nil {
-		return err
+	var points []bench.TailPoint
+	for _, nchan := range sweep {
+		cg := g
+		cg.Channels = nchan
+		pts, err := bench.ExpGCTail(cg, maxDiff, workers, ops)
+		if err != nil {
+			return err
+		}
+		points = append(points, pts...)
 	}
 	bench.WriteGCTailTable(os.Stdout, points)
 	for _, p := range points {
 		lat := p.Latency
-		params := geometryParams(g)
+		cg := g
+		cg.Channels = p.Channels
+		params := geometryParams(cg)
 		params.Workers = p.Workers
 		err := emitReport(reportDir, bench.Report{
-			Experiment:    "gctail-" + p.Mode,
+			Experiment:    fmt.Sprintf("gctail-%s-c%d", p.Mode, p.Channels),
 			Method:        fmt.Sprintf("PDL(%dB)", maxDiff),
 			Backend:       backend,
 			Params:        params,
 			Ops:           p.Ops,
 			ElapsedMicros: p.Elapsed.Microseconds(),
 			Latency:       &lat,
+			ChannelGC:     p.ChannelGC,
 			Extra: map[string]float64{
 				"gc_runs":   float64(p.GCRuns),
 				"bg_runs":   float64(p.BackgroundRuns),
@@ -631,7 +665,9 @@ func runParallel(g bench.Geometry, maxWorkers, ops int, reportDir, backend strin
 	if maxWorkers < 1 {
 		maxWorkers = 1
 	}
-	fmt.Printf("Parallel experiment: update throughput at 1..%d workers (PDL sharded vs serialized baselines)\n", maxWorkers)
+	sweep := channelSweep(g.Channels)
+	fmt.Printf("Parallel experiment: update throughput at 1..%d workers, channels %v (PDL sharded vs serialized baselines)\n",
+		maxWorkers, sweep)
 	if g.NumPages() < maxWorkers {
 		return fmt.Errorf("database of %d pages too small for %d workers", g.NumPages(), maxWorkers)
 	}
@@ -650,34 +686,43 @@ func runParallel(g bench.Geometry, maxWorkers, ops int, reportDir, backend strin
 	}
 	fmt.Printf("# geometry: %s, DB = %d pages, %d ops per point, conditioning %.1f GC rounds/block\n",
 		g.Params, g.NumPages(), ops, g.GCRounds)
-	points, err := bench.ExpParallel(g, specs, workerCounts, ops)
-	if err != nil {
-		return err
+	var points []bench.ParallelPoint
+	for _, nchan := range sweep {
+		cg := g
+		cg.Channels = nchan
+		pts, err := bench.ExpParallel(cg, specs, workerCounts, ops)
+		if err != nil {
+			return err
+		}
+		points = append(points, pts...)
 	}
-	fmt.Printf("%-12s %8s %12s %12s %14s %s\n",
-		"method", "workers", "wall-ms", "ops/s", "sim-us/op", "mode")
+	fmt.Printf("%-12s %8s %6s %12s %12s %14s %12s %s\n",
+		"method", "workers", "chans", "wall-ms", "ops/s", "sim-us/op", "sim-ops/s", "mode")
 	for _, p := range points {
 		mode := "parallel"
 		if p.Result.Serialized {
 			mode = "serialized"
 		}
-		fmt.Printf("%-12s %8d %12.1f %12.0f %14.1f %s\n",
-			p.Method, p.Workers,
+		fmt.Printf("%-12s %8d %6d %12.1f %12.0f %14.1f %12.0f %s\n",
+			p.Method, p.Workers, p.Channels,
 			float64(p.Result.Elapsed.Microseconds())/1000,
 			p.Result.OpsPerSecond(),
 			float64(p.Result.Flash.TimeMicros)/float64(p.Result.Ops),
+			p.SimOpsPerSecond(),
 			mode)
 	}
 	for _, p := range points {
 		fl := p.Result.Flash
-		params := geometryParams(g)
+		cg := g
+		cg.Channels = p.Channels
+		params := geometryParams(cg)
 		params.Workers = p.Workers
 		serialized := 0.0
 		if p.Result.Serialized {
 			serialized = 1
 		}
 		err := emitReport(reportDir, bench.Report{
-			Experiment:    fmt.Sprintf("par-%dw", p.Workers),
+			Experiment:    fmt.Sprintf("par-%dw-c%d", p.Workers, p.Channels),
 			Method:        p.Method,
 			Backend:       backend,
 			Params:        params,
@@ -685,7 +730,12 @@ func runParallel(g bench.Geometry, maxWorkers, ops int, reportDir, backend strin
 			ElapsedMicros: p.Result.Elapsed.Microseconds(),
 			OpsPerSec:     p.Result.OpsPerSecond(),
 			Flash:         &fl,
-			Extra:         map[string]float64{"serialized": serialized},
+			ChannelGC:     p.ChannelGC,
+			Extra: map[string]float64{
+				"serialized":     serialized,
+				"sim_elapsed_us": float64(p.SimElapsedMicros),
+				"sim_ops_per_s":  p.SimOpsPerSecond(),
+			},
 		})
 		if err != nil {
 			return err

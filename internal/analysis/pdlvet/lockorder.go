@@ -10,19 +10,23 @@ import (
 
 // LockOrder reports violations of the documented lock hierarchy
 //
-//	kv > shard > flash > bus > maptable > dcache
+//	kv > shard > flash > channel > bus > maptable > dcache
 //
 // (README "Architecture"): acquiring an outer lock while an inner one
 // is held — directly or by calling a same-package function that may
 // acquire one — re-acquiring a class already held, multi-instance
-// (kv bucket, shard) acquisitions whose index order cannot be proven
-// ascending, locks still held at a return without a deferred or
-// explicit unlock, and calls into functions that declare
-// `//pdlvet:holds <lock>` from contexts that do not hold it.
+// (kv bucket, shard, flash channel) acquisitions whose index order
+// cannot be proven ascending, locks still held at a return without a
+// deferred or explicit unlock, and calls into functions that declare
+// `//pdlvet:holds <lock>` from contexts that do not hold it. The holds
+// directive also attaches to function literals (a comment on the line
+// above the `func` keyword): channel-agnostic program callbacks run
+// under the channel lock their runner acquires, which the literal's
+// definition site cannot see.
 var LockOrder = &vetkit.Analyzer{
 	Name: "lockorder",
-	Doc: "check lock acquisitions against the kv > shard > flash > bus > maptable > dcache hierarchy,\n" +
-		"ascending bucket/shard-lock order, unlock-on-return discipline, and //pdlvet:holds declarations",
+	Doc: "check lock acquisitions against the kv > shard > flash > channel > bus > maptable > dcache hierarchy,\n" +
+		"ascending bucket/shard/channel-lock order, unlock-on-return discipline, and //pdlvet:holds declarations",
 	Run: runLockOrder,
 }
 
@@ -45,7 +49,7 @@ func checkLockOrder(pass *vetkit.Pass, decl *ast.FuncDecl, sums map[types.Object
 		onAcquire: func(t *tracker, call *ast.CallExpr, op lockOp, before lockSet) {
 			if r, c := before.maxRank(); r > op.class.rank() {
 				pass.Reportf(call.Pos(),
-					"acquiring the %s lock while holding the %s lock inverts the lock hierarchy (kv > shard > flash > bus > maptable > dcache)",
+					"acquiring the %s lock while holding the %s lock inverts the lock hierarchy (kv > shard > flash > channel > bus > maptable > dcache)",
 					op.class, c)
 				return
 			}

@@ -19,14 +19,19 @@ import (
 // lockClass identifies one lock of the documented hierarchy
 // (README "Architecture", core package comment):
 //
-//	kv bucket lock > shard lock > flash lock > device bus lock > mapTable lock > diff-cache lock
+//	kv bucket lock > shard lock > flash lock > channel lock > device bus lock > mapTable lock > diff-cache lock
 //
 // The kv bucket locks are the serving layer's outermost tier: a bucket
 // operation faults pages through its pool, which re-enters the engine
-// and takes shard locks below. The device bus locks (flash.Chip.mu,
-// filedev.Device.mu) sit between the flash lock and the mapTable lock:
-// programs run under the flash lock and every mapping commit happens
-// after the device call returns, never inside it.
+// and takes shard locks below. The channel locks (core.storeChan.mu,
+// one per flash channel) serialize each channel's allocation and
+// program stream under the flash lock held shared; like the shard and
+// bucket locks they are a family, taken in ascending channel-index
+// order when a batch spans channels. The device bus locks
+// (flash.Chip.mu, filedev.Device.mu) sit between the channel lock and
+// the mapTable lock: programs run under the channel lock and every
+// mapping commit happens after the device call returns, never inside
+// it.
 type lockClass int
 
 const (
@@ -34,6 +39,7 @@ const (
 	classKV
 	classShard
 	classFlash
+	classChannel
 	classBus
 	classMapTable
 	classDCache
@@ -43,9 +49,12 @@ const (
 func (c lockClass) rank() int { return int(c) }
 
 // multiInstance reports whether the class names a family of locks —
-// one per shard or per kv bucket — where holding two members at once
-// is legal if (and only if) they are taken in ascending index order.
-func (c lockClass) multiInstance() bool { return c == classShard || c == classKV }
+// one per shard, per kv bucket, or per flash channel — where holding
+// two members at once is legal if (and only if) they are taken in
+// ascending index order.
+func (c lockClass) multiInstance() bool {
+	return c == classShard || c == classKV || c == classChannel
+}
 
 func (c lockClass) String() string {
 	switch c {
@@ -55,6 +64,8 @@ func (c lockClass) String() string {
 		return "shard"
 	case classFlash:
 		return "flash"
+	case classChannel:
+		return "channel"
 	case classBus:
 		return "bus"
 	case classMapTable:
@@ -67,7 +78,7 @@ func (c lockClass) String() string {
 
 // classByName resolves a //pdlvet:holds name.
 func classByName(name string) lockClass {
-	for _, c := range []lockClass{classKV, classShard, classFlash, classBus, classMapTable, classDCache} {
+	for _, c := range []lockClass{classKV, classShard, classFlash, classChannel, classBus, classMapTable, classDCache} {
 		if c.String() == name {
 			return c
 		}
@@ -83,6 +94,7 @@ var lockModel = map[[2]string]lockClass{
 	{"bucket", "mu"}:     classKV,
 	{"shard", "mu"}:      classShard,
 	{"Store", "flashMu"}: classFlash,
+	{"storeChan", "mu"}:  classChannel,
 	{"Chip", "mu"}:       classBus,
 	{"Device", "mu"}:     classBus,
 	{"mapTable", "mu"}:   classMapTable,

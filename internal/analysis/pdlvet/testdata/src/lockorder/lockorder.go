@@ -15,9 +15,12 @@ type diffCache struct{ mu sync.Mutex }
 
 type shard struct{ mu sync.Mutex }
 
+type storeChan struct{ mu sync.Mutex }
+
 type Store struct {
 	flashMu sync.Mutex
 	shards  []shard
+	chans   []storeChan
 	mt      *mapTable
 	dcache  *diffCache
 }
@@ -154,6 +157,129 @@ func (s *Store) suppressed() {
 	s.flashMu.Lock()
 	s.flashMu.Unlock()
 	s.mt.mu.Unlock()
+}
+
+// goodChannelUnderFlash descends the hierarchy: the channel lock sits
+// directly below the flash lock.
+func (s *Store) goodChannelUnderFlash() {
+	s.flashMu.Lock()
+	defer s.flashMu.Unlock()
+	s.chans[0].mu.Lock()
+	defer s.chans[0].mu.Unlock()
+	s.mt.mu.Lock()
+	s.mt.mu.Unlock()
+}
+
+func (s *Store) badChannelUnderMapTable() {
+	s.mt.mu.Lock()
+	defer s.mt.mu.Unlock()
+	s.chans[0].mu.Lock() // want `acquiring the channel lock while holding the maptable lock inverts the lock hierarchy`
+	s.chans[0].mu.Unlock()
+}
+
+func (s *Store) badShardUnderChannel() {
+	s.chans[0].mu.Lock()
+	defer s.chans[0].mu.Unlock()
+	s.shards[0].mu.Lock() // want `acquiring the shard lock while holding the channel lock inverts the lock hierarchy`
+	s.shards[0].mu.Unlock()
+}
+
+func (s *Store) goodChannelsAscendingConst() {
+	s.chans[0].mu.Lock()
+	s.chans[1].mu.Lock()
+	s.chans[1].mu.Unlock()
+	s.chans[0].mu.Unlock()
+}
+
+func (s *Store) badChannelsDescendingConst() {
+	s.chans[1].mu.Lock()
+	s.chans[0].mu.Lock() // want `channel lock 0 acquired while channel lock 1 is held; channel locks must be taken in ascending index order`
+	s.chans[0].mu.Unlock()
+	s.chans[1].mu.Unlock()
+}
+
+// goodChannelsSortedRange is the writePending idiom: sort the involved
+// channel indices, then lock in slice order.
+func (s *Store) goodChannelsSortedRange(involved []int) {
+	sort.Ints(involved)
+	for _, ch := range involved {
+		s.chans[ch].mu.Lock()
+	}
+	defer func() {
+		for _, ch := range involved {
+			s.chans[ch].mu.Unlock()
+		}
+	}()
+}
+
+func (s *Store) badChannelsUnsortedRange(involved []int) {
+	for _, ch := range involved {
+		s.chans[ch].mu.Lock() // want `channel locks acquired in a loop whose index order cannot be proven ascending`
+	}
+	defer func() {
+		for _, ch := range involved {
+			s.chans[ch].mu.Unlock()
+		}
+	}()
+}
+
+// goodChannelsCountingLoop proves ascent through a classic i++ loop
+// (the allocPagesElsewhere extension shape, started from no held
+// channel).
+func (s *Store) goodChannelsCountingLoop(start int) {
+	for ch := start; ch < len(s.chans); ch++ {
+		s.chans[ch].mu.Lock()
+	}
+	defer func() {
+		for ch := start; ch < len(s.chans); ch++ {
+			s.chans[ch].mu.Unlock()
+		}
+	}()
+}
+
+// programOnChannel declares the caller-holds convention the per-channel
+// program helpers (allocPageOn, flushShardLocked, relocate) use.
+//
+//pdlvet:holds channel
+func (s *Store) programOnChannel() {
+	s.mt.mu.Lock()
+	s.mt.mu.Unlock()
+}
+
+func (s *Store) goodChannelCaller() {
+	s.chans[0].mu.Lock()
+	defer s.chans[0].mu.Unlock()
+	s.programOnChannel()
+}
+
+func (s *Store) badChannelCaller() {
+	s.programOnChannel() // want `call to programOnChannel requires holding the channel lock \(declared //pdlvet:holds channel\)`
+}
+
+// runUnderChannel is the runOnChannel shape: the callback runs under a
+// channel lock the runner acquires, invisible at the literal's
+// definition site.
+func (s *Store) runUnderChannel(fn func()) {
+	s.chans[0].mu.Lock()
+	defer s.chans[0].mu.Unlock()
+	fn()
+}
+
+// goodAnnotatedLiteral declares the convention on the literal itself:
+// //pdlvet:holds on the line above the func keyword seeds its body's
+// entry lock set.
+func (s *Store) goodAnnotatedLiteral() {
+	s.runUnderChannel(
+		//pdlvet:holds channel
+		func() {
+			s.programOnChannel()
+		})
+}
+
+func (s *Store) badUnannotatedLiteral() {
+	s.runUnderChannel(func() {
+		s.programOnChannel() // want `call to programOnChannel requires holding the channel lock \(declared //pdlvet:holds channel\)`
+	})
 }
 
 // bucket mirrors the serving layer's per-bucket lock (internal/kv),

@@ -22,7 +22,10 @@ import (
 // caller holds <lock>": analyzers seed the function's entry lock set
 // with it, and lockorder requires resolvable callers to actually hold
 // it. Lock names are the model's class names (e.g. shard, flash,
-// maptable, dcache, bus).
+// channel, maptable, dcache, bus). The directive also attaches to a
+// function literal — a comment ending on the line directly above the
+// `func` keyword — declaring the locks whoever invokes the literal
+// holds (a callback run under a lock its runner acquires).
 const (
 	ignoreDirective = "//pdlvet:ignore"
 	holdsDirective  = "//pdlvet:holds"
@@ -83,15 +86,40 @@ func HoldsOf(decl *ast.FuncDecl) []string {
 	}
 	var out []string
 	for _, c := range decl.Doc.List {
-		rest, ok := strings.CutPrefix(c.Text, holdsDirective)
-		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		out = appendHolds(out, c.Text)
+	}
+	return out
+}
+
+// HoldsOfLit parses a //pdlvet:holds directive attached to a function
+// literal: a comment whose last line ends on the line directly above
+// the literal's `func` keyword. Literals have no doc comment in the
+// AST, so the attachment is positional, like //pdlvet:ignore.
+func HoldsOfLit(fset *token.FileSet, file *ast.File, lit *ast.FuncLit) []string {
+	litPos := fset.Position(lit.Pos())
+	var out []string
+	for _, cg := range file.Comments {
+		end := fset.Position(cg.End())
+		if end.Filename != litPos.Filename || end.Line != litPos.Line-1 {
 			continue
 		}
-		for _, f := range strings.Fields(rest) {
-			for _, name := range strings.Split(f, ",") {
-				if name != "" {
-					out = append(out, name)
-				}
+		for _, c := range cg.List {
+			out = appendHolds(out, c.Text)
+		}
+	}
+	return out
+}
+
+// appendHolds appends the lock names of one //pdlvet:holds comment line.
+func appendHolds(out []string, text string) []string {
+	rest, ok := strings.CutPrefix(text, holdsDirective)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return out
+	}
+	for _, f := range strings.Fields(rest) {
+		for _, name := range strings.Split(f, ",") {
+			if name != "" {
+				out = append(out, name)
 			}
 		}
 	}

@@ -2,10 +2,15 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"pdl/internal/flash"
+	"pdl/internal/ftl"
 	"pdl/internal/tpcc"
 )
 
@@ -339,6 +344,75 @@ func TestReportWriters(t *testing.T) {
 	WriteExp7Table(&b, []Exp7Point{{Method: "OPU", BufferPct: 1, MicrosPerTxn: 5000}})
 	if !strings.Contains(b.String(), "buf %") {
 		t.Error("exp7 table missing header")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Report{
+		Experiment: "par-4w-c4",
+		Method:     "PDL(256B)",
+		Backend:    "emu",
+		Params: ReportParams{
+			NumBlocks:     512,
+			PagesPerBlock: 64,
+			PageSize:      2048,
+			Channels:      4,
+			NumPages:      13107,
+			Workers:       4,
+			Seed:          1,
+		},
+		Ops:           20_000,
+		ElapsedMicros: 123_456,
+		OpsPerSec:     162_000,
+		ChannelGC: []ftl.ChannelGCStats{
+			{Runs: 10, PagesMoved: 400, ColdMigrations: 12},
+			{Runs: 9, PagesMoved: 380, ColdMigrations: 8},
+			{Runs: 11, PagesMoved: 420, ColdMigrations: 15},
+			{Runs: 10, PagesMoved: 390, ColdMigrations: 11},
+		},
+	}
+	path, err := WriteReportFile(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.SchemaVersion = ReportSchemaVersion
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The channel section must survive serialization under its wire names,
+	// not just as Go struct equality.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"channels": 4`, `"channel_gc"`, `"pages_moved"`, `"cold_migrations"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("serialized report missing %s", key)
+		}
+	}
+
+	// A report from an older schema version is refused, not misread.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["schema_version"] = ReportSchemaVersion - 1
+	stale, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalePath := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(stalePath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(stalePath); err == nil {
+		t.Error("ReadReportFile accepted a report with an old schema version")
 	}
 }
 

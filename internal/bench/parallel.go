@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 
+	"pdl/internal/flash"
+	"pdl/internal/ftl"
 	"pdl/internal/workload"
 )
 
@@ -12,7 +14,51 @@ import (
 type ParallelPoint struct {
 	Method  string
 	Workers int
-	Result  workload.ParallelResult
+	// Channels is the device's channel count (1: plain chip).
+	Channels int
+	Result   workload.ParallelResult
+	// SimElapsedMicros is the channel-parallel simulated makespan of the
+	// measured phase: the busiest channel's simulated time. Channels
+	// operate concurrently, so this — not Result.Flash.TimeMicros, which
+	// sums the channels' busy times — is the device-level elapsed
+	// simulated time; SimOpsPerSecond derives throughput from it. On a
+	// single-channel device the two coincide.
+	SimElapsedMicros int64
+	// ChannelGC is the measured phase's per-channel collection breakdown
+	// (nil for methods without the channel-aware allocator).
+	ChannelGC []ftl.ChannelGCStats
+}
+
+// SimOpsPerSecond returns operations per simulated second, with channel
+// overlap credited (see SimElapsedMicros).
+func (p ParallelPoint) SimOpsPerSecond() float64 {
+	if p.SimElapsedMicros <= 0 {
+		return 0
+	}
+	return float64(p.Result.Ops) / (float64(p.SimElapsedMicros) / 1e6)
+}
+
+// channelStatter is the optional per-channel stats surface of a
+// multi-channel device (flash.Striped implements it).
+type channelStatter interface {
+	ChannelStats() []flash.Stats
+}
+
+// simMakespan converts a measured phase's flash accounting into the
+// channel-parallel simulated makespan: the maximum per-channel busy-time
+// delta when the device exposes per-channel stats, or the aggregate
+// busy time on a plain device.
+func simMakespan(before, after []flash.Stats, aggregate flash.Stats) int64 {
+	if len(after) == 0 || len(before) != len(after) {
+		return aggregate.TimeMicros
+	}
+	var makespan int64
+	for ch := range after {
+		if busy := after[ch].TimeMicros - before[ch].TimeMicros; busy > makespan {
+			makespan = busy
+		}
+	}
+	return makespan
 }
 
 // ExpParallel measures aggregate update throughput as worker goroutines
@@ -39,16 +85,33 @@ func ExpParallel(g Geometry, specs []MethodSpec, workerCounts []int, ops int) ([
 			if err != nil {
 				return nil, err
 			}
+			var chBefore []flash.Stats
+			statter, _ := d.Method().Device().(channelStatter)
+			if statter != nil {
+				chBefore = statter.ChannelStats()
+			}
 			res, err := d.RunParallelUpdateOps(w, ops)
+			var chAfter []flash.Stats
+			if statter != nil {
+				chAfter = statter.ChannelStats()
+			}
+			chGC := ChannelGCOf(d.Method())
 			releaseDevice(d)
 			if err != nil {
 				return nil, fmt.Errorf("bench: parallel %s workers=%d: %w",
 					spec.Name(g.Params), w, err)
 			}
+			nchan := g.Channels
+			if nchan < 1 {
+				nchan = 1
+			}
 			points = append(points, ParallelPoint{
-				Method:  spec.Name(g.Params),
-				Workers: w,
-				Result:  res,
+				Method:           spec.Name(g.Params),
+				Workers:          w,
+				Channels:         nchan,
+				Result:           res,
+				SimElapsedMicros: simMakespan(chBefore, chAfter, res.Flash),
+				ChannelGC:        chGC,
 			})
 		}
 	}

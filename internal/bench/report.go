@@ -12,6 +12,7 @@ import (
 	"pdl/internal/buffer"
 	"pdl/internal/core"
 	"pdl/internal/flash"
+	"pdl/internal/ftl"
 	"pdl/internal/latency"
 	"pdl/internal/ycsb"
 )
@@ -19,7 +20,12 @@ import (
 // ReportSchemaVersion is the version stamped into every persisted
 // BENCH_*.json report. Bump it on any incompatible schema change so
 // downstream tooling can refuse files it does not understand.
-const ReportSchemaVersion = 1
+//
+// Version history:
+//
+//	1: initial schema (PR 7)
+//	2: params.channels and the channel_gc per-channel GC counter section
+const ReportSchemaVersion = 2
 
 // ReportParams records the knobs that produced a report, page-level and
 // serving-level alike; unused fields stay zero and are omitted.
@@ -27,6 +33,8 @@ type ReportParams struct {
 	NumBlocks     int `json:"num_blocks,omitempty"`
 	PagesPerBlock int `json:"pages_per_block,omitempty"`
 	PageSize      int `json:"page_size,omitempty"`
+	// Channels is the striped device's channel count (0/1: plain chip).
+	Channels int `json:"channels,omitempty"`
 	// NumPages is the logical database size in pages.
 	NumPages int `json:"num_pages,omitempty"`
 	// Records..Theta describe a YCSB serving run.
@@ -71,6 +79,10 @@ type Report struct {
 	Telemetry *core.Telemetry `json:"telemetry,omitempty"`
 	// Pool is the buffer-pool counters (serving-layer runs).
 	Pool *buffer.Stats `json:"pool,omitempty"`
+	// ChannelGC is the per-channel garbage-collection breakdown (runs,
+	// pages moved, cold migrations), indexed by channel; absent for
+	// methods without the channel-aware allocator.
+	ChannelGC []ftl.ChannelGCStats `json:"channel_gc,omitempty"`
 	// Extra carries experiment-specific scalars that have no dedicated
 	// field (e.g. gc run counts, per-op microseconds).
 	Extra map[string]float64 `json:"extra,omitempty"`

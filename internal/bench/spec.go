@@ -126,6 +126,21 @@ func GCStatsOf(m ftl.Method) flash.Stats {
 	}
 }
 
+// ChannelGCOf extracts a method's per-channel garbage-collection
+// breakdown (nil for methods without the channel-aware allocator).
+func ChannelGCOf(m ftl.Method) []ftl.ChannelGCStats {
+	v, ok := m.(interface{ Allocator() *ftl.Allocator })
+	if !ok {
+		return nil
+	}
+	a := v.Allocator()
+	out := make([]ftl.ChannelGCStats, a.Channels())
+	for ch := range out {
+		out[ch] = a.ChannelGC(ch)
+	}
+	return out
+}
+
 // ResetGCStatsOf zeroes a method's garbage-collection accounting.
 func ResetGCStatsOf(m ftl.Method) {
 	switch v := m.(type) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pdl/internal/core"
+	"pdl/internal/ftl"
 	"pdl/internal/latency"
 )
 
@@ -18,7 +19,10 @@ type TailPoint struct {
 	// Mode is "sync" (the paper's foreground cleaning) or "background".
 	Mode    string
 	Workers int
-	Ops     int64
+	// Channels is the device's channel count (1: plain chip); background
+	// mode runs one collector per channel.
+	Channels int
+	Ops      int64
 	// Elapsed is the wall-clock time of the measured phase; throughput is
 	// Ops/Elapsed — the experiment holds offered work equal across modes,
 	// so the percentile columns compare at comparable throughput.
@@ -35,6 +39,8 @@ type TailPoint struct {
 	GCRuns         int64
 	BackgroundRuns int64
 	Fallbacks      int64
+	// ChannelGC is the measured phase's per-channel collection breakdown.
+	ChannelGC []ftl.ChannelGCStats
 }
 
 // OpsPerSecond returns reflections per wall-clock second.
@@ -121,6 +127,7 @@ func runTailPoint(g Geometry, mode string, maxDiff, workers, ops int) (TailPoint
 	gcBefore := s.Allocator().GCRuns()
 	bgBefore := s.BackgroundGCStats().Collected
 	fbBefore := s.Telemetry().SyncGCFallbacks
+	chBefore := ChannelGCOf(s)
 
 	// Measure: workers own disjoint pid slices (pid % workers == w) and
 	// each times its WritePage calls individually.
@@ -183,9 +190,16 @@ func runTailPoint(g Geometry, mode string, maxDiff, workers, ops int) (TailPoint
 	// Summarize sorts in place; the percentile rule is the shared one in
 	// internal/latency, so these columns and the persisted reports agree.
 	sum := latency.Summarize(all)
+	chGC := ChannelGCOf(s)
+	for ch := range chGC {
+		chGC[ch].Runs -= chBefore[ch].Runs
+		chGC[ch].PagesMoved -= chBefore[ch].PagesMoved
+		chGC[ch].ColdMigrations -= chBefore[ch].ColdMigrations
+	}
 	return TailPoint{
 		Mode:           mode,
 		Workers:        workers,
+		Channels:       s.Channels(),
 		Ops:            sum.Count,
 		Elapsed:        elapsed,
 		P50:            latency.Percentile(all, 50),
@@ -195,16 +209,17 @@ func runTailPoint(g Geometry, mode string, maxDiff, workers, ops int) (TailPoint
 		GCRuns:         s.Allocator().GCRuns() - gcBefore,
 		BackgroundRuns: s.BackgroundGCStats().Collected - bgBefore,
 		Fallbacks:      s.Telemetry().SyncGCFallbacks - fbBefore,
+		ChannelGC:      chGC,
 	}, nil
 }
 
 // WriteGCTailTable prints the tail-latency comparison.
 func WriteGCTailTable(w io.Writer, points []TailPoint) {
-	fmt.Fprintf(w, "%-12s %8s %10s %12s %12s %12s %8s %8s %10s\n",
-		"gc-mode", "workers", "ops/s", "p50-us", "p99-us", "max-us", "gc-runs", "bg-runs", "fallbacks")
+	fmt.Fprintf(w, "%-12s %8s %6s %10s %12s %12s %12s %8s %8s %10s\n",
+		"gc-mode", "workers", "chans", "ops/s", "p50-us", "p99-us", "max-us", "gc-runs", "bg-runs", "fallbacks")
 	for _, p := range points {
-		fmt.Fprintf(w, "%-12s %8d %10.0f %12.1f %12.1f %12.1f %8d %8d %10d\n",
-			p.Mode, p.Workers, p.OpsPerSecond(),
+		fmt.Fprintf(w, "%-12s %8d %6d %10.0f %12.1f %12.1f %12.1f %8d %8d %10d\n",
+			p.Mode, p.Workers, p.Channels, p.OpsPerSecond(),
 			float64(p.P50.Nanoseconds())/1000,
 			float64(p.P99.Nanoseconds())/1000,
 			float64(p.Max.Nanoseconds())/1000,

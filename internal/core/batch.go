@@ -28,6 +28,10 @@ type pendingOp struct {
 	idx int
 	// ts is the header creation time stamp.
 	ts uint64
+	// home is the home channel of the shard that staged the op (shard
+	// index mod channel count); writePending maps homes onto actual
+	// channels, applying the allocator's fall-over policy per home.
+	home int
 
 	// Base-page op (spill == false): pid's logical image becomes a new
 	// base page. data aliases the caller's batch entry until programmed.
@@ -122,7 +126,8 @@ func (s *Store) WriteBatch(writes []ftl.PageWrite) error {
 	bufs := make([]writeBuffer, len(involved))
 	errs := make([]error, len(involved))
 	if len(involved) == 1 {
-		staged[0], bufs[0], errs[0] = s.stageShard(&s.shards[involved[0]], writes, order[involved[0]], tsBase)
+		si := involved[0]
+		staged[0], bufs[0], errs[0] = s.stageShard(&s.shards[si], si, writes, order[si], tsBase)
 	} else {
 		var wg sync.WaitGroup
 		for k, si := range involved {
@@ -130,7 +135,7 @@ func (s *Store) WriteBatch(writes []ftl.PageWrite) error {
 			go func(k, si int) {
 				defer wg.Done()
 				//pdlvet:ignore lockorder the parent WriteBatch holds every involved shard lock for this goroutine's whole lifetime
-				staged[k], bufs[k], errs[k] = s.stageShard(&s.shards[si], writes, order[si], tsBase)
+				staged[k], bufs[k], errs[k] = s.stageShard(&s.shards[si], si, writes, order[si], tsBase)
 			}(k, si)
 		}
 		wg.Wait()
@@ -175,7 +180,8 @@ func (s *Store) WriteBatch(writes []ftl.PageWrite) error {
 // supersede a stale one durably).
 //
 //pdlvet:holds shard
-func (s *Store) stageShard(sh *shard, writes []ftl.PageWrite, idxs []int, tsBase uint64) (ops []pendingOp, buf writeBuffer, err error) {
+func (s *Store) stageShard(sh *shard, si int, writes []ftl.PageWrite, idxs []int, tsBase uint64) (ops []pendingOp, buf writeBuffer, err error) {
+	home := s.homeChannel(si)
 	cur := sh.dwb.clone()
 	pendImg := make(map[uint32][]byte)
 	effDif := make(map[uint32]bool)
@@ -210,7 +216,7 @@ func (s *Store) stageShard(sh *shard, writes []ftl.PageWrite, idxs []int, tsBase
 			if e.base == flash.NilPPN {
 				// Initial load: the logical page itself becomes a (staged)
 				// base page; there is nothing to diff against.
-				ops = append(ops, pendingOp{idx: idx, ts: ts, pid: pid, data: data})
+				ops = append(ops, pendingOp{idx: idx, ts: ts, home: home, pid: pid, data: data})
 				pendImg[pid] = data
 				effDif[pid] = false
 				continue
@@ -241,7 +247,7 @@ func (s *Store) stageShard(sh *shard, writes []ftl.PageWrite, idxs []int, tsBase
 		case size <= cur.free(): // Case 1
 			cur.add(d)
 		case size <= s.maxDiff: // Case 2
-			spill := s.snapshotSpill(&cur, idx, ts)
+			spill := s.snapshotSpill(&cur, idx, ts, home)
 			ops = append(ops, spill)
 			for _, sd := range spill.diffs {
 				effDif[sd.PID] = true
@@ -249,7 +255,7 @@ func (s *Store) stageShard(sh *shard, writes []ftl.PageWrite, idxs []int, tsBase
 			cur.clear()
 			cur.add(d)
 		default: // Case 3
-			ops = append(ops, pendingOp{idx: idx, ts: ts, pid: pid, data: data})
+			ops = append(ops, pendingOp{idx: idx, ts: ts, home: home, pid: pid, data: data})
 			pendImg[pid] = data
 			effDif[pid] = false
 		}
@@ -262,8 +268,8 @@ func (s *Store) stageShard(sh *shard, writes []ftl.PageWrite, idxs []int, tsBase
 // pooled page and the differential list into a private slice. Both the
 // batch write path and the batched Flush build their spills through it;
 // the caller decides when (and whether) the buffer itself is cleared.
-func (s *Store) snapshotSpill(buf *writeBuffer, idx int, ts uint64) pendingOp {
-	op := pendingOp{idx: idx, ts: ts, spill: true,
+func (s *Store) snapshotSpill(buf *writeBuffer, idx int, ts uint64, home int) pendingOp {
+	op := pendingOp{idx: idx, ts: ts, home: home, spill: true,
 		img:   s.getPage(),
 		diffs: append([]diff.Differential(nil), buf.diffs...),
 	}
@@ -272,10 +278,20 @@ func (s *Store) snapshotSpill(buf *writeBuffer, idx int, ts uint64) pendingOp {
 }
 
 // writePending allocates, programs, and commits the staged ops of one
-// batch: the programs go to the device as a single ProgramBatch in batch
-// order (= time stamp order), and the mapping-table commits replay in the
-// same order afterwards. The caller holds the involved shard locks; the
-// flash lock is taken here, once, for the whole batch.
+// batch: each op allocates on its home channel (with fall-over applied
+// per home), the programs go to the device as a single ProgramBatch in
+// batch order (= time stamp order) — which a striped device fans out as
+// one concurrent leg per channel — and the mapping-table commits replay
+// in idx order afterwards. The caller holds the involved shard locks;
+// the flash lock (shared) and the involved channel locks, in ascending
+// channel order, are taken here, once, for the whole batch.
+//
+// On a single-channel device the prefix guarantee is the serial path's:
+// a crash mid-batch leaves exactly a TS-ordered prefix. On a striped
+// device each channel's leg is a prefix of that channel's slice (the
+// union-of-prefixes shape flash.Striped documents); recovery arbitrates
+// per page by TS, so the recovered state is still a serially-explainable
+// subset, and the kill tests assert exactly that.
 //
 //pdlvet:holds shard
 func (s *Store) writePending(ops []pendingOp) error {
@@ -293,12 +309,62 @@ func (s *Store) writePending(ops []pendingOp) error {
 		}
 	}
 
-	s.flashMu.Lock()
-	defer s.flashMu.Unlock()
-	ppns, err := s.allocPages(len(ops))
-	if err != nil {
-		return err
+	s.flashMu.RLock()
+	defer s.flashMu.RUnlock()
+
+	// Resolve each distinct home channel to an actual channel (fall-over
+	// reads only atomics, so it runs before any channel lock), then take
+	// the involved channel locks in ascending index order — the same
+	// deadlock-freedom argument as the shard locks above.
+	chanOf := make(map[int]int, s.nchan)
+	perChan := make(map[int]int, s.nchan)
+	for _, op := range ops {
+		if _, ok := chanOf[op.home]; !ok {
+			chanOf[op.home] = s.pickChannel(op.home)
+		}
+		perChan[chanOf[op.home]]++
 	}
+	locked := make([]int, 0, len(perChan))
+	for ch := range perChan {
+		locked = append(locked, ch)
+	}
+	sort.Ints(locked)
+	for _, ch := range locked {
+		s.chans[ch].mu.Lock()
+	}
+	defer func() {
+		for _, ch := range locked {
+			s.chans[ch].mu.Unlock()
+		}
+	}()
+
+	// Allocate every channel's pages up front (AllocBatchOn collects
+	// first if needed, so no GC interleaves an allocated-unprogrammed
+	// page), then hand them to the ops in idx order within each channel.
+	// A channel that turns out to have nothing reclaimable (ErrNoSpace)
+	// does not fail the batch while a neighbor has space: its share is
+	// allocated on another channel instead — pages are channel-agnostic,
+	// only the lock that hands them out matters.
+	chanPPNs := make(map[int][]flash.PPN, len(perChan))
+	targets := append([]int(nil), locked...)
+	for _, ch := range targets {
+		ppns, err := s.allocPagesOn(ch, perChan[ch])
+		if errors.Is(err, ftl.ErrNoSpace) {
+			s.wtel.channelFallOvers.Add(1)
+			ppns, err = s.allocPagesElsewhere(ch, perChan[ch], &locked)
+		}
+		if err != nil {
+			return err
+		}
+		chanPPNs[ch] = ppns
+	}
+	ppns := make([]flash.PPN, len(ops))
+	for i, op := range ops {
+		ch := chanOf[op.home]
+		ppns[i] = chanPPNs[ch][0]
+		chanPPNs[ch] = chanPPNs[ch][1:]
+	}
+
 	spareSize := s.params.SpareSize
 	spares := make([]byte, len(ops)*spareSize)
 	batch := make([]flash.PageProgram, len(ops))
@@ -317,8 +383,8 @@ func (s *Store) writePending(ops []pendingOp) error {
 	if err := s.dev.ProgramBatch(batch); err != nil {
 		return fmt.Errorf("core: programming batch of %d pages: %w", len(batch), err)
 	}
-	s.tel.BatchWrites++
-	s.tel.BatchedPages += int64(len(batch))
+	s.wtel.batchWrites.Add(1)
+	s.wtel.batchedPages.Add(int64(len(batch)))
 	for i, op := range ops {
 		if op.spill {
 			// ppns[i] begins a new life as a differential page: fence off
@@ -329,29 +395,30 @@ func (s *Store) writePending(ops []pendingOp) error {
 	}
 
 	for i, op := range ops {
+		ch := chanOf[op.home]
 		if op.spill {
-			s.tel.BufferFlushes++
-			s.tel.DiffsWritten += int64(len(op.diffs))
+			s.wtel.bufferFlushes.Add(1)
+			s.wtel.diffsWritten.Add(int64(len(op.diffs)))
 			for _, d := range op.diffs {
-				s.tel.DiffBytesWritten += int64(d.EncodedSize())
+				s.wtel.diffBytesWritten.Add(int64(d.EncodedSize()))
 				old := s.mt.setDiffPage(d.PID, ppns[i], d.TS)
 				if old != flash.NilPPN {
-					if err := s.releaseDiffPage(old); err != nil {
+					if err := s.releaseDiffPage(old, ch); err != nil {
 						return err
 					}
 				}
 			}
 			continue
 		}
-		s.tel.NewBasePages++
+		s.wtel.newBasePages.Add(1)
 		old := s.mt.setBasePage(op.pid, ppns[i], op.ts)
 		if old.base != flash.NilPPN {
-			if err := s.alloc.MarkObsolete(old.base); err != nil {
+			if err := s.alloc.MarkObsoleteFrom(old.base, ch); err != nil {
 				return err
 			}
 		}
 		if old.dif != flash.NilPPN {
-			if err := s.releaseDiffPage(old.dif); err != nil {
+			if err := s.releaseDiffPage(old.dif, ch); err != nil {
 				return err
 			}
 		}
@@ -359,27 +426,57 @@ func (s *Store) writePending(ops []pendingOp) error {
 	return nil
 }
 
-// allocPages hands out n flash pages for one batch program under the
-// flash lock, with allocPage's background-GC etiquette: the engine is
-// kicked at the watermark, and an inline collection (the batch hit the
-// reserve floor) counts as a backpressure fallback.
+// allocPagesOn hands out n flash pages of channel ch for one batch
+// program under the channel's lock, with allocPageOn's background-GC
+// etiquette: the channel's engine is kicked at the watermark, and an
+// inline collection (the batch hit the reserve floor) counts as a
+// backpressure fallback.
 //
-//pdlvet:holds flash
-func (s *Store) allocPages(n int) ([]flash.PPN, error) {
-	ppns, collected, err := s.alloc.AllocBatch(n)
+//pdlvet:holds flash,channel
+func (s *Store) allocPagesOn(ch, n int) ([]flash.PPN, error) {
+	ppns, collected, err := s.alloc.AllocBatchOn(ch, n)
 	if s.gcEng != nil {
 		if collected > 0 {
-			s.tel.SyncGCFallbacks++
-			s.gcEng.Kick()
+			s.wtel.syncGCFallbacks.Add(1)
+			s.gcEng.Kick(ch)
 		}
-		if free := s.alloc.FreeBlockCount(); free <= s.gcLow {
-			if free != s.lastKickFree {
-				s.lastKickFree = free
-				s.gcEng.Kick()
-			}
-		} else {
-			s.lastKickFree = -1
-		}
+		s.kickEtiquette(ch)
 	}
 	return ppns, err
+}
+
+// allocPagesElsewhere is writePending's fall-over when channel `failed`
+// cannot provide its share of a batch (all of its blocks fully live):
+// the n pages are allocated on some other channel — first the ones whose
+// locks the batch already holds, then, still under the ascending-order
+// discipline, channels ABOVE the highest held index, locking each as it
+// is tried (the new locks join *locked and are released with the rest by
+// the caller's deferred unlock). Channels below the highest held index
+// that the batch did not lock up front stay out of reach — locking one
+// now would invert the channel-lock order — so in the worst case this
+// returns ErrNoSpace even though such a channel had room; the batch
+// paths that matter (Flush, wide WriteBatch) involve every channel and
+// never hit that case.
+//
+//pdlvet:holds flash,channel
+func (s *Store) allocPagesElsewhere(failed, n int, locked *[]int) ([]flash.PPN, error) {
+	for _, ch := range *locked {
+		if ch == failed {
+			continue
+		}
+		ppns, err := s.allocPagesOn(ch, n)
+		if !errors.Is(err, ftl.ErrNoSpace) {
+			return ppns, err
+		}
+	}
+	for ch := (*locked)[len(*locked)-1] + 1; ch < s.nchan; ch++ {
+		//pdlvet:ignore lockorder ascending by construction: the loop starts above the highest held channel index, which the prover cannot see through the slice
+		s.chans[ch].mu.Lock()
+		*locked = append(*locked, ch)
+		ppns, err := s.allocPagesOn(ch, n)
+		if !errors.Is(err, ftl.ErrNoSpace) {
+			return ppns, err
+		}
+	}
+	return nil, ftl.ErrNoSpace
 }

@@ -169,6 +169,8 @@ func (s *Store) WriteCheckpoint() (int, error) {
 	if err := s.Flush(); err != nil {
 		return 0, err
 	}
+	// The exclusive flash lock quiesces every channel at once, so the
+	// serialized tables describe one flash-consistent cut across channels.
 	s.flashMu.Lock()
 	defer s.flashMu.Unlock()
 	s.ckpt.nextID++
@@ -195,12 +197,15 @@ func (s *Store) WriteCheckpoint() (int, error) {
 		}
 		blk := half[chunks/p.PagesPerBlock]
 		pg := chunks % p.PagesPerBlock
+		// Safe under the exclusive flash lock: no channel path can be
+		// using channel 0's spare scratch concurrently.
+		spareBuf := s.chans[0].spareBuf
 		ftl.EncodeHeaderInto(ftl.Header{
 			Type: ftl.TypeCheckpoint,
 			PID:  uint32(chunks),
 			TS:   s.ckpt.nextID,
-		}, s.spareBuf)
-		if err := s.dev.Program(p.PPNOf(blk, pg), chunkData, s.spareBuf); err != nil {
+		}, spareBuf)
+		if err := s.dev.Program(p.PPNOf(blk, pg), chunkData, spareBuf); err != nil {
 			return chunks, fmt.Errorf("core: writing checkpoint chunk %d: %w", chunks, err)
 		}
 		chunks++

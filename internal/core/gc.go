@@ -14,27 +14,32 @@ import (
 // into new differential pages ("we move only valid differentials into a
 // new differential page, i.e., we do compaction here").
 //
-// It runs inside the allocator's collect, which is only reached while the
-// flash lock is held — from a foreground allocation in synchronous mode,
-// or from the background engine's CollectOne increment — so it may
-// mutate the mapping tables (through the mapTable's versioned committers,
-// which readers observe), and it must never take a shard lock (shard
-// locks order before the flash lock). Every mapping repoint happens
-// before the allocator erases the victim, which is what the lock-free
-// read path's version check relies on.
+// It runs inside the allocator's collect, which is only reached while
+// the victim's channel lock is held (under the shared flash lock) —
+// from a foreground allocation in synchronous mode, or from the
+// channel's background CollectOne increment — so it may mutate the
+// mapping tables (through the mapTable's versioned committers, which
+// readers observe), and it must never take a shard lock (shard locks
+// order before the flash lock). Every mapping repoint happens before the
+// allocator erases the victim, which is what the lock-free read path's
+// version check relies on. Relocation stays channel-local: replacement
+// pages are allocated on the victim's own channel through the cold
+// append point (AllocGC), so collections on different channels never
+// contend and relocated (cold) data segregates from the hot stream.
 //
-//pdlvet:holds flash
+//pdlvet:holds flash,channel
 func (s *Store) relocate(victim int) error {
 	p := s.params
+	ch := s.alloc.ChannelOfBlock(victim)
 
 	// Pass 1: move valid base pages and collect valid differentials.
 	// Base pages move first so that the second pass never packs a
 	// differential whose base page is about to disappear.
-	var keep []diff.Differential
+	var keep []pendingDiff
 	for i := 0; i < p.PagesPerBlock; i++ {
 		ppn := p.PPNOf(victim, i)
-		if pid, ok := s.mt.pidOfBase(ppn); ok && s.mt.entry(pid).base == ppn {
-			if err := s.relocateBasePage(pid, ppn); err != nil {
+		if pid, ts, ok := s.mt.baseOwner(ppn); ok {
+			if err := s.relocateBasePage(pid, ts, ppn, ch); err != nil {
 				return err
 			}
 			continue
@@ -44,7 +49,9 @@ func (s *Store) relocate(victim int) error {
 			if err != nil {
 				return err
 			}
-			keep = append(keep, ds...)
+			for _, d := range ds {
+				keep = append(keep, pendingDiff{d: d, src: ppn})
+			}
 			s.mt.dropDiffPage(ppn)
 			// The page is being compacted away and its block erased:
 			// readers will be repointed (and their version checks fail),
@@ -57,14 +64,14 @@ func (s *Store) relocate(victim int) error {
 	// pages, packing as many as fit per page.
 	for len(keep) > 0 {
 		n, used := 0, 0
-		for n < len(keep) && used+keep[n].EncodedSize() <= p.DataSize {
-			used += keep[n].EncodedSize()
+		for n < len(keep) && used+keep[n].d.EncodedSize() <= p.DataSize {
+			used += keep[n].d.EncodedSize()
 			n++
 		}
 		if n == 0 {
-			return fmt.Errorf("core: differential of pid %d too large to compact", keep[0].PID)
+			return fmt.Errorf("core: differential of pid %d too large to compact", keep[0].d.PID)
 		}
-		if err := s.writeCompactedPage(keep[:n]); err != nil {
+		if err := s.writeCompactedPage(keep[:n], ch); err != nil {
 			return err
 		}
 		keep = keep[n:]
@@ -72,28 +79,44 @@ func (s *Store) relocate(victim int) error {
 	return nil
 }
 
-// relocateBasePage copies one valid base page out of a victim block.
+// pendingDiff is one surviving differential queued for compaction,
+// remembering the victim page it came from so the repoint can verify
+// the mapping still points there (a writer on another channel may have
+// flushed a newer differential mid-collection).
+type pendingDiff struct {
+	d   diff.Differential
+	src flash.PPN
+}
+
+// relocateBasePage copies one valid base page out of a victim block to
+// the victim channel's cold stream. ts is the creation time stamp
+// baseOwner validated; the copy keeps it — relocation does not make the
+// content newer, and recovery must still see any later differential as
+// the winner.
 //
-//pdlvet:holds flash
-func (s *Store) relocateBasePage(pid uint32, ppn flash.PPN) error {
+//pdlvet:holds flash,channel
+func (s *Store) relocateBasePage(pid uint32, ts uint64, ppn flash.PPN, ch int) error {
 	scratch := s.getPage()
 	defer s.putPage(scratch)
 	if err := s.dev.ReadData(ppn, scratch); err != nil {
 		return err
 	}
-	dst, err := s.alloc.Alloc()
+	dst, err := s.alloc.AllocGC(ch)
 	if err != nil {
 		return err
 	}
-	// The base page keeps its creation time stamp: relocation does not
-	// make the content newer, and recovery must still see any later
-	// differential as the winner.
-	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: s.mt.baseTS[pid],
-		Seq: s.alloc.SeqOf(s.params.BlockOf(dst))}, s.spareBuf)
-	if err := s.dev.Program(dst, scratch, s.spareBuf); err != nil {
+	spareBuf := s.chans[ch].spareBuf
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
+		Seq: s.alloc.SeqOf(s.params.BlockOf(dst))}, spareBuf)
+	if err := s.dev.Program(dst, scratch, spareBuf); err != nil {
 		return err
 	}
-	s.mt.relocateBase(pid, dst)
+	if !s.mt.relocateBaseFrom(pid, ppn, dst) {
+		// A writer on another channel committed a newer base for pid
+		// between baseOwner and here: the copy at dst is stale content.
+		// Discard it — dst is on our channel, so the mark is direct.
+		return s.alloc.MarkObsolete(dst)
+	}
 	return nil
 }
 
@@ -110,7 +133,10 @@ func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 	}
 	var out []diff.Differential
 	for _, d := range diff.DecodeAll(scratch) {
-		if int(d.PID) < s.numPages && s.mt.entry(d.PID).dif == ppn && s.mt.diffTS[d.PID] == d.TS {
+		if int(d.PID) >= s.numPages {
+			continue
+		}
+		if dif, ts := s.mt.diffOf(d.PID); dif == ppn && ts == d.TS {
 			out = append(out, d)
 		}
 	}
@@ -118,37 +144,48 @@ func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 }
 
 // writeCompactedPage writes a batch of surviving differentials into a new
-// differential page and repoints the mapping table. The page image is
-// built in a pooled scratch page — garbage collection compacts a page per
-// surviving batch, and allocating a fresh image each time put a page-sized
-// allocation on every collection increment.
+// differential page on the victim's channel and repoints the mapping
+// table. The page image is built in a pooled scratch page — garbage
+// collection compacts a page per surviving batch, and allocating a fresh
+// image each time put a page-sized allocation on every collection
+// increment.
 //
-//pdlvet:holds flash
-func (s *Store) writeCompactedPage(ds []diff.Differential) error {
+//pdlvet:holds flash,channel
+func (s *Store) writeCompactedPage(ds []pendingDiff, ch int) error {
 	p := s.params
-	q, err := s.alloc.Alloc()
+	q, err := s.alloc.AllocGC(ch)
 	if err != nil {
 		return err
 	}
 	scratch := s.getPage()
 	defer s.putPage(scratch)
 	img := scratch[:0]
-	for _, d := range ds {
-		img = d.AppendTo(img)
+	for _, pd := range ds {
+		img = pd.d.AppendTo(img)
 	}
 	for len(img) < p.DataSize {
 		img = append(img, 0xFF)
 	}
+	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
-		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, s.spareBuf)
-	if err := s.dev.Program(q, img, s.spareBuf); err != nil {
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, spareBuf)
+	if err := s.dev.Program(q, img, spareBuf); err != nil {
 		return err
 	}
 	// q begins a new life as a compaction target: fence off any cached
 	// decode of its previous life before the repoints publish it.
 	s.dcache.invalidate(q)
-	for _, d := range ds {
-		s.mt.repointDiff(d.PID, q)
+	live := 0
+	for _, pd := range ds {
+		if s.mt.repointDiffFrom(pd.d.PID, pd.src, q, pd.d.TS) {
+			live++
+		}
+	}
+	if live == 0 {
+		// Writers on other channels superseded every record mid-compaction;
+		// q never entered the valid count, so nothing will ever decrement
+		// it to obsolescence — discard it now (q is on our channel).
+		return s.alloc.MarkObsolete(q)
 	}
 	return nil
 }

@@ -11,12 +11,13 @@ import (
 // reverse base-page index, and the valid differential count table — with
 // its own synchronization, decoupled from the flash lock.
 //
-// Concurrency model. All mutation happens on goroutines that hold the
-// store's flash lock, so mutators are already serialized with each other;
-// the mapTable's RWMutex exists to order mutations against lock-free
-// readers (ReadPage and the read half of WritePage, which deliberately do
-// NOT take the flash lock). Readers use an optimistic versioned-snapshot
-// protocol:
+// Concurrency model. Mutators hold the store's flash lock SHARED plus
+// their channel's lock, so mutators on different channels run
+// concurrently — the mapTable's RWMutex is the real serializer for the
+// maps and slices below, and it additionally orders mutations against
+// lock-free readers (ReadPage and the read half of WritePage, which
+// deliberately take no store-level lock). Readers use an optimistic
+// versioned-snapshot protocol:
 //
 //	e, v := mt.snapshot(pid)    // entry + per-pid version
 //	... read flash pages e points at, with no store-level lock held ...
@@ -27,9 +28,18 @@ import (
 // so a reader that raced a relocation or a flush observes a version
 // change and retries against the new mapping; a reader whose version
 // check passes is guaranteed the flash bytes it read belonged to the
-// entry it looked up. Code that already holds the flash lock may instead
-// read through the locked accessors (or the fields directly during
-// single-goroutine recovery, before the store is published).
+// entry it looked up.
+//
+// Garbage collection is a CONCURRENT mutator too: one collector per
+// channel, each racing foreground writers on other channels for the
+// same pid. Collection therefore commits through conditional repoints
+// (relocateBaseFrom, repointDiffFrom) that re-validate inside the
+// critical section that the mapping still points where the collector's
+// earlier check saw it — if a writer won the race with a newer base or
+// differential, the conditional commit refuses and the collector
+// discards its copy instead of clobbering the newer mapping. Only
+// single-goroutine recovery, before the store is published, may touch
+// the fields directly.
 type mapTable struct {
 	mu sync.RWMutex
 	// ppmt is the physical page mapping table of section 4.2.
@@ -86,11 +96,28 @@ func (t *mapTable) stable(pid uint32, v uint64) bool {
 	return cur == v
 }
 
-// entry returns pid's current entry. The caller holds the flash lock (the
-// only writer context), so no read lock is needed.
-//
-//pdlvet:holds flash
-func (t *mapTable) entry(pid uint32) pageEntry { return t.ppmt[pid] }
+// baseOwner returns the pid whose CURRENT base page is ppn, with its
+// creation time stamp. The reverse-index hit is validated against the
+// forward mapping inside one critical section, so a concurrent
+// setBasePage on another channel cannot leave the caller holding a
+// stale (pid, ts) pair for a page that is no longer anyone's base.
+func (t *mapTable) baseOwner(ppn flash.PPN) (pid uint32, ts uint64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pid, ok = t.reverseBase[ppn]
+	if !ok || t.ppmt[pid].base != ppn {
+		return 0, 0, false
+	}
+	return pid, t.baseTS[pid], true
+}
+
+// diffOf returns pid's current differential page and time stamp as one
+// consistent pair.
+func (t *mapTable) diffOf(pid uint32) (flash.PPN, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ppmt[pid].dif, t.diffTS[pid]
+}
 
 // setBasePage commits a writeNewBasePage: pid's base becomes ppn with
 // creation time stamp ts, and any previous base/differential linkage is
@@ -116,19 +143,24 @@ func (t *mapTable) setBasePage(pid uint32, ppn flash.PPN, ts uint64) (old pageEn
 	return old
 }
 
-// relocateBase moves pid's base page mapping from its current PPN to dst
-// during garbage collection. The creation time stamp is deliberately
-// unchanged: relocation copies content, it does not make it newer.
-// Caller holds the flash lock.
-//
-//pdlvet:holds flash
-func (t *mapTable) relocateBase(pid uint32, dst flash.PPN) {
+// relocateBaseFrom moves pid's base page mapping from src to dst during
+// garbage collection, but only if src is still pid's base — a writer on
+// another channel may have committed a newer base since the collector's
+// baseOwner check. It reports whether the repoint was applied; on false
+// the collector's copy at dst is dead and must be discarded. The
+// creation time stamp is deliberately unchanged: relocation copies
+// content, it does not make it newer.
+func (t *mapTable) relocateBaseFrom(pid uint32, src, dst flash.PPN) bool {
 	t.mu.Lock()
-	delete(t.reverseBase, t.ppmt[pid].base)
+	defer t.mu.Unlock()
+	if t.ppmt[pid].base != src {
+		return false
+	}
+	delete(t.reverseBase, src)
 	t.ppmt[pid].base = dst
 	t.reverseBase[dst] = pid
 	t.ver[pid]++
-	t.mu.Unlock()
+	return true
 }
 
 // setDiffPage commits one flushed differential: pid's differential page
@@ -155,18 +187,24 @@ func (t *mapTable) setDiffPage(pid uint32, ppn flash.PPN, ts uint64) (old flash.
 	return old
 }
 
-// repointDiff redirects pid's differential to a compaction target page
-// (same differential content and time stamp, new location). The old
-// page's count is not touched: compaction drops whole victim pages via
-// dropDiffPage. Caller holds the flash lock.
-//
-//pdlvet:holds flash
-func (t *mapTable) repointDiff(pid uint32, ppn flash.PPN) {
+// repointDiffFrom redirects pid's differential from src (a victim page
+// being compacted) to dst, but only if the mapping still carries the
+// (src, ts) pair the collector validated — a writer on another channel
+// may have flushed a newer differential since. It reports whether the
+// repoint was applied; on false the compacted record at dst is dead
+// weight and simply never enters the valid count. The old page's count
+// is not touched either way: compaction drops whole victim pages via
+// dropDiffPage.
+func (t *mapTable) repointDiffFrom(pid uint32, src, dst flash.PPN, ts uint64) bool {
 	t.mu.Lock()
-	t.ppmt[pid].dif = ppn
-	t.vdct[ppn]++
+	defer t.mu.Unlock()
+	if t.ppmt[pid].dif != src || t.diffTS[pid] != ts {
+		return false
+	}
+	t.ppmt[pid].dif = dst
+	t.vdct[dst]++
 	t.ver[pid]++
-	t.mu.Unlock()
+	return true
 }
 
 // decDiffCount implements decreaseValidDifferentialCount's bookkeeping
@@ -186,11 +224,13 @@ func (t *mapTable) decDiffCount(dp flash.PPN) (obsolete bool) {
 	return obsolete
 }
 
-// diffCount returns dp's valid differential count (0 if absent). Caller
-// holds the flash lock.
-//
-//pdlvet:holds flash
-func (t *mapTable) diffCount(dp flash.PPN) int { return t.vdct[dp] }
+// diffCount returns dp's valid differential count (0 if absent).
+func (t *mapTable) diffCount(dp flash.PPN) int {
+	t.mu.RLock()
+	n := t.vdct[dp]
+	t.mu.RUnlock()
+	return n
+}
 
 // dropDiffPage forgets a differential page wholesale (its survivors have
 // been compacted elsewhere and its block is about to be erased). Caller
@@ -201,13 +241,4 @@ func (t *mapTable) dropDiffPage(dp flash.PPN) {
 	t.mu.Lock()
 	delete(t.vdct, dp)
 	t.mu.Unlock()
-}
-
-// pidOfBase returns the pid whose base page lives at ppn, if any. Caller
-// holds the flash lock.
-//
-//pdlvet:holds flash
-func (t *mapTable) pidOfBase(ppn flash.PPN) (uint32, bool) {
-	pid, ok := t.reverseBase[ppn]
-	return pid, ok
 }

@@ -25,16 +25,24 @@
 // decomposed into purpose-built components, each with its own
 // synchronization, in a strict lock hierarchy (outer to inner):
 //
-//		shard lock  >  flash lock  >  mapTable lock  >  diff-cache lock
+//		shard lock  >  flash lock  >  channel lock  >  mapTable lock  >  diff-cache lock
 //
 //	  - each of the Options.Shards write-buffer shards has its own RWMutex
 //	    serializing the buffered differentials of the pids it owns (so
 //	    per-pid write order is well defined); ReadBatch/WriteBatch/Flush
 //	    take several shard locks together, always in ascending index order;
-//	  - the flash lock (flashMu) serializes mutations of flash state:
-//	    allocation, page programs with their mapping-table commits, and
-//	    garbage collection. It is held per program — or, in background-GC
-//	    mode, per collected victim — never across a whole collection cycle;
+//	  - the flash lock (flashMu) is now a readers-writer lock over the
+//	    flash mutation domain as a whole: every per-channel mutation path
+//	    holds it SHARED and then takes the channel lock of the one channel
+//	    it mutates, so mutations on different channels run in parallel;
+//	    whole-store operations (checkpointing) hold it EXCLUSIVE, which
+//	    quiesces every channel at once;
+//	  - each channel lock (one per flash channel; a plain device has
+//	    exactly one) serializes that channel's mutations: allocation, page
+//	    programs with their mapping-table commits, and garbage collection.
+//	    It is held per program — or, in background-GC mode, per collected
+//	    victim — never across a whole collection cycle. Paths touching
+//	    several channels (WriteBatch) lock them in ascending index order;
 //	  - the mapTable owns the mapping state (ppmt, time stamps, vdct,
 //	    reverseBase) behind its own RWMutex plus a per-pid version counter;
 //	  - the decoded-differential cache (see diffCache) has the innermost
@@ -61,7 +69,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -153,6 +163,25 @@ type shard struct {
 	_   [64]byte
 }
 
+// storeChan is the store-side state of one flash channel: the channel
+// lock (below the shared flash lock, above the mapTable lock in the
+// hierarchy; multi-channel paths acquire channel locks in ascending
+// index order), the channel's spare-header scratch (every header encode
+// happens under the owning channel's lock, so one buffer per channel
+// suffices), and the background-GC kick etiquette state. The padding
+// keeps hot channel locks on separate cache lines.
+type storeChan struct {
+	mu sync.Mutex
+	// spareBuf is this channel's reusable spare-header scratch.
+	spareBuf []byte
+	// lastKickFree (guarded by mu, like every allocation on the channel)
+	// remembers the free-block level of the last background-GC kick so a
+	// pool parked at one level is not re-kicked on every allocation; -1
+	// means the pool was last seen healthy.
+	lastKickFree int
+	_            [64]byte
+}
+
 // Store is a page-differential logging flash translation layer. It is safe
 // for concurrent use; see the package comment for the locking model.
 type Store struct {
@@ -163,14 +192,22 @@ type Store struct {
 	numPages int
 	maxDiff  int
 
-	// flashMu is the flash lock: it serializes mutations of flash state —
-	// the allocator, programs and erases with their mapping commits,
-	// garbage collection — and the telemetry counters. Reads do not take
-	// it; see the package comment.
-	flashMu sync.Mutex
+	// flashMu is the flash lock: per-channel mutation paths hold it
+	// SHARED before taking their channel lock; whole-store operations
+	// (checkpointing) hold it EXCLUSIVE, quiescing every channel. Reads
+	// do not take it; see the package comment.
+	flashMu sync.RWMutex
+	// chans is the per-channel mutation state; a plain single-channel
+	// device has exactly one entry, and the channel lock then plays the
+	// role the single flash mutex played before striping.
+	chans []storeChan
+	nchan int
 	// mt owns the mapping tables with their own synchronization.
-	mt  *mapTable
-	tel Telemetry
+	mt *mapTable
+	// wtel holds the write-path counters. They are atomics because
+	// writers on DIFFERENT channels mutate flash (and count events)
+	// concurrently, each under its own channel lock.
+	wtel writeTelemetry
 	// rtel holds the read-path counters, which are bumped with no lock
 	// held (the read path takes no store-level lock) and folded into
 	// Telemetry snapshots.
@@ -179,15 +216,11 @@ type Store struct {
 	// coherence protocol is documented on the type.
 	dcache *diffCache
 
-	// gcEng is the background garbage-collection engine (nil in
-	// synchronous mode), and gcLow its trigger watermark. lastKickFree
-	// (guarded by flashMu, like every allocation) remembers the free-block
-	// level of the last kick so a pool parked at one level — e.g. nothing
-	// reclaimable near capacity — is not re-kicked on every single page
-	// allocation; -1 means the pool was last seen healthy.
-	gcEng        *gc.Engine
-	gcLow        int
-	lastKickFree int
+	// gcEng is the background garbage-collection engine — one collection
+	// goroutine per channel (nil in synchronous mode) — and gcLow the
+	// per-channel trigger watermark.
+	gcEng *gc.MultiEngine
+	gcLow int
 
 	// shards partitions the differential write buffer by pid hash.
 	shards []shard
@@ -196,9 +229,6 @@ type Store struct {
 	ts atomic.Uint64
 	// pages pools scratch page buffers for the read and write paths.
 	pages sync.Pool
-	// spareBuf is the reusable spare-header scratch; every encode happens
-	// under the flash lock, so one buffer per store suffices.
-	spareBuf []byte
 	// ckpt is the checkpoint region manager (nil unless enabled).
 	ckpt *ckptRegion
 }
@@ -220,6 +250,11 @@ type Telemetry struct {
 	// floor and had to collect synchronously despite background GC — the
 	// backpressure events background mode is meant to make rare.
 	SyncGCFallbacks int64
+	// ChannelFallOvers counts programs that could not be served by the
+	// channel first picked for them — it was out of reclaimable space —
+	// and were retried on another channel. Always zero on single-channel
+	// devices.
+	ChannelFallOvers int64
 	// BatchWrites is the number of device ProgramBatch operations the
 	// batched write path (WriteBatch, batched Flush) issued.
 	BatchWrites int64
@@ -247,6 +282,20 @@ type readTelemetry struct {
 	diffCacheHits, diffCacheMisses atomic.Int64
 	readRetries                    atomic.Int64
 	batchReads, batchedReads       atomic.Int64
+}
+
+// writeTelemetry is the write-path counters. Each is bumped under SOME
+// channel lock, but different channels run concurrently, so the fields
+// are atomic rather than guarded by one lock.
+type writeTelemetry struct {
+	bufferFlushes    atomic.Int64
+	newBasePages     atomic.Int64
+	diffBytesWritten atomic.Int64
+	diffsWritten     atomic.Int64
+	syncGCFallbacks  atomic.Int64
+	channelFallOvers atomic.Int64
+	batchWrites      atomic.Int64
+	batchedPages     atomic.Int64
 }
 
 var _ ftl.Method = (*Store)(nil)
@@ -278,9 +327,14 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	if reserve == 0 {
 		reserve = 2
 	}
+	alloc := ftl.NewChannelAllocator(dev, reserve)
+	nchan := alloc.Channels()
 	numShards := opts.Shards
 	if numShards == 0 {
-		numShards = 1
+		// Over a multi-channel device, default to one shard per channel so
+		// the shard→channel pinning spreads foreground writes across every
+		// channel; a plain device keeps the paper's single buffer.
+		numShards = nchan
 	}
 	if numShards < 0 {
 		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", numShards)
@@ -292,12 +346,13 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	s := &Store{
 		dev:      dev,
 		params:   p,
-		alloc:    ftl.NewAllocator(dev, reserve),
+		alloc:    alloc,
+		nchan:    nchan,
+		chans:    make([]storeChan, nchan),
 		numPages: numPages,
 		maxDiff:  maxDiff,
 		mt:       newMapTable(numPages),
 		shards:   make([]shard, numShards),
-		spareBuf: make([]byte, p.SpareSize),
 	}
 	s.pages.New = func() any { return make([]byte, p.DataSize) }
 	if cachePages > 0 {
@@ -306,9 +361,19 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	for i := range s.shards {
 		s.shards[i].dwb.init(p.DataSize)
 	}
+	for ch := range s.chans {
+		s.chans[ch].spareBuf = make([]byte, p.SpareSize)
+		s.chans[ch].lastKickFree = -1
+	}
 	s.alloc.SetRelocator(s.relocate)
-	if opts.WearAwareGC {
+	switch {
+	case opts.WearAwareGC:
 		s.alloc.SetVictimPolicy(ftl.VictimWearAware)
+	case nchan > 1:
+		// Multi-channel stores default to cost-benefit victim selection:
+		// with relocation output segregated into cold blocks, age×invalid-
+		// ratio scoring stops GC from repeatedly recycling cold blocks.
+		s.alloc.SetVictimPolicy(ftl.VictimCostBenefit)
 	}
 	if opts.CheckpointBlocks > 0 {
 		if err := s.enableCheckpoints(opts.CheckpointBlocks); err != nil {
@@ -323,26 +388,44 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		if low <= reserve {
 			return nil, fmt.Errorf("core: GCLowWater %d must exceed ReserveBlocks %d", low, reserve)
 		}
-		s.gcLow = low
-		s.lastKickFree = -1
-		s.gcEng = gc.New(storeCollector{s}, gc.Config{LowWater: low, HighWater: low + 2})
+		// The configured watermark describes the whole device; each
+		// channel's engine watches its share of it (identical to the
+		// legacy watermark when there is one channel).
+		chLow := (low + nchan - 1) / nchan
+		if chLow <= s.alloc.ChanReserve() {
+			chLow = s.alloc.ChanReserve() + 1
+		}
+		s.gcLow = chLow
+		collectors := make([]gc.Collector, nchan)
+		for ch := range collectors {
+			collectors[ch] = chanCollector{s: s, ch: ch}
+		}
+		s.gcEng = gc.NewMulti(collectors, gc.Config{LowWater: chLow, HighWater: chLow + 2})
 		s.gcEng.Start()
 	}
 	return s, nil
 }
 
-// storeCollector adapts a Store to the background engine's Collector
-// interface: one collection increment takes the flash lock for exactly one
-// victim block, so foreground reflections interleave between increments.
-type storeCollector struct{ s *Store }
-
-func (c storeCollector) CollectOne() (bool, error) {
-	c.s.flashMu.Lock()
-	defer c.s.flashMu.Unlock()
-	return c.s.alloc.CollectOnce()
+// chanCollector adapts one channel of a Store to the background engine's
+// Collector interface: one collection increment holds the flash lock
+// shared and the channel lock for exactly one victim block, so foreground
+// reflections — on this channel and every other — interleave between
+// increments.
+type chanCollector struct {
+	s  *Store
+	ch int
 }
 
-func (c storeCollector) FreeBlocks() int { return c.s.alloc.FreeBlockCount() }
+func (c chanCollector) CollectOne() (bool, error) {
+	c.s.flashMu.RLock()
+	defer c.s.flashMu.RUnlock()
+	sc := &c.s.chans[c.ch]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return c.s.alloc.CollectOnceOn(c.ch)
+}
+
+func (c chanCollector) FreeBlocks() int { return c.s.alloc.FreeBlocksOn(c.ch) }
 
 // Close stops the background garbage-collection goroutine (if any) and
 // returns the first error it encountered. It does not close the
@@ -415,43 +498,76 @@ func (s *Store) shardIndex(pid uint32) int {
 // shardOf maps a pid onto its write buffer shard.
 func (s *Store) shardOf(pid uint32) *shard { return &s.shards[s.shardIndex(pid)] }
 
+// Channels returns the number of flash channels the store drives (1 over
+// a plain device).
+func (s *Store) Channels() int { return s.nchan }
+
+// ChannelGC returns channel ch's garbage-collection counters (benchmark
+// reports).
+func (s *Store) ChannelGC(ch int) ftl.ChannelGCStats { return s.alloc.ChannelGC(ch) }
+
+// homeChannel maps a shard index onto the channel its pids' pages are
+// written to by default: shard si pins to channel si % nchan, so the pid
+// hash that spreads writers across shards also spreads them across
+// channels.
+func (s *Store) homeChannel(si int) int { return si % s.nchan }
+
+// pickChannel chooses the channel a program for shard si goes to: the
+// shard's home channel, unless the home is under reserve pressure while
+// another channel has erased blocks to spare (the allocator's fall-over
+// policy, read from atomics). It must be called BEFORE taking a channel
+// lock — that is what makes the fall-over deadlock-free.
+func (s *Store) pickChannel(si int) int {
+	return s.alloc.PickChannel(s.homeChannel(si))
+}
+
 // getPage borrows a scratch page buffer from the pool.
 func (s *Store) getPage() []byte { return s.pages.Get().([]byte) }
 
 // putPage returns a scratch page buffer to the pool.
 func (s *Store) putPage(b []byte) { s.pages.Put(b) } //nolint:staticcheck // []byte header alloc is fine here
 
-// allocPage hands out the next flash page for a program under the flash
-// lock. In synchronous mode it is the paper's Alloc (collecting inline
-// whenever the reserve would be violated); in background-GC mode it takes
-// the non-collecting fast path, nudges the engine when the pool sinks to
-// the watermark, and only collects on this goroutine if the reserve floor
-// itself is reached — the backpressure case.
+// allocPageOn hands out channel ch's next flash page for a program under
+// the channel's lock. In synchronous mode it is the paper's Alloc
+// (collecting inline whenever the reserve would be violated); in
+// background-GC mode it takes the non-collecting fast path, nudges the
+// channel's engine when its pool sinks to the watermark, and only
+// collects on this goroutine if the reserve floor itself is reached —
+// the backpressure case.
 //
-//pdlvet:holds flash
-func (s *Store) allocPage() (flash.PPN, error) {
+//pdlvet:holds flash,channel
+func (s *Store) allocPageOn(ch int) (flash.PPN, error) {
 	if s.gcEng == nil {
-		return s.alloc.Alloc()
+		return s.alloc.AllocOn(ch)
 	}
-	ppn, ok, err := s.alloc.TryAlloc()
+	ppn, ok, err := s.alloc.TryAllocOn(ch)
 	if ok || err != nil {
-		// Kick at the watermark, but at most once per free-block level:
-		// the level only moves when a block is consumed or reclaimed, so a
-		// pool parked low with nothing reclaimable does not cost a wakeup
-		// (and an O(blocks) victim scan) on every page allocation.
-		if free := s.alloc.FreeBlockCount(); free <= s.gcLow {
-			if free != s.lastKickFree {
-				s.lastKickFree = free
-				s.gcEng.Kick()
-			}
-		} else {
-			s.lastKickFree = -1
-		}
+		s.kickEtiquette(ch)
 		return ppn, err
 	}
-	s.gcEng.Kick()
-	s.tel.SyncGCFallbacks++
-	return s.alloc.Alloc()
+	s.gcEng.Kick(ch)
+	s.wtel.syncGCFallbacks.Add(1)
+	return s.alloc.AllocOn(ch)
+}
+
+// kickEtiquette kicks channel ch's background engine at the watermark,
+// but at most once per free-block level: the level only moves when a
+// block is consumed or reclaimed, so a pool parked low with nothing
+// reclaimable does not cost a wakeup (and an O(blocks) victim scan) on
+// every page allocation. The caller holds channel ch's lock (which
+// guards lastKickFree).
+//
+//pdlvet:holds flash,channel
+func (s *Store) kickEtiquette(ch int) {
+	c := &s.chans[ch]
+	if free := s.alloc.FreeBlocksOn(ch); free <= s.gcLow {
+		if free != c.lastKickFree {
+			c.lastKickFree = free
+			s.gcEng.Kick(ch)
+		}
+	} else {
+		c.lastKickFree = -1
+	}
 }
 
 // WritePage implements ftl.Method with the PDL_Writing algorithm
@@ -485,10 +601,7 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 			// diff against; the logical page itself becomes the base page.
 			// Only the shard-lock holder creates a pid's base page, so the
 			// nil observation cannot be stale.
-			s.flashMu.Lock()
-			err := s.writeNewBasePage(pid, data)
-			s.flashMu.Unlock()
-			return err
+			return s.writeNewBasePageLocked(pid, data)
 		}
 		err := s.dev.ReadData(e.base, base)
 		if !s.mt.stable(pid, v) {
@@ -523,17 +636,75 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	case size <= sh.dwb.free(): // Case 1
 		sh.dwb.add(d)
 	case size <= s.maxDiff: // Case 2
-		if err := s.flushShard(sh); err != nil {
+		if err := s.flushShard(sh, s.shardIndex(pid)); err != nil {
 			return err
 		}
 		sh.dwb.add(d)
 	default: // Case 3
-		s.flashMu.Lock()
-		err := s.writeNewBasePage(pid, data)
-		s.flashMu.Unlock()
-		return err
+		return s.writeNewBasePageLocked(pid, data)
 	}
 	return nil
+}
+
+// writeNewBasePageLocked takes the flash lock shared, picks the channel
+// (the pid's shard's home, with fall-over), takes its channel lock, and
+// writes pid's new base page. The caller holds the pid's shard lock.
+//
+//pdlvet:holds shard
+func (s *Store) writeNewBasePageLocked(pid uint32, data []byte) error {
+	s.flashMu.RLock()
+	defer s.flashMu.RUnlock()
+	return s.writeOnSomeChannel(s.shardIndex(pid),
+		//pdlvet:holds shard,flash,channel
+		func(ch int) error {
+			return s.writeNewBasePage(pid, data, ch)
+		})
+}
+
+// writeOnSomeChannel runs one channel-agnostic program (fn must fail
+// cleanly, before any mutation, when allocation fails) under a channel
+// lock, starting from shard si's pick. PickChannel diverts on free-pool
+// pressure but cannot know whether a pressured channel can actually
+// reclaim anything; on small multi-channel geometries a channel whose
+// blocks are all fully live returns ErrNoSpace even while its neighbors
+// hold erased blocks. A single-page program can go to any channel, so
+// the write follows the space: every other channel is tried, the ones
+// with the most erased blocks first. Channel locks are taken one at a
+// time — never two at once — so the retry order cannot deadlock.
+//
+//pdlvet:holds shard,flash
+func (s *Store) writeOnSomeChannel(si int, fn func(ch int) error) error {
+	first := s.pickChannel(si)
+	err := s.runOnChannel(first, fn)
+	if err == nil || s.nchan == 1 || !errors.Is(err, ftl.ErrNoSpace) {
+		return err
+	}
+	rest := make([]int, 0, s.nchan-1)
+	for ch := 0; ch < s.nchan; ch++ {
+		if ch != first {
+			rest = append(rest, ch)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		return s.alloc.FreeBlocksOn(rest[i]) > s.alloc.FreeBlocksOn(rest[j])
+	})
+	for _, ch := range rest {
+		s.wtel.channelFallOvers.Add(1)
+		if err = s.runOnChannel(ch, fn); err == nil || !errors.Is(err, ftl.ErrNoSpace) {
+			return err
+		}
+	}
+	return err
+}
+
+// runOnChannel runs fn holding channel ch's lock.
+//
+//pdlvet:holds shard,flash
+func (s *Store) runOnChannel(ch int, fn func(ch int) error) error {
+	sc := &s.chans[ch]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return fn(ch)
 }
 
 // ReadPage implements ftl.Method with the PDL_Reading algorithm (Figure 9):
@@ -663,7 +834,7 @@ func (s *Store) Flush() error {
 			held[i] = false
 			continue
 		}
-		ops = append(ops, s.snapshotSpill(&sh.dwb, i, s.nextTS()))
+		ops = append(ops, s.snapshotSpill(&sh.dwb, i, s.nextTS(), s.homeChannel(i)))
 		spilled = append(spilled, i)
 	}
 	defer func() {
@@ -703,79 +874,88 @@ func newestFor(recs []diff.Differential, pid uint32) (diff.Differential, bool) {
 }
 
 // writeNewBasePage implements the writingNewBasePage procedure (Figure 8):
-// the logical page itself is written into a newly allocated base page, the
-// old base page is set obsolete, and any old differential is released.
-// The caller holds the flash lock (and the pid's shard lock).
+// the logical page itself is written into a newly allocated base page on
+// channel ch, the old base page is set obsolete, and any old differential
+// is released. The caller holds the flash lock shared, channel ch's lock,
+// and the pid's shard lock.
 //
-//pdlvet:holds shard,flash
-func (s *Store) writeNewBasePage(pid uint32, data []byte) error {
-	q, err := s.allocPage()
+//pdlvet:holds shard,flash,channel
+func (s *Store) writeNewBasePage(pid uint32, data []byte, ch int) error {
+	q, err := s.allocPageOn(ch)
 	if err != nil {
 		return err
 	}
 	ts := s.nextTS()
+	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
-		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, s.spareBuf)
-	if err := s.dev.Program(q, data, s.spareBuf); err != nil {
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, spareBuf)
+	if err := s.dev.Program(q, data, spareBuf); err != nil {
 		return fmt.Errorf("core: writing base page of pid %d: %w", pid, err)
 	}
-	s.tel.NewBasePages++
+	s.wtel.newBasePages.Add(1)
 	old := s.mt.setBasePage(pid, q, ts)
 	if old.base != flash.NilPPN {
-		if err := s.alloc.MarkObsolete(old.base); err != nil {
+		if err := s.alloc.MarkObsoleteFrom(old.base, ch); err != nil {
 			return err
 		}
 	}
 	if old.dif != flash.NilPPN {
-		if err := s.releaseDiffPage(old.dif); err != nil {
+		if err := s.releaseDiffPage(old.dif, ch); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// flushShard acquires the flash lock and writes one shard's buffer out.
+// flushShard acquires the flash lock shared plus a channel lock (shard
+// si's home channel, with fall-over) and writes one shard's buffer out.
 // The caller holds the shard lock.
 //
 //pdlvet:holds shard
-func (s *Store) flushShard(sh *shard) error {
+func (s *Store) flushShard(sh *shard, si int) error {
 	if sh.dwb.empty() {
 		return nil
 	}
-	s.flashMu.Lock()
-	defer s.flashMu.Unlock()
-	return s.flushShardLocked(sh)
+	s.flashMu.RLock()
+	defer s.flashMu.RUnlock()
+	return s.writeOnSomeChannel(si,
+		//pdlvet:holds shard,flash,channel
+		func(ch int) error {
+			return s.flushShardLocked(sh, ch)
+		})
 }
 
 // flushShardLocked implements the writingDifferentialWriteBuffer procedure
 // (Figure 8) for one shard: the buffer's contents become a new differential
-// page, and the mapping and valid-count tables are updated for every
-// differential in it. The caller holds the shard lock and the flash lock.
+// page on channel ch, and the mapping and valid-count tables are updated
+// for every differential in it. The caller holds the shard lock, the
+// flash lock shared, and channel ch's lock.
 //
-//pdlvet:holds shard,flash
-func (s *Store) flushShardLocked(sh *shard) error {
+//pdlvet:holds shard,flash,channel
+func (s *Store) flushShardLocked(sh *shard, ch int) error {
 	if sh.dwb.empty() {
 		return nil
 	}
-	q, err := s.allocPage()
+	q, err := s.allocPageOn(ch)
 	if err != nil {
 		return err
 	}
+	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
-		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, s.spareBuf)
-	if err := s.dev.Program(q, sh.dwb.encode(), s.spareBuf); err != nil {
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, spareBuf)
+	if err := s.dev.Program(q, sh.dwb.encode(), spareBuf); err != nil {
 		return fmt.Errorf("core: writing differential page: %w", err)
 	}
 	// q begins a new life as a differential page: fence off any cached
 	// decode of its previous life before a reader can look it up.
 	s.dcache.invalidate(q)
-	s.tel.BufferFlushes++
-	s.tel.DiffsWritten += int64(len(sh.dwb.diffs))
-	s.tel.DiffBytesWritten += int64(sh.dwb.used)
+	s.wtel.bufferFlushes.Add(1)
+	s.wtel.diffsWritten.Add(int64(len(sh.dwb.diffs)))
+	s.wtel.diffBytesWritten.Add(int64(sh.dwb.used))
 	for _, d := range sh.dwb.diffs {
 		old := s.mt.setDiffPage(d.PID, q, d.TS)
 		if old != flash.NilPPN {
-			if err := s.releaseDiffPage(old); err != nil {
+			if err := s.releaseDiffPage(old, ch); err != nil {
 				return err
 			}
 		}
@@ -787,10 +967,12 @@ func (s *Store) flushShardLocked(sh *shard) error {
 // releaseDiffPage implements decreaseValidDifferentialCount of Figure 8:
 // decrement the valid differential count of dp and set the page obsolete
 // when it reaches zero (the count entry itself is deleted at zero so the
-// table only ever holds live pages). The caller holds the flash lock.
+// table only ever holds live pages). The caller holds the flash lock
+// shared and channel ch's lock; if dp lives on a different channel, the
+// physical mark is deferred to that channel's queue.
 //
-//pdlvet:holds flash
-func (s *Store) releaseDiffPage(dp flash.PPN) error {
+//pdlvet:holds flash,channel
+func (s *Store) releaseDiffPage(dp flash.PPN, ch int) error {
 	if !s.mt.decDiffCount(dp) {
 		return nil
 	}
@@ -798,7 +980,7 @@ func (s *Store) releaseDiffPage(dp flash.PPN) error {
 	// records can never be consulted again — drop them from the cache
 	// before the allocator can reclaim and reuse the PPN.
 	s.dcache.invalidate(dp)
-	if err := s.alloc.MarkObsolete(dp); err != nil {
+	if err := s.alloc.MarkObsoleteFrom(dp, ch); err != nil {
 		return fmt.Errorf("core: obsoleting differential page %d: %w", dp, err)
 	}
 	return nil
@@ -847,11 +1029,19 @@ func (s *Store) ValidDifferentialPages() int {
 	return len(s.mt.vdct)
 }
 
-// Telemetry returns the store's internal event counters.
+// Telemetry returns the store's internal event counters. Every field is
+// an atomic load, so the snapshot is per-field consistent and can be
+// taken while writers on several channels are in flight.
 func (s *Store) Telemetry() Telemetry {
-	s.flashMu.Lock()
-	t := s.tel
-	s.flashMu.Unlock()
+	var t Telemetry
+	t.BufferFlushes = s.wtel.bufferFlushes.Load()
+	t.NewBasePages = s.wtel.newBasePages.Load()
+	t.DiffBytesWritten = s.wtel.diffBytesWritten.Load()
+	t.DiffsWritten = s.wtel.diffsWritten.Load()
+	t.SyncGCFallbacks = s.wtel.syncGCFallbacks.Load()
+	t.ChannelFallOvers = s.wtel.channelFallOvers.Load()
+	t.BatchWrites = s.wtel.batchWrites.Load()
+	t.BatchedPages = s.wtel.batchedPages.Load()
 	t.DiffCacheHits = s.rtel.diffCacheHits.Load()
 	t.DiffCacheMisses = s.rtel.diffCacheMisses.Load()
 	t.ReadRetries = s.rtel.readRetries.Load()

@@ -1,0 +1,267 @@
+package flash_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/ftltest"
+)
+
+func newStriped(t *testing.T, nchan, blocksPerChan int) *flash.Striped {
+	t.Helper()
+	p := ftltest.SmallParams(blocksPerChan)
+	subs := make([]flash.Device, nchan)
+	for i := range subs {
+		subs[i] = flash.NewChip(p)
+	}
+	s, err := flash.NewStriped(subs...)
+	if err != nil {
+		t.Fatalf("NewStriped: %v", err)
+	}
+	return s
+}
+
+func TestStripedGeometryAndRouting(t *testing.T) {
+	const nchan, perChan = 4, 3
+	s := newStriped(t, nchan, perChan)
+	p := s.Params()
+	if p.NumBlocks != nchan*perChan {
+		t.Fatalf("NumBlocks = %d, want %d", p.NumBlocks, nchan*perChan)
+	}
+	if s.Channels() != nchan {
+		t.Fatalf("Channels = %d, want %d", s.Channels(), nchan)
+	}
+	// Block-granular round-robin: global block g lives on channel g%N.
+	for g := 0; g < p.NumBlocks; g++ {
+		if ch := s.ChannelOfBlock(g); ch != g%nchan {
+			t.Errorf("ChannelOfBlock(%d) = %d, want %d", g, ch, g%nchan)
+		}
+	}
+	// A program to global block g must land on sub-device g%N as local
+	// block g/N: program one page per global block, then find it by
+	// reading the sub-device directly.
+	data := make([]byte, p.DataSize)
+	spare := make([]byte, p.SpareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	for g := 0; g < p.NumBlocks; g++ {
+		for i := range data {
+			data[i] = byte(g)
+		}
+		spare[0] = byte(g)
+		if err := s.Program(flash.PPN(g*p.PagesPerBlock), data, spare); err != nil {
+			t.Fatalf("program block %d: %v", g, err)
+		}
+	}
+	got := make([]byte, p.DataSize)
+	for g := 0; g < p.NumBlocks; g++ {
+		sub := s.Sub(g % nchan)
+		local := g / nchan
+		if err := sub.ReadData(flash.PPN(local*p.PagesPerBlock), got); err != nil {
+			t.Fatalf("sub read block %d: %v", g, err)
+		}
+		if got[0] != byte(g) {
+			t.Errorf("global block %d: sub-device byte = %#x, want %#x", g, got[0], byte(g))
+		}
+	}
+}
+
+func TestStripedMismatchedSubsRejected(t *testing.T) {
+	a := flash.NewChip(ftltest.SmallParams(4))
+	b := flash.NewChip(ftltest.SmallParams(8))
+	if _, err := flash.NewStriped(a, b); !errors.Is(err, flash.ErrChannelMismatch) {
+		t.Errorf("mismatched geometries: err = %v, want ErrChannelMismatch", err)
+	}
+	if _, err := flash.NewStriped(); !errors.Is(err, flash.ErrChannelMismatch) {
+		t.Errorf("no sub-devices: err = %v, want ErrChannelMismatch", err)
+	}
+}
+
+func TestStripedStatsAndWearAggregate(t *testing.T) {
+	const nchan = 2
+	s := newStriped(t, nchan, 4)
+	p := s.Params()
+	data := make([]byte, p.DataSize)
+	spare := make([]byte, p.SpareSize)
+	for i := range spare {
+		spare[i] = 0xFF
+	}
+	// One program per channel plus an erase on channel 1's first block.
+	if err := s.Program(flash.PPN(0), data, spare); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Program(flash.PPN(p.PagesPerBlock), data, spare); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Erase(1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Erases != 1 {
+		t.Errorf("Stats = %+v, want Writes=2 Erases=1", st)
+	}
+	w := s.Wear()
+	if w.TotalErases != 1 {
+		t.Errorf("Wear.TotalErases = %d, want 1", w.TotalErases)
+	}
+	if w.MaxErase != 1 || w.MinErase != 0 {
+		t.Errorf("Wear = %+v, want MinErase=0 MaxErase=1", w)
+	}
+	s.ResetStats()
+	if got := s.Stats(); got != (flash.Stats{}) {
+		t.Errorf("Stats after ResetStats = %+v, want zero", got)
+	}
+}
+
+// TestStripedStatsTornFree drives concurrent per-channel mutations while
+// reading aggregated Stats; under -race this certifies the snapshot is
+// torn-free (per-channel atomic snapshots, summed — never a field-by-field
+// read of live counters).
+func TestStripedStatsTornFree(t *testing.T) {
+	const nchan = 4
+	s := newStriped(t, nchan, 8)
+	p := s.Params()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for ch := 0; ch < nchan; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			data := make([]byte, p.DataSize)
+			spare := make([]byte, p.SpareSize)
+			for i := range spare {
+				spare[i] = 0xFF
+			}
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				blk := ch + nchan*(round%(p.NumBlocks/nchan))
+				for pg := 0; pg < p.PagesPerBlock; pg++ {
+					if err := s.Program(p.PPNOf(blk, pg), data, spare); err != nil {
+						t.Errorf("channel %d: %v", ch, err)
+						return
+					}
+				}
+				if err := s.Erase(blk); err != nil {
+					t.Errorf("channel %d erase: %v", ch, err)
+					return
+				}
+			}
+		}(ch)
+	}
+	for i := 0; i < 200; i++ {
+		st := s.Stats()
+		// Writes and erases only grow; a torn read could show erases
+		// without their preceding writes.
+		if st.Writes < 0 || st.Erases < 0 {
+			t.Fatalf("impossible stats snapshot: %+v", st)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	var sum flash.Stats
+	for ch := 0; ch < nchan; ch++ {
+		sum = sum.Add(s.Sub(ch).Stats())
+	}
+	if st != sum {
+		t.Errorf("aggregated Stats %+v != sum of sub-device stats %+v", st, sum)
+	}
+}
+
+func TestStripedBadBlockRouting(t *testing.T) {
+	const nchan = 2
+	s := newStriped(t, nchan, 4)
+	if err := s.MarkBad(3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsBad(3) {
+		t.Error("block 3 not bad after MarkBad")
+	}
+	if s.IsBad(2) {
+		t.Error("block 2 reported bad")
+	}
+	// The mark must live on channel 1 (3%2) as local block 1 (3/2).
+	if !s.Sub(1).IsBad(1) {
+		t.Error("sub-device 1 local block 1 not bad")
+	}
+	if s.Sub(0).IsBad(1) {
+		t.Error("bad mark leaked onto channel 0")
+	}
+}
+
+func TestStripedProgramBatchFailureConfinement(t *testing.T) {
+	// An AND-conflict in one channel's leg programs nothing on that
+	// channel but cannot retract other channels' completed legs: after a
+	// failed batch every page is either fully programmed or untouched.
+	const nchan = 2
+	s := newStriped(t, nchan, 4)
+	p := s.Params()
+	mk := func(ppn flash.PPN, fill byte) flash.PageProgram {
+		pp := flash.PageProgram{PPN: ppn, Data: make([]byte, p.DataSize), Spare: make([]byte, p.SpareSize)}
+		for i := range pp.Data {
+			pp.Data[i] = fill
+		}
+		for i := range pp.Spare {
+			pp.Spare[i] = 0xFF
+		}
+		return pp
+	}
+	// Seed a conflict on channel 1: program its first page, then batch a
+	// rewrite of it (illegal 0->1 transitions) together with a clean page
+	// on channel 0.
+	seed := mk(flash.PPN(p.PagesPerBlock), 0x00)
+	if err := s.Program(seed.PPN, seed.Data, seed.Spare); err != nil {
+		t.Fatal(err)
+	}
+	batch := []flash.PageProgram{
+		mk(flash.PPN(0), 0xAA),               // channel 0, legal
+		mk(flash.PPN(p.PagesPerBlock), 0xAA), // channel 1, AND-conflict
+	}
+	err := s.ProgramBatch(batch)
+	if err == nil {
+		t.Fatal("conflicting batch succeeded")
+	}
+	// Channel 1's leg programmed nothing; its page still reads the seed.
+	got := make([]byte, p.DataSize)
+	if err := s.ReadData(flash.PPN(p.PagesPerBlock), got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x00 {
+		t.Errorf("conflicted page byte = %#x, want seed 0x00", got[0])
+	}
+}
+
+func TestStripedChannelCounts(t *testing.T) {
+	for _, nchan := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("channels=%d", nchan), func(t *testing.T) {
+			s := newStriped(t, nchan, 2)
+			p := s.Params()
+			if p.NumBlocks != nchan*2 {
+				t.Fatalf("NumBlocks = %d, want %d", p.NumBlocks, nchan*2)
+			}
+			data := make([]byte, p.DataSize)
+			spare := make([]byte, p.SpareSize)
+			for i := range spare {
+				spare[i] = 0xFF
+			}
+			for g := 0; g < p.NumBlocks; g++ {
+				if err := s.Program(p.PPNOf(g, 0), data, spare); err != nil {
+					t.Fatalf("block %d: %v", g, err)
+				}
+			}
+			if got := s.Stats().Writes; got != int64(p.NumBlocks) {
+				t.Errorf("Writes = %d, want %d", got, p.NumBlocks)
+			}
+		})
+	}
+}

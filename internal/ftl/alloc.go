@@ -3,6 +3,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pdl/internal/flash"
@@ -51,7 +52,99 @@ const (
 	// page-update methods (paper footnote 4); this policy exists for the
 	// wear ablation in the benchmarks.
 	VictimWearAware
+	// VictimCostBenefit scores blocks by age times invalid ratio
+	// (Dayan & Bonnet, "Garbage Collection Techniques for Flash-Resident
+	// Page-Mapping FTLs"): a block's age is how many activations the
+	// allocator has performed since the block was last activated, and the
+	// invalid ratio is obsolete/written. Young hot blocks keep absorbing
+	// invalidations before being cleaned; old cold blocks are collected
+	// as soon as a worthwhile fraction is garbage. The multi-channel
+	// store selects this policy per channel by default.
+	VictimCostBenefit
 )
+
+// obsEntry is one deferred cross-channel obsolete mark: the PPN to mark
+// and the activation sequence its block had when the mark was queued. A
+// drained entry whose block has since been erased (freed, or reactivated
+// under a newer sequence) is dropped — the page it named no longer
+// exists, so applying the mark would hit a reincarnated page.
+type obsEntry struct {
+	ppn flash.PPN
+	seq uint64
+}
+
+// allocChan is one channel's allocation state. In single-channel mode
+// there is exactly one, and the allocator behaves like the paper's: one
+// free list, one append point, synchronous collection against one pool.
+//
+// Each channel keeps TWO append points: the hot stream serves foreground
+// writes, and the cold stream serves garbage-collection relocation.
+// Relocated pages are by definition cold — they survived at least one
+// collection — so segregating them into their own blocks keeps hot and
+// cold data from mixing: cold blocks accumulate few invalidations and
+// stop being picked as victims (their cost-benefit score stays low),
+// while hot blocks turn over quickly and are cleaned cheaply. The cold
+// stream only claims a dedicated block when the channel has one to spare
+// above its reserve floor; otherwise relocation rides the hot stream
+// (tiny geometries, heavy pressure), which is also the single-channel
+// behavior.
+type allocChan struct {
+	// blocks lists the global block ids this channel owns, ascending.
+	blocks   []int
+	freeList []int
+	hot      appendPoint
+	cold     appendPoint
+	inGC     bool
+	gcStats  flash.Stats
+	// gcVictims counts collections per victim block (steady-state checks).
+	gcVictims map[int]int64
+
+	// runs/pagesMoved/coldMigrations are the per-channel GC counters the
+	// benchmark reports record: collections run on this channel, pages
+	// relocated by them, and relocated pages that landed in a dedicated
+	// cold block.
+	runs           atomic.Int64
+	pagesMoved     atomic.Int64
+	coldMigrations atomic.Int64
+
+	// freeCount mirrors len(freeList) atomically so watermark monitors
+	// and cross-channel pressure checks read it without this channel's
+	// serialization.
+	freeCount atomic.Int32
+
+	// obsSpare is this channel's reusable obsolete-marking spare image.
+	obsSpare []byte
+
+	// obsMu guards the deferred obsolete queue (obsPending, mirrored by
+	// obsLen). It is a leaf lock held only for queue append/swap — never
+	// while calling the device — and deliberately outside the modeled
+	// hierarchy: a writer holding channel c's lock enqueues marks for
+	// pages owned by channel d without touching d's channel lock; d
+	// drains its queue at its next allocation entry, under its own lock.
+	obsMu      sync.Mutex
+	obsPending []obsEntry
+	obsLen     atomic.Int32
+}
+
+// appendPoint is one in-progress block fill.
+type appendPoint struct {
+	active int // block being filled, -1 if none
+	next   int // next page index within active
+}
+
+// ChannelGCStats is the per-channel garbage-collection progress snapshot
+// recorded by benchmark reports.
+type ChannelGCStats struct {
+	// Runs is the number of collections (victim relocate + erase) run on
+	// this channel.
+	Runs int64 `json:"runs"`
+	// PagesMoved is the number of pages relocated by those collections.
+	PagesMoved int64 `json:"pages_moved"`
+	// ColdMigrations is how many of those pages landed in a dedicated
+	// cold block (hot/cold separation at work); the rest rode the hot
+	// append point.
+	ColdMigrations int64 `json:"cold_migrations"`
+}
 
 // Allocator hands out free flash pages in append order and reclaims space
 // with garbage collection under a configurable victim policy (greedy by
@@ -61,68 +154,114 @@ const (
 // during garbage collection always has somewhere to write; this is the
 // "new block, which is reserved for the garbage collection process" of
 // section 4.1.
+//
+// # Channels
+//
+// Built with NewChannelAllocator over a device that implements
+// flash.Channeled, the allocator runs one independent free list, append
+// point pair, and garbage-collection state per channel: AllocOn,
+// TryAllocOn, AllocBatchOn, and CollectOnceOn operate on one channel and
+// require only that channel's external serialization (the store's
+// per-channel lock), so K channels allocate and collect in parallel.
+// Cross-channel state is confined to atomics (free counts, sequence
+// numbers, GC counters) and the deferred obsolete queues. Built with
+// NewAllocator — or over a plain device — everything collapses to one
+// channel and the legacy methods (Alloc, TryAlloc, AllocBatch,
+// CollectOnce, MarkObsolete) behave exactly as before.
 type Allocator struct {
 	dev      flash.Device
 	params   flash.Params
 	relocate Relocator
 
-	blocks   []blockInfo
-	freeList []int
-	active   int // block being filled, -1 if none
-	nextPage int // next page index within active
-	reserve  int // number of blocks kept erased for GC
-	inGC     bool
-	policy   VictimPolicy
-	gcStats  flash.Stats
+	blocks []blockInfo
+	chans  []allocChan
+	nchan  int
+	chanOf func(blk int) int
+
+	// reserve is the total configured erased-block reserve; chanReserve
+	// is the per-channel floor derived from it (max(1, reserve/nchan)).
+	reserve     int
+	chanReserve int
+
+	policy VictimPolicy
+
 	// gcRuns is atomic so watermark monitors and conditioning loops can
-	// poll collection progress while a background engine collects under
-	// the caller's serialization.
-	gcRuns    atomic.Int64
-	gcVictims map[int]int64 // victim block -> times collected (for steady-state checks)
-
-	// freeCount mirrors len(freeList) atomically so a background
-	// garbage-collection engine can watch the free-block watermark without
-	// taking the caller's allocator serialization.
-	freeCount atomic.Int32
-
-	// obsSpare is the reusable obsolete-marking spare image; MarkObsolete
-	// runs on every page invalidation, and rebuilding the image each time
-	// cost an allocation plus an 0xFF fill per call.
-	obsSpare []byte
+	// poll collection progress while background engines collect under
+	// the callers' serialization.
+	gcRuns atomic.Int64
 
 	// seq tracks each block's activation sequence number: a monotonic
-	// counter bumped whenever a block leaves the free list. Pages carry
+	// counter bumped whenever a block leaves a free list. Pages carry
 	// it in their spare headers, letting checkpointed recovery detect
-	// blocks rewritten since the checkpoint.
-	seq        []uint64
-	seqCounter uint64
+	// blocks rewritten since the checkpoint. Entries are atomic because
+	// cross-channel obsolete enqueues read a block's sequence without
+	// its owning channel's lock.
+	seq        []atomic.Uint64
+	seqCounter atomic.Uint64
 }
 
-// NewAllocator builds an allocator over any flash device keeping reserve
-// erased blocks for garbage collection (minimum 1; the paper reserves one
-// block).
+// NewAllocator builds a single-channel allocator over any flash device
+// keeping reserve erased blocks for garbage collection (minimum 1; the
+// paper reserves one block). Even over a multi-channel device it treats
+// the address space as flat, which is what the externally-serialized
+// methods (OPU, IPU, IPL) want.
 func NewAllocator(dev flash.Device, reserve int) *Allocator {
+	return newAllocator(dev, reserve, 1, nil)
+}
+
+// NewChannelAllocator builds an allocator that runs one allocation and
+// garbage-collection domain per channel of dev, if dev implements
+// flash.Channeled with more than one channel; otherwise it is
+// NewAllocator.
+func NewChannelAllocator(dev flash.Device, reserve int) *Allocator {
+	if c, ok := dev.(flash.Channeled); ok && c.Channels() > 1 {
+		return newAllocator(dev, reserve, c.Channels(), c.ChannelOfBlock)
+	}
+	return newAllocator(dev, reserve, 1, nil)
+}
+
+func newAllocator(dev flash.Device, reserve, nchan int, chanOf func(int) int) *Allocator {
 	if reserve < 1 {
 		reserve = 1
 	}
+	if chanOf == nil {
+		chanOf = func(int) int { return 0 }
+	}
 	p := dev.Params()
 	a := &Allocator{
-		dev:       dev,
-		params:    p,
-		blocks:    make([]blockInfo, p.NumBlocks),
-		active:    -1,
-		reserve:   reserve,
-		gcVictims: make(map[int]int64),
-		seq:       make([]uint64, p.NumBlocks),
-		obsSpare:  make([]byte, p.SpareSize),
+		dev:         dev,
+		params:      p,
+		blocks:      make([]blockInfo, p.NumBlocks),
+		chans:       make([]allocChan, nchan),
+		nchan:       nchan,
+		chanOf:      chanOf,
+		reserve:     reserve,
+		chanReserve: max(1, reserve/nchan),
+		seq:         make([]atomic.Uint64, p.NumBlocks),
 	}
-	a.freeList = make([]int, 0, p.NumBlocks)
+	for ch := range a.chans {
+		c := &a.chans[ch]
+		c.hot.active, c.cold.active = -1, -1
+		c.gcVictims = make(map[int]int64)
+		c.obsSpare = make([]byte, p.SpareSize)
+	}
+	for b := 0; b < p.NumBlocks; b++ {
+		c := &a.chans[a.chanOf(b)]
+		c.blocks = append(c.blocks, b)
+	}
+	// Free lists are built descending so tail pops hand blocks out in
+	// ascending order, matching the append-order expectations of tests
+	// and the checkpoint region layout.
 	for b := p.NumBlocks - 1; b >= 0; b-- {
 		if !dev.IsBad(b) {
-			a.freeList = append(a.freeList, b)
+			c := &a.chans[a.chanOf(b)]
+			c.freeList = append(c.freeList, b)
 		}
 	}
-	a.freeCount.Store(int32(len(a.freeList)))
+	for ch := range a.chans {
+		c := &a.chans[ch]
+		c.freeCount.Store(int32(len(c.freeList)))
+	}
 	return a
 }
 
@@ -134,49 +273,126 @@ func (a *Allocator) SetRelocator(r Relocator) { a.relocate = r }
 // SetVictimPolicy selects how garbage-collection victims are chosen.
 func (a *Allocator) SetVictimPolicy(p VictimPolicy) { a.policy = p }
 
+// VictimPolicy returns the configured victim policy.
+func (a *Allocator) VictimPolicy() VictimPolicy { return a.policy }
+
 // Device returns the underlying flash device.
 func (a *Allocator) Device() flash.Device { return a.dev }
 
-// FreeBlocks returns the number of fully erased blocks (the active
-// block's unwritten tail pages are deliberately excluded; methods size
-// workloads by erased blocks). It reads the atomic mirror, so it is safe
-// to call from any goroutine.
-func (a *Allocator) FreeBlocks() int { return int(a.freeCount.Load()) }
+// Channels returns the number of allocation channels (1 unless built
+// with NewChannelAllocator over a multi-channel device).
+func (a *Allocator) Channels() int { return a.nchan }
+
+// ChannelOfBlock returns the channel owning global block blk.
+func (a *Allocator) ChannelOfBlock(blk int) int { return a.chanOf(blk) }
+
+// ChannelOf returns the channel owning the block containing ppn.
+func (a *Allocator) ChannelOf(ppn flash.PPN) int { return a.chanOf(a.params.BlockOf(ppn)) }
+
+// FreeBlocks returns the number of fully erased blocks across all
+// channels (the active blocks' unwritten tail pages are deliberately
+// excluded; methods size workloads by erased blocks). It reads the
+// atomic mirrors, so it is safe to call from any goroutine.
+func (a *Allocator) FreeBlocks() int {
+	n := 0
+	for ch := range a.chans {
+		n += int(a.chans[ch].freeCount.Load())
+	}
+	return n
+}
 
 // FreeBlockCount is FreeBlocks under the name the background
 // garbage-collection engine's Collector interface documents.
-func (a *Allocator) FreeBlockCount() int { return int(a.freeCount.Load()) }
+func (a *Allocator) FreeBlockCount() int { return a.FreeBlocks() }
 
-// Reserve returns the number of erased blocks the allocator keeps aside
-// for garbage collection.
+// FreeBlocksOn returns channel ch's erased-block count. Safe to call
+// from any goroutine (per-channel watermark engines poll it).
+func (a *Allocator) FreeBlocksOn(ch int) int { return int(a.chans[ch].freeCount.Load()) }
+
+// Reserve returns the total number of erased blocks the allocator keeps
+// aside for garbage collection, summed over channels.
 func (a *Allocator) Reserve() int { return a.reserve }
 
+// ChanReserve returns the per-channel erased-block floor.
+func (a *Allocator) ChanReserve() int { return a.chanReserve }
+
+// PickChannel implements the foreground fall-over policy: it returns
+// home unless home's free pool is at or below its reserve floor while
+// another channel has strictly more erased blocks, in which case the
+// least-pressured channel is returned. It reads only atomic mirrors, so
+// callers consult it BEFORE taking a channel lock. The diversion is
+// advisory — by the time the lock is held the pressure may have moved —
+// but the failure mode is merely a synchronous collection on a busier
+// channel, never incorrectness.
+func (a *Allocator) PickChannel(home int) int {
+	if a.nchan == 1 {
+		return 0
+	}
+	home %= a.nchan
+	bestFree := int(a.chans[home].freeCount.Load())
+	if bestFree > a.chanReserve {
+		return home
+	}
+	best := home
+	for ch := range a.chans {
+		if f := int(a.chans[ch].freeCount.Load()); f > bestFree {
+			best, bestFree = ch, f
+		}
+	}
+	return best
+}
+
 // FreePages returns the number of unwritten pages available without
-// garbage collection.
+// garbage collection, summed over channels.
 func (a *Allocator) FreePages() int {
-	n := len(a.freeList) * a.params.PagesPerBlock
-	if a.active >= 0 {
-		n += a.params.PagesPerBlock - a.nextPage
+	n := 0
+	for ch := range a.chans {
+		c := &a.chans[ch]
+		n += len(c.freeList) * a.params.PagesPerBlock
+		if c.hot.active >= 0 {
+			n += a.params.PagesPerBlock - c.hot.next
+		}
+		if c.cold.active >= 0 {
+			n += a.params.PagesPerBlock - c.cold.next
+		}
 	}
 	return n
 }
 
 // GCStats returns the flash cost accumulated inside garbage collection,
 // which the paper amortizes into the write cost (the slashed areas of
-// Figure 12(b)). Unlike GCRuns/FreeBlocks it is NOT safe to call while a
-// background engine collects: read it under the store's serialization or
-// after Close.
+// Figure 12(b)), summed over channels. Unlike GCRuns/FreeBlocks it is
+// NOT safe to call while a background engine collects: read it under the
+// store's serialization or after Close.
 //
 // The cost is measured as the device-stats delta across each collection,
-// so reads issued by concurrent lock-free readers during that window are
-// attributed to GC too: with concurrent traffic the figure is an upper
-// bound. The paper's deterministic experiments drive stores from one
-// goroutine, where the attribution is exact.
-func (a *Allocator) GCStats() flash.Stats { return a.gcStats }
+// so operations issued by concurrent traffic during that window are
+// attributed to GC too: with concurrent traffic (or multiple channels
+// collecting at once) the figure is an upper bound. The paper's
+// deterministic experiments drive stores from one goroutine, where the
+// attribution is exact.
+func (a *Allocator) GCStats() flash.Stats {
+	var s flash.Stats
+	for ch := range a.chans {
+		s = s.Add(a.chans[ch].gcStats)
+	}
+	return s
+}
 
-// GCRuns returns how many garbage collections have run. Safe to call
-// from any goroutine.
+// GCRuns returns how many garbage collections have run across all
+// channels. Safe to call from any goroutine.
 func (a *Allocator) GCRuns() int64 { return a.gcRuns.Load() }
+
+// ChannelGC returns channel ch's garbage-collection counters. Safe to
+// call from any goroutine.
+func (a *Allocator) ChannelGC(ch int) ChannelGCStats {
+	c := &a.chans[ch]
+	return ChannelGCStats{
+		Runs:           c.runs.Load(),
+		PagesMoved:     c.pagesMoved.Load(),
+		ColdMigrations: c.coldMigrations.Load(),
+	}
+}
 
 // MinVictimRounds returns the minimum number of times any single block has
 // been garbage-collected, the paper's steady-state criterion ("garbage
@@ -184,12 +400,19 @@ func (a *Allocator) GCRuns() int64 { return a.gcRuns.Load() }
 // after loading the database"). Like GCStats, it requires the caller's
 // serialization against any background collector.
 func (a *Allocator) MinVictimRounds() int64 {
-	if len(a.gcVictims) == 0 {
+	empty := true
+	for ch := range a.chans {
+		if len(a.chans[ch].gcVictims) > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
 		return 0
 	}
 	var min int64 = 1<<63 - 1
 	for b := range a.blocks {
-		v := a.gcVictims[b]
+		v := a.chans[a.chanOf(b)].gcVictims[b]
 		if v < min {
 			min = v
 		}
@@ -206,26 +429,44 @@ func (a *Allocator) MeanVictimRounds() float64 {
 // ResetGCStats zeroes the garbage-collection accounting (used after the
 // steady-state conditioning phase of an experiment).
 func (a *Allocator) ResetGCStats() {
-	a.gcStats = flash.Stats{}
 	a.gcRuns.Store(0)
+	for ch := range a.chans {
+		c := &a.chans[ch]
+		c.gcStats = flash.Stats{}
+		c.runs.Store(0)
+		c.pagesMoved.Store(0)
+		c.coldMigrations.Store(0)
+	}
 }
 
 // Alloc returns the physical page number of the next free page, running
 // garbage collection first if the erased-block reserve would be violated.
 // The returned page is accounted as written-and-valid; callers must
-// program it exactly once.
-func (a *Allocator) Alloc() (flash.PPN, error) {
-	if (a.active < 0 || a.nextPage == a.params.PagesPerBlock) && !a.inGC {
-		// About to switch blocks: restore the erased-block reserve first.
-		// collect may recursively allocate (relocation), which can itself
-		// roll the active block over, so re-check the active block after.
-		for len(a.freeList) <= a.reserve {
-			if err := a.collect(); err != nil {
-				return flash.NilPPN, err
-			}
+// program it exactly once. Single-channel form of AllocOn.
+func (a *Allocator) Alloc() (flash.PPN, error) { return a.AllocOn(0) }
+
+// AllocOn is Alloc against channel ch. The caller holds channel ch's
+// external serialization (and nothing else of the allocator's).
+func (a *Allocator) AllocOn(ch int) (flash.PPN, error) {
+	if err := a.drainObsolete(ch); err != nil {
+		return flash.NilPPN, err
+	}
+	c := &a.chans[ch]
+	// About to switch blocks: restore the erased-block reserve first.
+	// collect may recursively allocate (relocation), which can itself roll
+	// the active block over — so the rollover condition is re-checked
+	// every iteration, not just once. That matters on small per-channel
+	// geometries (few blocks above the reserve): a collection that
+	// relocates into a fresh hot block leaves the free list AT the
+	// reserve, but the new hot block has room, so no pop is needed and
+	// the allocation must proceed rather than demand another victim.
+	for (c.hot.active < 0 || c.hot.next == a.params.PagesPerBlock) && !c.inGC &&
+		len(c.freeList) <= a.chanReserve {
+		if err := a.collectOn(ch); err != nil {
+			return flash.NilPPN, err
 		}
 	}
-	return a.take()
+	return a.takeHot(ch)
 }
 
 // AllocBatch returns the next n free pages in append order, restoring the
@@ -237,14 +478,24 @@ func (a *Allocator) Alloc() (flash.PPN, error) {
 // spare areas are erased — and the erase would hand them out a second
 // time). Returns ErrNoSpace if the flash cannot provide n pages plus the
 // reserve even after collecting everything reclaimable. Collected is the
-// number of garbage collections the call ran.
+// number of garbage collections the call ran. Single-channel form of
+// AllocBatchOn.
 func (a *Allocator) AllocBatch(n int) (ppns []flash.PPN, collected int, err error) {
+	return a.AllocBatchOn(0, n)
+}
+
+// AllocBatchOn is AllocBatch against channel ch.
+func (a *Allocator) AllocBatchOn(ch, n int) (ppns []flash.PPN, collected int, err error) {
 	if n <= 0 {
 		return nil, 0, nil
 	}
-	if !a.inGC {
-		for a.blocksNeededFor(n)+a.reserve > len(a.freeList) {
-			if err := a.collect(); err != nil {
+	if err := a.drainObsolete(ch); err != nil {
+		return nil, 0, err
+	}
+	c := &a.chans[ch]
+	if !c.inGC {
+		for a.blocksNeededFor(ch, n)+a.chanReserve > len(c.freeList) {
+			if err := a.collectOn(ch); err != nil {
 				return nil, collected, err
 			}
 			collected++
@@ -252,7 +503,7 @@ func (a *Allocator) AllocBatch(n int) (ppns []flash.PPN, collected int, err erro
 	}
 	ppns = make([]flash.PPN, n)
 	for i := range ppns {
-		if ppns[i], err = a.take(); err != nil {
+		if ppns[i], err = a.takeHot(ch); err != nil {
 			return nil, collected, err
 		}
 	}
@@ -260,11 +511,13 @@ func (a *Allocator) AllocBatch(n int) (ppns []flash.PPN, collected int, err erro
 }
 
 // blocksNeededFor returns how many free-list blocks handing out n pages
-// would consume, given the active block's remaining tail.
-func (a *Allocator) blocksNeededFor(n int) int {
+// on channel ch would consume, given the hot active block's remaining
+// tail.
+func (a *Allocator) blocksNeededFor(ch, n int) int {
+	c := &a.chans[ch]
 	avail := 0
-	if a.active >= 0 {
-		avail = a.params.PagesPerBlock - a.nextPage
+	if c.hot.active >= 0 {
+		avail = a.params.PagesPerBlock - c.hot.next
 	}
 	if n <= avail {
 		return 0
@@ -279,40 +532,102 @@ func (a *Allocator) blocksNeededFor(n int) int {
 // space first — either by waiting on a background collector or by falling
 // back to Alloc, which collects synchronously. This is the foreground
 // allocation path of background-GC mode: the fast case touches no
-// garbage-collection state at all.
-func (a *Allocator) TryAlloc() (ppn flash.PPN, ok bool, err error) {
-	if (a.active < 0 || a.nextPage == a.params.PagesPerBlock) && !a.inGC &&
-		len(a.freeList) <= a.reserve {
+// garbage-collection state at all. Single-channel form of TryAllocOn.
+func (a *Allocator) TryAlloc() (ppn flash.PPN, ok bool, err error) { return a.TryAllocOn(0) }
+
+// TryAllocOn is TryAlloc against channel ch.
+func (a *Allocator) TryAllocOn(ch int) (ppn flash.PPN, ok bool, err error) {
+	if err := a.drainObsolete(ch); err != nil {
+		return flash.NilPPN, false, err
+	}
+	c := &a.chans[ch]
+	if (c.hot.active < 0 || c.hot.next == a.params.PagesPerBlock) && !c.inGC &&
+		len(c.freeList) <= a.chanReserve {
 		return flash.NilPPN, false, nil
 	}
-	ppn, err = a.take()
+	ppn, err = a.takeHot(ch)
 	return ppn, err == nil, err
 }
 
-// take hands out the next page of the active block, rolling over to a
-// fresh free block when the active one is full. The caller has already
-// ensured the reserve policy allows a roll-over.
-func (a *Allocator) take() (flash.PPN, error) {
+// AllocGC hands out the destination page for one garbage-collection
+// relocation on channel ch: the cold append point in multi-channel mode
+// (see allocChan for the hot/cold rationale), the hot append point in
+// single-channel mode, preserving the paper's behavior exactly. The
+// caller is inside a relocation (collection is suppressed), holding
+// channel ch's serialization.
+func (a *Allocator) AllocGC(ch int) (flash.PPN, error) {
+	a.chans[ch].pagesMoved.Add(1)
+	if a.nchan == 1 {
+		return a.takeHot(ch)
+	}
+	return a.takeCold(ch)
+}
+
+// activate moves blk out of the free state, stamping its activation
+// sequence.
+func (a *Allocator) activate(blk int) {
+	a.blocks[blk].state = blockActive
+	a.seq[blk].Store(a.seqCounter.Add(1))
+}
+
+// popFree pops channel ch's free-list tail, or ok == false when empty.
+func (a *Allocator) popFree(ch int) (blk int, ok bool) {
+	c := &a.chans[ch]
+	if len(c.freeList) == 0 {
+		return 0, false
+	}
+	blk = c.freeList[len(c.freeList)-1]
+	c.freeList = c.freeList[:len(c.freeList)-1]
+	c.freeCount.Store(int32(len(c.freeList)))
+	return blk, true
+}
+
+// takeHot hands out the next page of channel ch's hot active block,
+// rolling over to a fresh free block when the active one is full. The
+// caller has already ensured the reserve policy allows a roll-over.
+func (a *Allocator) takeHot(ch int) (flash.PPN, error) {
+	c := &a.chans[ch]
 	p := a.params
-	if a.active < 0 || a.nextPage == p.PagesPerBlock {
-		if a.active >= 0 {
-			a.blocks[a.active].state = blockFull
-			a.active = -1
+	if c.hot.active < 0 || c.hot.next == p.PagesPerBlock {
+		if c.hot.active >= 0 {
+			a.blocks[c.hot.active].state = blockFull
+			c.hot.active = -1
 		}
-		if len(a.freeList) == 0 {
+		blk, ok := a.popFree(ch)
+		if !ok {
 			return flash.NilPPN, ErrNoSpace
 		}
-		a.active = a.freeList[len(a.freeList)-1]
-		a.freeList = a.freeList[:len(a.freeList)-1]
-		a.freeCount.Store(int32(len(a.freeList)))
-		a.blocks[a.active].state = blockActive
-		a.nextPage = 0
-		a.seqCounter++
-		a.seq[a.active] = a.seqCounter
+		a.activate(blk)
+		c.hot.active, c.hot.next = blk, 0
 	}
-	ppn := p.PPNOf(a.active, a.nextPage)
-	a.nextPage++
-	a.blocks[a.active].written++
+	ppn := p.PPNOf(c.hot.active, c.hot.next)
+	c.hot.next++
+	a.blocks[c.hot.active].written++
+	return ppn, nil
+}
+
+// takeCold hands out the next page of channel ch's cold append point,
+// dedicating a fresh cold block only when the channel has one to spare
+// above its reserve floor; otherwise the page rides the hot stream.
+func (a *Allocator) takeCold(ch int) (flash.PPN, error) {
+	c := &a.chans[ch]
+	p := a.params
+	if c.cold.active < 0 || c.cold.next == p.PagesPerBlock {
+		if c.cold.active >= 0 {
+			a.blocks[c.cold.active].state = blockFull
+			c.cold.active = -1
+		}
+		if len(c.freeList) <= a.chanReserve {
+			return a.takeHot(ch)
+		}
+		blk, _ := a.popFree(ch)
+		a.activate(blk)
+		c.cold.active, c.cold.next = blk, 0
+	}
+	ppn := p.PPNOf(c.cold.active, c.cold.next)
+	c.cold.next++
+	a.blocks[c.cold.active].written++
+	c.coldMigrations.Add(1)
 	return ppn, nil
 }
 
@@ -321,11 +636,18 @@ func (a *Allocator) take() (flash.PPN, error) {
 // no full block holds an obsolete page, i.e. there is nothing to reclaim.
 // A background engine calls it repeatedly — under the same serialization
 // as Alloc — releasing the caller's lock between increments so foreground
-// operations interleave with collection.
-func (a *Allocator) CollectOnce() (collected bool, err error) {
-	// collect picks its own victim and returns ErrNoSpace before any side
-	// effect when none exists, so no separate (second) pickVictim scan.
-	if err := a.collect(); err != nil {
+// operations interleave with collection. Single-channel form of
+// CollectOnceOn.
+func (a *Allocator) CollectOnce() (collected bool, err error) { return a.CollectOnceOn(0) }
+
+// CollectOnceOn is CollectOnce against channel ch.
+func (a *Allocator) CollectOnceOn(ch int) (collected bool, err error) {
+	if err := a.drainObsolete(ch); err != nil {
+		return false, err
+	}
+	// collectOn picks its own victim and returns ErrNoSpace before any
+	// side effect when none exists, so no separate (second) victim scan.
+	if err := a.collectOn(ch); err != nil {
 		if errors.Is(err, ErrNoSpace) {
 			return false, nil
 		}
@@ -336,20 +658,83 @@ func (a *Allocator) CollectOnce() (collected bool, err error) {
 
 // MarkObsolete physically sets the page obsolete by partially programming
 // its spare area — which the paper counts as a write operation — and
-// updates validity bookkeeping.
+// updates validity bookkeeping. The caller holds the serialization of the
+// channel owning ppn (trivially true in single-channel mode); writers
+// holding a DIFFERENT channel's lock must use MarkObsoleteFrom.
 func (a *Allocator) MarkObsolete(ppn flash.PPN) error {
-	ObsoleteSpareInto(a.obsSpare)
-	if err := a.dev.ProgramSpare(ppn, a.obsSpare); err != nil {
+	return a.markObsoleteOn(a.ChannelOf(ppn), ppn)
+}
+
+// markObsoleteOn performs the physical mark under channel ch's
+// serialization (ch owns ppn's block).
+func (a *Allocator) markObsoleteOn(ch int, ppn flash.PPN) error {
+	c := &a.chans[ch]
+	ObsoleteSpareInto(c.obsSpare)
+	if err := a.dev.ProgramSpare(ppn, c.obsSpare); err != nil {
 		return fmt.Errorf("marking ppn %d obsolete: %w", ppn, err)
 	}
 	a.blocks[a.params.BlockOf(ppn)].obsolete++
 	return nil
 }
 
+// MarkObsoleteFrom sets ppn obsolete while the caller holds channel
+// heldCh's serialization. If heldCh owns ppn the mark is applied
+// directly; otherwise it is queued on the owning channel, which drains
+// its queue — under its own lock — at its next allocation or collection
+// entry. Queued marks record the block's activation sequence, so a mark
+// whose block was erased (and possibly reincarnated) before draining is
+// dropped rather than applied to a reborn page. A crash loses pending
+// physical marks, which is the crash shape recovery already handles:
+// time-stamp arbitration identifies the stale page and marks it obsolete
+// in place.
+func (a *Allocator) MarkObsoleteFrom(ppn flash.PPN, heldCh int) error {
+	ch := a.ChannelOf(ppn)
+	if ch == heldCh {
+		return a.markObsoleteOn(ch, ppn)
+	}
+	blk := a.params.BlockOf(ppn)
+	c := &a.chans[ch]
+	c.obsMu.Lock()
+	c.obsPending = append(c.obsPending, obsEntry{ppn: ppn, seq: a.seq[blk].Load()})
+	c.obsLen.Store(int32(len(c.obsPending)))
+	c.obsMu.Unlock()
+	return nil
+}
+
+// drainObsolete applies channel ch's queued cross-channel obsolete marks.
+// The caller holds channel ch's serialization, which is what makes the
+// ProgramSpare safe against this channel's garbage collection.
+func (a *Allocator) drainObsolete(ch int) error {
+	c := &a.chans[ch]
+	if c.obsLen.Load() == 0 {
+		return nil
+	}
+	c.obsMu.Lock()
+	pending := c.obsPending
+	c.obsPending = nil
+	c.obsLen.Store(0)
+	c.obsMu.Unlock()
+	for _, e := range pending {
+		blk := a.params.BlockOf(e.ppn)
+		if a.blocks[blk].state == blockFree || a.seq[blk].Load() != e.seq {
+			continue // block erased since the mark was queued; the page is gone
+		}
+		if err := a.markObsoleteOn(ch, e.ppn); err != nil {
+			return fmt.Errorf("deferred obsolete: %w", err)
+		}
+	}
+	return nil
+}
+
+// PendingObsolete returns the number of queued cross-channel obsolete
+// marks on channel ch (tests and tooling).
+func (a *Allocator) PendingObsolete(ch int) int { return int(a.chans[ch].obsLen.Load()) }
+
 // MarkObsoleteInPlace updates validity bookkeeping without a physical
 // spare program. Garbage collection uses it for pages of a victim block
 // that is about to be erased, and crash recovery uses it when the physical
-// flag was already cleared before the crash.
+// flag was already cleared before the crash. The caller holds the owning
+// channel's serialization (GC) or runs pre-publication (recovery).
 func (a *Allocator) MarkObsoleteInPlace(ppn flash.PPN) {
 	a.blocks[a.params.BlockOf(ppn)].obsolete++
 }
@@ -362,31 +747,44 @@ func (a *Allocator) NoteWritten(ppn flash.PPN) {
 
 // SeqOf returns the activation sequence number of blk (0 if never
 // activated since the allocator's creation or adoption).
-func (a *Allocator) SeqOf(blk int) uint64 { return a.seq[blk] }
+func (a *Allocator) SeqOf(blk int) uint64 { return a.seq[blk].Load() }
 
 // AdoptSeq restores a block's activation sequence during recovery, and
 // raises the counter so future activations stay monotone.
 func (a *Allocator) AdoptSeq(blk int, seq uint64) {
-	a.seq[blk] = seq
-	if seq > a.seqCounter {
-		a.seqCounter = seq
+	a.seq[blk].Store(seq)
+	for {
+		cur := a.seqCounter.Load()
+		if seq <= cur || a.seqCounter.CompareAndSwap(cur, seq) {
+			return
+		}
 	}
 }
 
-// ExcludeBlocks permanently removes n blocks from the tail of the free
-// list, returning their ids. Checkpointing reserves its region this way
-// before any allocation happens.
+// ExcludeBlocks permanently removes n blocks from the free lists,
+// drawing round-robin from the channel tails so a checkpoint region is
+// spread across channels, and returns their ids. Checkpointing reserves
+// its region this way before any allocation happens.
 func (a *Allocator) ExcludeBlocks(n int) []int {
-	if n > len(a.freeList) {
-		n = len(a.freeList)
-	}
-	out := make([]int, n)
-	copy(out, a.freeList[len(a.freeList)-n:])
-	a.freeList = a.freeList[:len(a.freeList)-n]
-	a.freeCount.Store(int32(len(a.freeList)))
-	for _, b := range out {
-		a.blocks[b].state = blockFull
-		a.blocks[b].excluded = true
+	var out []int
+	for len(out) < n {
+		progressed := false
+		for ch := range a.chans {
+			if len(out) == n {
+				break
+			}
+			blk, ok := a.popFree(ch)
+			if !ok {
+				continue
+			}
+			a.blocks[blk].state = blockFull
+			a.blocks[blk].excluded = true
+			out = append(out, blk)
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
 	}
 	return out
 }
@@ -402,73 +800,114 @@ func (a *Allocator) AdoptCounts(blk, written, obsolete int) {
 func (a *Allocator) AdoptFullBlock(blk int) {
 	if a.blocks[blk].state == blockFree {
 		a.blocks[blk].state = blockFull
-		for i, b := range a.freeList {
+		c := &a.chans[a.chanOf(blk)]
+		for i, b := range c.freeList {
 			if b == blk {
-				a.freeList = append(a.freeList[:i], a.freeList[i+1:]...)
+				c.freeList = append(c.freeList[:i], c.freeList[i+1:]...)
 				break
 			}
 		}
-		a.freeCount.Store(int32(len(a.freeList)))
+		c.freeCount.Store(int32(len(c.freeList)))
 	}
 }
 
-// collect performs one garbage collection: pick a victim block under the
-// configured policy, have the method relocate its valid contents, erase
-// it, and return it to the free list.
-func (a *Allocator) collect() error {
-	victim := a.pickVictim()
+// retireFullAppendPoints flips channel ch's hot and cold append blocks
+// to the full state when they have no pages left, exactly as takeHot and
+// takeCold do at rollover — but eagerly, so that a collection entered
+// BEFORE the rollover can see them as victim candidates. On a channel
+// with few blocks above its reserve, the just-filled hot block is often
+// the only block carrying obsolete pages; leaving it formally active
+// until the next takeHot would starve the victim scan.
+func (a *Allocator) retireFullAppendPoints(ch int) {
+	c := &a.chans[ch]
+	if c.hot.active >= 0 && c.hot.next == a.params.PagesPerBlock {
+		a.blocks[c.hot.active].state = blockFull
+		c.hot.active = -1
+	}
+	if c.cold.active >= 0 && c.cold.next == a.params.PagesPerBlock {
+		a.blocks[c.cold.active].state = blockFull
+		c.cold.active = -1
+	}
+}
+
+// collectOn performs one garbage collection on channel ch: pick a victim
+// block under the configured policy, have the method relocate its valid
+// contents, erase it, and return it to the channel's free list.
+func (a *Allocator) collectOn(ch int) error {
+	c := &a.chans[ch]
+	a.retireFullAppendPoints(ch)
+	victim := a.pickVictimOn(ch)
 	if victim < 0 {
 		return ErrNoSpace
 	}
 	before := a.dev.Stats()
-	a.inGC = true
+	c.inGC = true
 	var err error
-	if a.blocks[victim].obsolete < a.blocks[victim].written && a.relocate != nil {
+	bi := &a.blocks[victim]
+	if bi.obsolete < bi.written && a.relocate != nil {
 		err = a.relocate(victim)
 	}
 	if err == nil {
 		err = a.dev.Erase(victim)
 	}
-	a.inGC = false
-	a.gcStats = a.gcStats.Add(a.dev.Stats().Sub(before))
+	c.inGC = false
+	c.gcStats = c.gcStats.Add(a.dev.Stats().Sub(before))
 	if err != nil {
 		return fmt.Errorf("garbage collecting block %d: %w", victim, err)
 	}
 	a.gcRuns.Add(1)
-	a.gcVictims[victim]++
-	a.blocks[victim] = blockInfo{state: blockFree}
-	a.freeList = append(a.freeList, victim)
-	a.freeCount.Store(int32(len(a.freeList)))
+	c.runs.Add(1)
+	c.gcVictims[victim]++
+	bi.state = blockFree
+	bi.written = 0
+	bi.obsolete = 0
+	c.freeList = append(c.freeList, victim)
+	c.freeCount.Store(int32(len(c.freeList)))
 	return nil
 }
 
-// pickVictim selects the garbage-collection victim, or -1 if no full
-// block holds any obsolete page.
-func (a *Allocator) pickVictim() int {
+// pickVictim is pickVictimOn in single-channel mode (tests).
+func (a *Allocator) pickVictim() int { return a.pickVictimOn(0) }
+
+// pickVictimOn selects channel ch's garbage-collection victim, or -1 if
+// no full block of the channel holds any obsolete page.
+func (a *Allocator) pickVictimOn(ch int) int {
+	c := &a.chans[ch]
 	victim := -1
 	best := float64(0)
 	var minWear int
 	if a.policy == VictimWearAware {
 		minWear = 1 << 30
-		for b := range a.blocks {
-			if a.blocks[b].state == blockFull && !a.blocks[b].excluded && a.blocks[b].obsolete > 0 {
+		for _, b := range c.blocks {
+			bi := &a.blocks[b]
+			if bi.state == blockFull && !bi.excluded && bi.obsolete > 0 {
 				if ec := a.dev.EraseCount(b); ec < minWear {
 					minWear = ec
 				}
 			}
 		}
 	}
-	for b := range a.blocks {
+	seqNow := a.seqCounter.Load()
+	for _, b := range c.blocks {
 		bi := &a.blocks[b]
 		if bi.state != blockFull || bi.excluded || bi.obsolete == 0 {
 			continue
 		}
-		score := float64(bi.obsolete)
-		if a.policy == VictimWearAware {
+		var score float64
+		switch a.policy {
+		case VictimWearAware:
 			// Penalize blocks ahead of the minimum wear: each extra erase
 			// costs one obsolete page of score. Heavily worn blocks are
 			// only collected when their garbage payoff dominates.
-			score -= float64(a.dev.EraseCount(b) - minWear)
+			score = float64(bi.obsolete) - float64(a.dev.EraseCount(b)-minWear)
+		case VictimCostBenefit:
+			// Age (activations since this block was filled) times invalid
+			// ratio: old blocks whose garbage has stabilized win over hot
+			// blocks still absorbing invalidations.
+			score = float64(seqNow-a.seq[b].Load()+1) *
+				float64(bi.obsolete) / float64(bi.written)
+		default:
+			score = float64(bi.obsolete)
 		}
 		if score > best {
 			best = score
@@ -489,7 +928,7 @@ type BlockStats struct {
 
 // BlockStats returns the bookkeeping for block blk.
 func (a *Allocator) BlockStats(blk int) BlockStats {
-	bi := a.blocks[blk]
+	bi := &a.blocks[blk]
 	return BlockStats{
 		Free:     bi.state == blockFree,
 		Active:   bi.state == blockActive,

@@ -1,0 +1,272 @@
+package ftl
+
+import (
+	"errors"
+	"testing"
+
+	"pdl/internal/flash"
+)
+
+// stripedChip builds a striped device of nchan emulator chips with
+// blocksPerChan blocks each, plus a channel-aware allocator over it.
+func stripedChip(t *testing.T, nchan, blocksPerChan, reserve int) (*flash.Striped, *Allocator) {
+	t.Helper()
+	p := flash.DefaultParams()
+	p.NumBlocks = blocksPerChan
+	p.PagesPerBlock = 8
+	p.DataSize = 64
+	p.SpareSize = 32
+	subs := make([]flash.Device, nchan)
+	for i := range subs {
+		subs[i] = flash.NewChip(p)
+	}
+	dev, err := flash.NewStriped(subs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, NewChannelAllocator(dev, reserve)
+}
+
+func TestChannelAllocatorDetectsChannels(t *testing.T) {
+	_, a := stripedChip(t, 4, 4, 2)
+	if a.Channels() != 4 {
+		t.Fatalf("Channels = %d, want 4", a.Channels())
+	}
+	// Global reserve 2 split across 4 channels floors at 1 per channel.
+	if a.ChanReserve() != 1 {
+		t.Errorf("ChanReserve = %d, want 1", a.ChanReserve())
+	}
+	// Plain chip: one channel, reserve untouched.
+	b := NewChannelAllocator(smallChip(8), 2)
+	if b.Channels() != 1 || b.ChanReserve() != 2 {
+		t.Errorf("plain chip: Channels=%d ChanReserve=%d, want 1 and 2", b.Channels(), b.ChanReserve())
+	}
+}
+
+func TestChannelAllocatorStreamsStayOnChannel(t *testing.T) {
+	dev, a := stripedChip(t, 4, 4, 2)
+	p := dev.Params()
+	// Each channel's allocations must come from that channel's blocks
+	// (global block % 4 == channel).
+	for ch := 0; ch < 4; ch++ {
+		for i := 0; i < 2*p.PagesPerBlock; i++ {
+			ppn, err := a.AllocOn(ch)
+			if err != nil {
+				t.Fatalf("channel %d alloc %d: %v", ch, i, err)
+			}
+			if got := a.ChannelOf(ppn); got != ch {
+				t.Fatalf("channel %d alloc %d: ppn %d lives on channel %d", ch, i, ppn, got)
+			}
+		}
+	}
+}
+
+func TestDeferredObsoleteCrossChannel(t *testing.T) {
+	dev, a := stripedChip(t, 2, 4, 2)
+	p := dev.Params()
+	// Allocate and program a page on channel 0.
+	ppn, err := a.AllocOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Program(ppn, make([]byte, p.DataSize), EncodeHeader(Header{Type: TypeData, PID: 1, TS: 1}, p.SpareSize)); err != nil {
+		t.Fatal(err)
+	}
+	blk := p.BlockOf(ppn)
+
+	// Mark it obsolete while holding CHANNEL 1's serialization: the mark
+	// must be deferred (queued), not applied.
+	if err := a.MarkObsoleteFrom(ppn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.PendingObsolete(0); got != 1 {
+		t.Fatalf("PendingObsolete(0) = %d, want 1", got)
+	}
+	if bs := a.BlockStats(blk); bs.Obsolete != 0 {
+		t.Fatalf("obsolete count applied eagerly: %+v", bs)
+	}
+
+	// Any allocator entry on channel 0 drains the queue.
+	if _, err := a.AllocOn(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.PendingObsolete(0); got != 0 {
+		t.Fatalf("PendingObsolete(0) after drain = %d, want 0", got)
+	}
+	if bs := a.BlockStats(blk); bs.Obsolete != 1 {
+		t.Fatalf("obsolete count not applied at drain: %+v", bs)
+	}
+
+	// A mark from the OWNING channel's serialization applies directly.
+	ppn2, err := a.AllocOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Program(ppn2, make([]byte, p.DataSize), EncodeHeader(Header{Type: TypeData, PID: 2, TS: 2}, p.SpareSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkObsoleteFrom(ppn2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.PendingObsolete(0); got != 0 {
+		t.Fatalf("same-channel mark queued: PendingObsolete(0) = %d", got)
+	}
+}
+
+func TestDeferredObsoleteDroppedAfterErase(t *testing.T) {
+	dev, a := stripedChip(t, 2, 4, 2)
+	p := dev.Params()
+	a.SetRelocator(func(victim int) error { return nil })
+
+	// Fill channel 0's first active block and mark all pages obsolete
+	// directly, then collect it.
+	var pages []flash.PPN
+	for i := 0; i < p.PagesPerBlock; i++ {
+		ppn, err := a.AllocOn(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Program(ppn, make([]byte, p.DataSize), EncodeHeader(Header{Type: TypeData, PID: uint32(i), TS: uint64(i + 1)}, p.SpareSize)); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, ppn)
+	}
+	blk := p.BlockOf(pages[0])
+	// Enqueue a stale cross-channel mark for one page BEFORE the erase.
+	if err := a.MarkObsoleteFrom(pages[3], 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, ppn := range pages {
+		if ppn == pages[3] {
+			continue
+		}
+		if err := a.MarkObsoleteFrom(ppn, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain applies the queued mark too, making the block fully obsolete;
+	// collect erases and re-activates it.
+	for a.BlockStats(blk).Written > 0 {
+		collected, err := a.CollectOnceOn(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if collected {
+			break
+		}
+		// Not yet collectible: drain happened; the block must now be fully
+		// obsolete, so the next increment must collect.
+	}
+
+	// Re-enqueue a mark recorded against the block's PREVIOUS life: it
+	// must be dropped at drain (the sequence moved), not misapplied.
+	stale := pages[0]
+	if err := a.MarkObsoleteFrom(stale, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocOn(0); err != nil {
+		t.Fatal(err)
+	}
+	if bs := a.BlockStats(blk); bs.Obsolete > bs.Written {
+		t.Fatalf("stale queued mark misapplied: %+v", bs)
+	}
+}
+
+func TestPickChannelFallsOverUnderPressure(t *testing.T) {
+	_, a := stripedChip(t, 4, 4, 4) // chanReserve = 1
+	// Unpressured: home wins.
+	if got := a.PickChannel(2); got != 2 {
+		t.Fatalf("PickChannel(2) = %d, want 2 (no pressure)", got)
+	}
+	// Drain channel 2 to its reserve floor: 4 blocks, reserve 1 — consume
+	// blocks until the free list is at the floor.
+	for a.FreeBlocksOn(2) > a.ChanReserve() {
+		for i := 0; i < 8; i++ {
+			if _, err := a.AllocOn(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := a.PickChannel(2); got == 2 {
+		t.Errorf("PickChannel(2) stayed home despite pressure (free=%d, reserve=%d)",
+			a.FreeBlocksOn(2), a.ChanReserve())
+	}
+	// Other homes unaffected.
+	if got := a.PickChannel(0); got != 0 {
+		t.Errorf("PickChannel(0) = %d, want 0", got)
+	}
+}
+
+func TestAllocGCUsesColdStreamMultiChannel(t *testing.T) {
+	dev, a := stripedChip(t, 2, 6, 2)
+	p := dev.Params()
+	// With free blocks above the reserve, AllocGC must open a dedicated
+	// cold block, distinct from the hot active block.
+	hot, err := a.AllocOn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := a.AllocGC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockOf(hot) == p.BlockOf(cold) {
+		t.Errorf("cold allocation rode the hot block %d despite spare free blocks", p.BlockOf(hot))
+	}
+	st := a.ChannelGC(0)
+	if st.PagesMoved != 1 || st.ColdMigrations != 1 {
+		t.Errorf("ChannelGC(0) = %+v, want PagesMoved=1 ColdMigrations=1", st)
+	}
+
+	// Single channel: AllocGC preserves the paper's behavior and rides
+	// the hot stream.
+	b := NewChannelAllocator(smallChip(6), 2)
+	h2, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := b.AllocGC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.params.BlockOf(h2) != b.params.BlockOf(c2) {
+		t.Errorf("single-channel AllocGC left the hot stream: hot block %d, gc block %d",
+			b.params.BlockOf(h2), b.params.BlockOf(c2))
+	}
+	if st := b.ChannelGC(0); st.ColdMigrations != 0 {
+		t.Errorf("single-channel cold migrations = %d, want 0", st.ColdMigrations)
+	}
+}
+
+func TestChannelExhaustionIsPerChannel(t *testing.T) {
+	_, a := stripedChip(t, 2, 3, 2) // chanReserve = 1
+	a.SetRelocator(func(victim int) error { return nil })
+	// Exhaust channel 0 (all pages valid, nothing reclaimable).
+	var err error
+	for i := 0; i < 3*8+1; i++ {
+		if _, err = a.AllocOn(0); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("channel 0: err = %v, want ErrNoSpace", err)
+	}
+	// Channel 1 is unaffected.
+	if _, err := a.AllocOn(1); err != nil {
+		t.Errorf("channel 1 alloc failed after channel 0 exhaustion: %v", err)
+	}
+}
+
+func TestResetGCStatsClearsChannelCounters(t *testing.T) {
+	_, a := stripedChip(t, 2, 6, 2)
+	if _, err := a.AllocGC(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.ChannelGC(0); st.PagesMoved == 0 {
+		t.Fatal("no pages moved recorded")
+	}
+	a.ResetGCStats()
+	if st := a.ChannelGC(0); st != (ChannelGCStats{}) {
+		t.Errorf("ChannelGC(0) after reset = %+v, want zero", st)
+	}
+}

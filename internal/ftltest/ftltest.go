@@ -30,6 +30,31 @@ func EmulatorDevice(t *testing.T, p flash.Params) flash.Device {
 	return flash.NewChip(p)
 }
 
+// StripedDevice wraps a DeviceFactory into one that builds a
+// flash.Striped of `channels` sub-devices, splitting the requested
+// geometry evenly (NumBlocks must divide by channels; every geometry the
+// suites use divides by 4). With channels == 1 it exercises the
+// degenerate pass-through striping.
+func StripedDevice(channels int, sub DeviceFactory) DeviceFactory {
+	return func(t *testing.T, p flash.Params) flash.Device {
+		t.Helper()
+		if p.NumBlocks%channels != 0 {
+			t.Fatalf("StripedDevice: %d blocks not divisible by %d channels", p.NumBlocks, channels)
+		}
+		sp := p
+		sp.NumBlocks = p.NumBlocks / channels
+		subs := make([]flash.Device, channels)
+		for i := range subs {
+			subs[i] = sub(t, sp)
+		}
+		dev, err := flash.NewStriped(subs...)
+		if err != nil {
+			t.Fatalf("NewStriped: %v", err)
+		}
+		return dev
+	}
+}
+
 // SmallParams returns a small chip geometry used by the conformance suite:
 // real page sizes but few blocks, so garbage collection happens quickly.
 func SmallParams(numBlocks int) flash.Params {
