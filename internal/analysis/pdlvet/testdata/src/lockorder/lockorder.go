@@ -132,6 +132,22 @@ func (s *Store) badCaller() {
 	s.commitLocked() // want `call to commitLocked requires holding the flash lock \(declared //pdlvet:holds flash\)`
 }
 
+// routeLocked declares the adaptive-tracker convention: per-page routing
+// state is read-modify-written only under the owning pid's shard lock.
+//
+//pdlvet:holds shard
+func (s *Store) routeLocked() {}
+
+func (s *Store) goodRouter(si int) {
+	s.shards[si].mu.Lock()
+	defer s.shards[si].mu.Unlock()
+	s.routeLocked()
+}
+
+func (s *Store) badRouter() {
+	s.routeLocked() // want `call to routeLocked requires holding the shard lock \(declared //pdlvet:holds shard\)`
+}
+
 func (s *Store) takesFlash() {
 	s.flashMu.Lock()
 	defer s.flashMu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"pdl/internal/core"
 	"pdl/internal/flash"
 	"pdl/internal/ftl"
 	"pdl/internal/tpcc"
@@ -371,6 +372,14 @@ func TestReportRoundTrip(t *testing.T) {
 			{Runs: 11, PagesMoved: 420, ColdMigrations: 15},
 			{Runs: 10, PagesMoved: 390, ColdMigrations: 11},
 		},
+		FlashOps: &core.FlashOpsPerLogicalWrite{
+			LogicalWrites: 20_000,
+			Programs:      9_000,
+			Erases:        150,
+			PerWrite:      0.4575,
+			PDLRouted:     14_000,
+			OPURouted:     6_000,
+		},
 	}
 	path, err := WriteReportFile(dir, want)
 	if err != nil {
@@ -391,7 +400,8 @@ func TestReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"channels": 4`, `"channel_gc"`, `"pages_moved"`, `"cold_migrations"`} {
+	for _, key := range []string{`"channels": 4`, `"channel_gc"`, `"pages_moved"`, `"cold_migrations"`,
+		`"flash_ops"`, `"per_write"`, `"pdl_routed"`, `"opu_routed"`} {
 		if !strings.Contains(string(raw), key) {
 			t.Errorf("serialized report missing %s", key)
 		}

@@ -25,7 +25,9 @@ import (
 //
 //	1: initial schema (PR 7)
 //	2: params.channels and the channel_gc per-channel GC counter section
-const ReportSchemaVersion = 2
+//	3: the flash_ops section (flash programs+erases per logical write,
+//	   with the adaptive PDL/OPU route split) and params.theta
+const ReportSchemaVersion = 3
 
 // ReportParams records the knobs that produced a report, page-level and
 // serving-level alike; unused fields stay zero and are omitted.
@@ -77,6 +79,10 @@ type Report struct {
 	Flash *flash.Stats `json:"flash,omitempty"`
 	// Telemetry is the PDL store's internal counters (PDL methods only).
 	Telemetry *core.Telemetry `json:"telemetry,omitempty"`
+	// FlashOps is the flash-operations-per-logical-write cost metric
+	// (PDL-family stores only; the denominator is store-counted logical
+	// reflections, the route split is the adaptive router's).
+	FlashOps *core.FlashOpsPerLogicalWrite `json:"flash_ops,omitempty"`
 	// Pool is the buffer-pool counters (serving-layer runs).
 	Pool *buffer.Stats `json:"pool,omitempty"`
 	// ChannelGC is the per-channel garbage-collection breakdown (runs,

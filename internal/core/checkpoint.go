@@ -44,10 +44,13 @@ var ErrCheckpointTooLarge = errors.New("core: checkpoint does not fit the reserv
 
 // checkpoint wire format constants.
 const (
-	ckptMagic      = 0x504C4443 // "CDLP"
-	ckptVersion    = 1
+	ckptMagic = 0x504C4443 // "CDLP"
+	// Version history: 1 per-pid <base, dif, baseTS, diffTS> (PR 5);
+	// 2 adds the per-pid adaptive logging mode byte. Older checkpoints
+	// are rejected — full-scan Recover handles such devices.
+	ckptVersion    = 2
 	ckptHdrSize    = 4 + 2 + 2 + 8 + 8 + 8 + 4 + 4 + 4 // magic..payloadLen
-	ckptPerPID     = 4 + 4 + 8 + 8
+	ckptPerPID     = 4 + 4 + 8 + 8 + 1
 	ckptPerBlock   = 8 + 2 + 2 + 1
 	ckptStateFree  = 0
 	ckptStateFull  = 1
@@ -116,6 +119,7 @@ func (s *Store) serializeCheckpoint(id uint64) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.dif))
 		buf = binary.LittleEndian.AppendUint64(buf, s.mt.baseTS[pid])
 		buf = binary.LittleEndian.AppendUint64(buf, s.mt.diffTS[pid])
+		buf = append(buf, s.mt.mode[pid])
 	}
 	for b := 0; b < p.NumBlocks; b++ {
 		bs := s.alloc.BlockStats(b)
@@ -404,6 +408,7 @@ func (s *Store) loadCheckpoint(payload []byte) ([]uint64, []byte, error) {
 		s.mt.ppmt[pid].dif = flash.PPN(int32(binary.LittleEndian.Uint32(payload[off+4:])))
 		s.mt.baseTS[pid] = binary.LittleEndian.Uint64(payload[off+8:])
 		s.mt.diffTS[pid] = binary.LittleEndian.Uint64(payload[off+16:])
+		s.mt.mode[pid] = payload[off+24]
 		off += ckptPerPID
 	}
 	blockSeq := make([]uint64, numBlocks)
@@ -439,6 +444,7 @@ func (s *Store) invalidateEntriesIn(b int) {
 		if e := &s.mt.ppmt[pid]; e.base >= lo && e.base < hi {
 			e.base = flash.NilPPN
 			s.mt.baseTS[pid] = 0
+			s.mt.mode[pid] = 0
 		}
 		if e := &s.mt.ppmt[pid]; e.dif >= lo && e.dif < hi {
 			e.dif = flash.NilPPN
@@ -498,6 +504,7 @@ func (s *Store) scanBlocks(blocks []int) error {
 				if s.mt.ppmt[h.PID].base == flash.NilPPN || h.TS > s.mt.baseTS[h.PID] {
 					s.mt.ppmt[h.PID].base = ppn
 					s.mt.baseTS[h.PID] = h.TS
+					s.mt.mode[h.PID] = h.Mode
 				}
 			case ftl.TypeDiff:
 				if err := s.dev.ReadData(ppn, data); err != nil {
@@ -534,6 +541,16 @@ func (s *Store) scanBlocks(blocks []int) error {
 					s.mt.diffTS[d.PID] = d.TS
 				}
 			}
+		}
+	}
+	// The adaptive mode invariant, exactly as full-scan Recover applies
+	// it: a valid differential is newer than its base, so the
+	// differential route won whatever tag the base carries. (A no-op for
+	// entries trusted from the checkpoint — the runtime forces mode 0 at
+	// every differential commit, and the checkpoint captured that.)
+	for pid := range s.mt.ppmt {
+		if s.mt.ppmt[pid].dif != flash.NilPPN {
+			s.mt.mode[pid] = 0
 		}
 	}
 

@@ -36,12 +36,14 @@ func (s *Store) relocate(victim int) error {
 	// Base pages move first so that the second pass never packs a
 	// differential whose base page is about to disappear.
 	var keep []pendingDiff
+	moved := 0
 	for i := 0; i < p.PagesPerBlock; i++ {
 		ppn := p.PPNOf(victim, i)
 		if pid, ts, ok := s.mt.baseOwner(ppn); ok {
 			if err := s.relocateBasePage(pid, ts, ppn, ch); err != nil {
 				return err
 			}
+			moved++
 			continue
 		}
 		if s.mt.diffCount(ppn) > 0 {
@@ -74,7 +76,14 @@ func (s *Store) relocate(victim int) error {
 		if err := s.writeCompactedPage(keep[:n], ch); err != nil {
 			return err
 		}
+		moved++
 		keep = keep[n:]
+	}
+	if s.adap != nil {
+		// Feed the router's GC-pressure heuristic: pages this collection
+		// had to program (relocated bases + compacted differential pages)
+		// approximate how valid the victim still was.
+		s.adap.noteVictim(moved)
 	}
 	return nil
 }
@@ -94,6 +103,17 @@ type pendingDiff struct {
 // content newer, and recovery must still see any later differential as
 // the winner.
 //
+// Adaptive stores piggyback mode migration on the relocation: the
+// collector re-evaluates the page's tracker (lock-free — it must not
+// take shard locks) and emits the copy tagged with the target mode, so
+// the routing steady state converges without foreground cost. Migration
+// is TAG-ONLY: the content and time stamp are untouched, and in
+// particular a PDL→OPU migration does NOT merge the base with its
+// differential — a shard buffer may hold a newer differential computed
+// against this very base image, which a merged page would corrupt. The
+// differential linkage is instead released by the pid's next foreground
+// whole-page write.
+//
 //pdlvet:holds flash,channel
 func (s *Store) relocateBasePage(pid uint32, ts uint64, ppn flash.PPN, ch int) error {
 	scratch := s.getPage()
@@ -105,17 +125,25 @@ func (s *Store) relocateBasePage(pid uint32, ts uint64, ppn flash.PPN, ch int) e
 	if err != nil {
 		return err
 	}
+	var mode, oldMode byte
+	if s.adap != nil {
+		oldMode = s.mt.modeOf(pid)
+		mode = s.adap.gcTargetMode(pid, oldMode)
+	}
 	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
-		Seq: s.alloc.SeqOf(s.params.BlockOf(dst))}, spareBuf)
+		Seq: s.alloc.SeqOf(s.params.BlockOf(dst)), Mode: mode}, spareBuf)
 	if err := s.dev.Program(dst, scratch, spareBuf); err != nil {
 		return err
 	}
-	if !s.mt.relocateBaseFrom(pid, ppn, dst) {
+	if !s.mt.relocateBaseFrom(pid, ppn, dst, mode) {
 		// A writer on another channel committed a newer base for pid
 		// between baseOwner and here: the copy at dst is stale content.
 		// Discard it — dst is on our channel, so the mark is direct.
 		return s.alloc.MarkObsolete(dst)
+	}
+	if mode != oldMode {
+		s.alloc.NoteModeMigration(ch)
 	}
 	return nil
 }

@@ -137,6 +137,10 @@ type Options struct {
 	// PDL_Reading exactly. The cache is pure DRAM state — never persisted
 	// — so recovery is identical with and without it.
 	DiffCachePages int
+	// Adaptive configures per-page adaptive routing between the
+	// differential (PDL) and whole-page (OPU) routes; see adaptive.go.
+	// Disabled by default, which preserves the paper's fixed method.
+	Adaptive AdaptiveOptions
 }
 
 // DiffCacheOff disables the decoded-differential cache when assigned to
@@ -231,6 +235,9 @@ type Store struct {
 	pages sync.Pool
 	// ckpt is the checkpoint region manager (nil unless enabled).
 	ckpt *ckptRegion
+	// adap is the adaptive routing state (nil unless Options.Adaptive
+	// is enabled); see adaptive.go.
+	adap *adaptiveState
 }
 
 // Telemetry counts PDL-internal events, exposed for analysis and tests.
@@ -274,6 +281,60 @@ type Telemetry struct {
 	// read path issued, and BatchedReads the physical pages read through
 	// them; BatchedReads/BatchReads is the mean read-batch width.
 	BatchReads, BatchedReads int64
+	// LogicalWrites is the number of logical page reflections the store
+	// accepted (WritePage calls plus WriteBatch elements) — the
+	// denominator of the paper's flash-operations-per-logical-write
+	// metric; see Store.FlashOpsPerLogicalWrite.
+	LogicalWrites int64
+	// AdaptivePDLRoutes and AdaptiveOPURoutes split LogicalWrites by the
+	// adaptive router's decision: differential path vs whole-page path.
+	// Both stay zero when adaptive routing is off (every write is then
+	// implicitly PDL-routed).
+	AdaptivePDLRoutes, AdaptiveOPURoutes int64
+	// AdaptiveProbes counts density probes: writes of whole-page-routed
+	// hot pids that ran the differential path once to re-measure.
+	AdaptiveProbes int64
+	// AdaptiveModeSwitches counts foreground mode flips (either
+	// direction); GC-driven flips are in ftl.ChannelGCStats.ModeMigrations.
+	AdaptiveModeSwitches int64
+}
+
+// FlashOpsPerLogicalWrite is the paper's cost metric — flash programs and
+// erases per logical page reflection — as measured by the store itself,
+// with the adaptive route split alongside.
+type FlashOpsPerLogicalWrite struct {
+	// LogicalWrites is the denominator: logical page reflections.
+	LogicalWrites int64 `json:"logical_writes"`
+	// Programs and Erases are the device operation counts (flash.Stats
+	// Writes and Erases at snapshot time).
+	Programs int64 `json:"programs"`
+	Erases   int64 `json:"erases"`
+	// PerWrite is (Programs+Erases)/LogicalWrites, 0 when no writes.
+	PerWrite float64 `json:"per_write"`
+	// PDLRouted and OPURouted split the logical writes by adaptive
+	// route (PDLRouted == LogicalWrites for fixed-method stores).
+	PDLRouted int64 `json:"pdl_routed"`
+	OPURouted int64 `json:"opu_routed"`
+}
+
+// FlashOpsPerLogicalWrite snapshots the paper's cost metric from the
+// device counters and the store's logical-write telemetry.
+func (s *Store) FlashOpsPerLogicalWrite() FlashOpsPerLogicalWrite {
+	st := s.dev.Stats()
+	f := FlashOpsPerLogicalWrite{
+		LogicalWrites: s.wtel.logicalWrites.Load(),
+		Programs:      st.Writes,
+		Erases:        st.Erases,
+		PDLRouted:     s.wtel.pdlRoutes.Load(),
+		OPURouted:     s.wtel.opuRoutes.Load(),
+	}
+	if s.adap == nil {
+		f.PDLRouted = f.LogicalWrites
+	}
+	if f.LogicalWrites > 0 {
+		f.PerWrite = float64(f.Programs+f.Erases) / float64(f.LogicalWrites)
+	}
+	return f
 }
 
 // readTelemetry is the lock-free half of the telemetry: counters the read
@@ -296,6 +357,13 @@ type writeTelemetry struct {
 	channelFallOvers atomic.Int64
 	batchWrites      atomic.Int64
 	batchedPages     atomic.Int64
+	// logicalWrites and the adaptive route counters are bumped under
+	// shard locks (different shards run concurrently).
+	logicalWrites atomic.Int64
+	pdlRoutes     atomic.Int64
+	opuRoutes     atomic.Int64
+	probes        atomic.Int64
+	modeSwitches  atomic.Int64
 }
 
 var _ ftl.Method = (*Store)(nil)
@@ -355,6 +423,14 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		shards:   make([]shard, numShards),
 	}
 	s.pages.New = func() any { return make([]byte, p.DataSize) }
+	if opts.Adaptive.Enabled {
+		if p.SpareSize < ftl.HeaderSpareBytes {
+			return nil, fmt.Errorf("core: adaptive routing needs %d spare bytes for the mode tag, device has %d",
+				ftl.HeaderSpareBytes, p.SpareSize)
+		}
+		s.adap = newAdaptiveState(opts.Adaptive, numPages)
+		s.adap.halfBlock = uint32(p.PagesPerBlock) / 2
+	}
 	if cachePages > 0 {
 		s.dcache = newDiffCache(cachePages)
 	}
@@ -452,12 +528,17 @@ func (s *Store) BackgroundGCStats() gc.Stats {
 	return s.gcEng.Stats()
 }
 
-// Name implements ftl.Method, e.g. "PDL(256B)".
+// Name implements ftl.Method, e.g. "PDL(256B)" (or "Adaptive(256B)" when
+// per-page routing is on).
 func (s *Store) Name() string {
-	if s.maxDiff >= 1024 && s.maxDiff%1024 == 0 {
-		return fmt.Sprintf("PDL(%dKB)", s.maxDiff/1024)
+	kind := "PDL"
+	if s.adap != nil {
+		kind = "Adaptive"
 	}
-	return fmt.Sprintf("PDL(%dB)", s.maxDiff)
+	if s.maxDiff >= 1024 && s.maxDiff%1024 == 0 {
+		return fmt.Sprintf("%s(%dKB)", kind, s.maxDiff/1024)
+	}
+	return fmt.Sprintf("%s(%dB)", kind, s.maxDiff)
 }
 
 // Device implements ftl.Method.
@@ -584,6 +665,33 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 	sh := s.shardOf(pid)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	s.wtel.logicalWrites.Add(1)
+
+	// Step 0 (adaptive stores only): the per-page routing decision, taken
+	// BEFORE the base page is read so the whole-page route skips that
+	// read entirely; see adaptive.go.
+	probing := false
+	var mode byte
+	if s.adap != nil {
+		mode = s.mt.modeOf(pid)
+		re, _ := s.mt.snapshot(pid)
+		_, buffered := sh.dwb.get(pid)
+		switch s.adap.route(pid, mode, re.base != flash.NilPPN,
+			re.dif != flash.NilPPN || buffered) {
+		case routeOPU:
+			s.wtel.opuRoutes.Add(1)
+			if mode != ftl.ModeTagOPU {
+				s.wtel.modeSwitches.Add(1)
+			}
+			// A whole-page write supersedes any buffered differential
+			// (it was computed against the base this write replaces).
+			sh.dwb.remove(pid)
+			return s.writeNewBasePageLocked(pid, data, ftl.ModeTagOPU)
+		case routeProbe:
+			probing = true
+			s.wtel.probes.Add(1)
+		}
+	}
 
 	// Step 1: read the base page, without the flash lock. The versioned
 	// snapshot detects a concurrent garbage-collection relocation of the
@@ -600,8 +708,12 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 			// Initial load: no base page exists yet, so there is nothing to
 			// diff against; the logical page itself becomes the base page.
 			// Only the shard-lock holder creates a pid's base page, so the
-			// nil observation cannot be stale.
-			return s.writeNewBasePageLocked(pid, data)
+			// nil observation cannot be stale. (Adaptive stores rarely get
+			// here — a never-written page is cold and routed whole-page.)
+			if s.adap != nil {
+				s.wtel.pdlRoutes.Add(1)
+			}
+			return s.writeNewBasePageLocked(pid, data, 0)
 		}
 		err := s.dev.ReadData(e.base, base)
 		if !s.mt.stable(pid, v) {
@@ -629,9 +741,35 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		// newer time stamp supersedes the stale one durably. GC never
 		// creates or destroys a pid's differential linkage — it only moves
 		// it — so the nil observation holds under the shard lock.)
+		if s.adap != nil {
+			s.wtel.pdlRoutes.Add(1)
+		}
 		return nil
 	}
 	size := d.EncodedSize()
+	if s.adap != nil {
+		if dense := s.adap.noteDensity(pid, size, s.params.DataSize); dense ||
+			s.adap.cut(size, s.params.DataSize) {
+			// The measured differential confirms the page is dense (EWMA)
+			// or this one write is past the instantaneous cut: the
+			// differential route costs as much here as resetting the
+			// escalation outright, so write the page whole.
+			s.wtel.opuRoutes.Add(1)
+			if mode != ftl.ModeTagOPU {
+				s.wtel.modeSwitches.Add(1)
+			}
+			return s.writeNewBasePageLocked(pid, data, ftl.ModeTagOPU)
+		}
+		s.wtel.pdlRoutes.Add(1)
+		if probing {
+			// The probe measured sparse: back to the differential route.
+			// The buffered differential below either flushes (setDiffPage
+			// re-commits PDL durably) or is superseded by a later
+			// whole-page write, so the early flip stays consistent.
+			s.wtel.modeSwitches.Add(1)
+			s.mt.setMode(pid, 0)
+		}
+	}
 	switch {
 	case size <= sh.dwb.free(): // Case 1
 		sh.dwb.add(d)
@@ -641,23 +779,25 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 		}
 		sh.dwb.add(d)
 	default: // Case 3
-		return s.writeNewBasePageLocked(pid, data)
+		return s.writeNewBasePageLocked(pid, data, 0)
 	}
 	return nil
 }
 
 // writeNewBasePageLocked takes the flash lock shared, picks the channel
 // (the pid's shard's home, with fall-over), takes its channel lock, and
-// writes pid's new base page. The caller holds the pid's shard lock.
+// writes pid's new base page in logging mode mode (0 for the fixed
+// method, ftl.ModeTagOPU for the adaptive whole-page route). The caller
+// holds the pid's shard lock.
 //
 //pdlvet:holds shard
-func (s *Store) writeNewBasePageLocked(pid uint32, data []byte) error {
+func (s *Store) writeNewBasePageLocked(pid uint32, data []byte, mode byte) error {
 	s.flashMu.RLock()
 	defer s.flashMu.RUnlock()
 	return s.writeOnSomeChannel(s.shardIndex(pid),
 		//pdlvet:holds shard,flash,channel
 		func(ch int) error {
-			return s.writeNewBasePage(pid, data, ch)
+			return s.writeNewBasePage(pid, data, ch, mode)
 		})
 }
 
@@ -875,12 +1015,12 @@ func newestFor(recs []diff.Differential, pid uint32) (diff.Differential, bool) {
 
 // writeNewBasePage implements the writingNewBasePage procedure (Figure 8):
 // the logical page itself is written into a newly allocated base page on
-// channel ch, the old base page is set obsolete, and any old differential
-// is released. The caller holds the flash lock shared, channel ch's lock,
-// and the pid's shard lock.
+// channel ch — carrying mode in its spare-area tag — the old base page is
+// set obsolete, and any old differential is released. The caller holds
+// the flash lock shared, channel ch's lock, and the pid's shard lock.
 //
 //pdlvet:holds shard,flash,channel
-func (s *Store) writeNewBasePage(pid uint32, data []byte, ch int) error {
+func (s *Store) writeNewBasePage(pid uint32, data []byte, ch int, mode byte) error {
 	q, err := s.allocPageOn(ch)
 	if err != nil {
 		return err
@@ -888,12 +1028,12 @@ func (s *Store) writeNewBasePage(pid uint32, data []byte, ch int) error {
 	ts := s.nextTS()
 	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
-		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, spareBuf)
+		Seq: s.alloc.SeqOf(s.params.BlockOf(q)), Mode: mode}, spareBuf)
 	if err := s.dev.Program(q, data, spareBuf); err != nil {
 		return fmt.Errorf("core: writing base page of pid %d: %w", pid, err)
 	}
 	s.wtel.newBasePages.Add(1)
-	old := s.mt.setBasePage(pid, q, ts)
+	old := s.mt.setBasePage(pid, q, ts, mode)
 	if old.base != flash.NilPPN {
 		if err := s.alloc.MarkObsoleteFrom(old.base, ch); err != nil {
 			return err
@@ -1047,6 +1187,11 @@ func (s *Store) Telemetry() Telemetry {
 	t.ReadRetries = s.rtel.readRetries.Load()
 	t.BatchReads = s.rtel.batchReads.Load()
 	t.BatchedReads = s.rtel.batchedReads.Load()
+	t.LogicalWrites = s.wtel.logicalWrites.Load()
+	t.AdaptivePDLRoutes = s.wtel.pdlRoutes.Load()
+	t.AdaptiveOPURoutes = s.wtel.opuRoutes.Load()
+	t.AdaptiveProbes = s.wtel.probes.Load()
+	t.AdaptiveModeSwitches = s.wtel.modeSwitches.Load()
 	return t
 }
 

@@ -85,6 +85,7 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 			if s.mt.ppmt[pid].base == flash.NilPPN || c.ts > s.mt.baseTS[pid] {
 				s.mt.ppmt[pid].base = c.ppn
 				s.mt.baseTS[pid] = c.ts
+				s.mt.mode[pid] = c.mode
 			}
 		}
 	}
@@ -104,6 +105,13 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 	}
 	maxTS := s.ts.Load()
 	for pid := range s.mt.ppmt {
+		if s.mt.ppmt[pid].dif != flash.NilPPN {
+			// The adaptive mode invariant: a valid differential is newer
+			// than its base, so the differential route won — whatever
+			// mode tag the base page carries (a GC tag-only migration may
+			// have raced the flush that committed this differential).
+			s.mt.mode[pid] = 0
+		}
 		if s.mt.ppmt[pid].base != flash.NilPPN {
 			s.mt.reverseBase[s.mt.ppmt[pid].base] = uint32(pid)
 			if s.mt.baseTS[pid] > maxTS {
@@ -218,6 +226,9 @@ type pageInfo struct {
 type candidate struct {
 	ppn flash.PPN
 	ts  uint64
+	// mode is the base page's logging-mode tag (unused for differential
+	// candidates, which always imply differential mode).
+	mode byte
 }
 
 // scanResult is one worker's private reduction of its block range: the
@@ -273,7 +284,7 @@ func scanBlockRange(dev flash.Device, p flash.Params, numPages, lo, hi int, info
 					continue
 				}
 				if c, ok := res.bases[h.PID]; !ok || h.TS > c.ts {
-					res.bases[h.PID] = candidate{ppn: ppn, ts: h.TS}
+					res.bases[h.PID] = candidate{ppn: ppn, ts: h.TS, mode: h.Mode}
 				}
 			case ftl.TypeDiff:
 				if err := dev.ReadData(ppn, data); err != nil {

@@ -158,13 +158,15 @@ func (r Result) OpsPerSecond() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
-// zipfian draws ranks 0..n-1 with P(rank) proportional to 1/(rank+1)^theta,
+// Zipfian draws ranks 0..n-1 with P(rank) proportional to 1/(rank+1)^theta,
 // using the rejection-free inversion of Gray et al. (SIGMOD 1994), the
 // same generator YCSB ships. The stdlib's rand.Zipf cannot express
 // theta < 1, which is exactly the regime YCSB's default (0.99) lives in.
-// A zipfian is immutable after construction and safe to share across
-// clients, each drawing with its own rand.Rand.
-type zipfian struct {
+// A Zipfian is immutable after construction and safe to share across
+// clients, each drawing with its own rand.Rand. It is exported so other
+// workload generators (the adaptive-method benchmark) can reuse the
+// tuned-skew machinery behind the -theta flag.
+type Zipfian struct {
 	n     uint64
 	theta float64
 	alpha float64
@@ -172,11 +174,12 @@ type zipfian struct {
 	eta   float64
 }
 
-func newZipfian(n uint64, theta float64) *zipfian {
+// NewZipfian builds a generator over ranks 0..n-1 with skew theta.
+func NewZipfian(n uint64, theta float64) *Zipfian {
 	if n < 1 {
 		n = 1
 	}
-	z := &zipfian{n: n, theta: theta}
+	z := &Zipfian{n: n, theta: theta}
 	z.zetan = zeta(n, theta)
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
@@ -193,7 +196,8 @@ func zeta(n uint64, theta float64) float64 {
 	return sum
 }
 
-func (z *zipfian) next(r *rand.Rand) uint64 {
+// Next draws one rank using r.
+func (z *Zipfian) Next(r *rand.Rand) uint64 {
 	u := r.Float64()
 	uz := u * z.zetan
 	if uz < 1 {
@@ -209,10 +213,10 @@ func (z *zipfian) next(r *rand.Rand) uint64 {
 	return rank
 }
 
-// scramble spreads zipfian ranks over the key space so the hot keys are
+// Scramble spreads zipfian ranks over a key space so the hot keys are
 // not clustered at its start (YCSB's ScrambledZipfian), using the
 // splitmix64 finalizer as the hash.
-func scramble(rank uint64) uint64 {
+func Scramble(rank uint64) uint64 {
 	rank ^= rank >> 33
 	rank *= 0xff51afd7ed558ccd
 	rank ^= rank >> 33
@@ -235,15 +239,15 @@ func (w Workload) chooser(cfg Config) (chooser, error) {
 		// The skew is fixed over the initial key space; inserted keys
 		// join the tail via the modulo, matching YCSB's expanded-keyspace
 		// approximation.
-		z := newZipfian(uint64(cfg.Records), cfg.Theta)
+		z := NewZipfian(uint64(cfg.Records), cfg.Theta)
 		return func(r *rand.Rand, bound uint64) uint64 {
-			return scramble(z.next(r)) % bound
+			return Scramble(z.Next(r)) % bound
 		}, nil
 	case "latest":
 		// Rank 0 is the most recently inserted key.
-		z := newZipfian(uint64(cfg.Records), cfg.Theta)
+		z := NewZipfian(uint64(cfg.Records), cfg.Theta)
 		return func(r *rand.Rand, bound uint64) uint64 {
-			return bound - 1 - z.next(r)%bound
+			return bound - 1 - z.Next(r)%bound
 		}, nil
 	default:
 		return nil, fmt.Errorf("ycsb: unknown distribution %q", w.Distribution)

@@ -36,11 +36,11 @@ func TestCoreWorkloadsValid(t *testing.T) {
 // and every draw is in range.
 func TestZipfianSkew(t *testing.T) {
 	const n, draws = 10000, 200000
-	z := newZipfian(n, 0.99)
+	z := NewZipfian(n, 0.99)
 	r := rand.New(rand.NewSource(7))
 	head := 0 // draws landing in the first 1% of ranks
 	for i := 0; i < draws; i++ {
-		rank := z.next(r)
+		rank := z.Next(r)
 		if rank >= n {
 			t.Fatalf("rank %d out of range", rank)
 		}

@@ -276,6 +276,11 @@ type Store = core.Store
 // Options configures a PDL store.
 type Options = core.Options
 
+// AdaptiveOptions configures Options.Adaptive: per-page routing between
+// differential (PDL) and whole-page out-of-place (OPU) writes, driven by
+// a per-page heat/density tracker, with GC migrating modes tag-only.
+type AdaptiveOptions = core.AdaptiveOptions
+
 // Open builds a PDL store for a database of numPages logical pages over a
 // fresh device (emulated or file-backed). Use Recover to rebuild a store
 // from a device that already holds data (after a crash or a restart).
