@@ -15,6 +15,8 @@
 //	pdlbench -exp adaptive -channels 4 -assertadaptive
 //	                                 # adaptive routing vs every fixed method,
 //	                                 # flash ops per logical write, channels 1 and 4
+//	pdlbench -exp fault -assertfault # seeded fault injection: heal or fail typed,
+//	                                 # zero silent corruptions, verify on/off latency
 //	pdlbench -exp par -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // All reported times of experiments 1-7 are simulated flash I/O times
@@ -90,6 +92,9 @@ func realMain() int {
 		assertY   = flag.Bool("assertycsb", false, "with -exp ycsb: exit nonzero unless PDL beats OPU's simulated I/O time on every write-heavy zipfian workload run (A, F)")
 		theta     = flag.Float64("theta", 0.99, "zipfian skew for -exp ycsb request distributions and the -exp adaptive mixed workload")
 		assertA   = flag.Bool("assertadaptive", false, "with -exp adaptive: exit nonzero unless the adaptive method's flash ops per logical write is no worse than every fixed method at every channel count")
+		faultRate = flag.Float64("faultrate", 0.02, "with -exp fault: per-program decay probability of the seeded campaign")
+		assertF   = flag.Bool("assertfault", false, "with -exp fault: exit nonzero unless the campaign injected faults, every injected fault healed or failed typed, and zero reads returned silently corrupt bytes")
+		verifySel = flag.String("verify", "both", "with -exp fault: run the verify-on latency point, the verify-off baseline, or both")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (profile GC and lock behavior directly)")
 		memprof   = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -281,8 +286,12 @@ func realMain() int {
 			if err := runAdaptive(g, *channels, *theta, *report, *backend, *assertA); err != nil {
 				return err
 			}
+		case "fault":
+			if err := runFault(g, *backend, *ops, *faultRate, *verifySel, *assertF, *report); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, read, ycsb, adaptive, or all)", id)
+			return fmt.Errorf("unknown experiment %q (want 1..7, par, gctail, batch, read, ycsb, adaptive, fault, or all)", id)
 		}
 		fmt.Println()
 		return nil
@@ -608,6 +617,95 @@ func runRead(g bench.Geometry, backend string, batchSize, ops int, cacheSel stri
 	}
 	fmt.Printf("# read check passed: reads/op %.2f -> %.2f (batched %.2f), simulated hot-read speedup %.2fx\n",
 		off.ReadsPerOp(), on.ReadsPerOp(), batched.ReadsPerOp(), ratio)
+	return nil
+}
+
+// runFault runs bench.ExpFault: a seeded fault-injection campaign under a
+// mixed workload against a shadow model — every read must return the
+// model's bytes or a typed ftl.PageError, never silently wrong content —
+// followed by clean-path read-latency points with verification on and off.
+// With assert set it exits nonzero unless the campaign injected faults,
+// the integrity machinery demonstrably ran, and zero reads were silently
+// corrupt (untyped failures abort the experiment outright).
+func runFault(g bench.Geometry, backend string, ops int, rate float64, verifySel string, assert bool, reportDir string) error {
+	var modes []string
+	switch verifySel {
+	case "both":
+	case "on":
+		modes = []string{"campaign", "verify-on"}
+	case "off":
+		modes = []string{"campaign", "verify-off"}
+	default:
+		return fmt.Errorf("unknown -verify %q (want on, off, or both)", verifySel)
+	}
+	maxDiff := g.Params.DataSize / 8
+	fmt.Printf("Fault-injection experiment: seeded campaign (rate %.3f) under a mixed workload, PDL(%dB)\n",
+		rate, maxDiff)
+	fmt.Printf("# geometry: %s, DB = %d pages, ~%d ops per mode, backend %s\n",
+		g.Params, g.NumPages(), ops, backend)
+	fmt.Printf("# SILENT must be zero: a read that matches neither the model nor a typed error is corruption\n")
+	points, err := bench.ExpFault(g, maxDiff, ops, rate, modes...)
+	if err != nil {
+		return err
+	}
+	bench.WriteFaultTable(os.Stdout, points)
+	byMode := map[string]bench.FaultPoint{}
+	for _, p := range points {
+		byMode[p.Mode] = p
+		fl := p.Flash
+		tel := p.Telemetry
+		err := emitReport(reportDir, bench.Report{
+			Experiment:    "fault-" + p.Mode,
+			Method:        fmt.Sprintf("PDL(%dB)", maxDiff),
+			Backend:       backend,
+			Params:        geometryParams(g),
+			Ops:           p.Ops,
+			ElapsedMicros: p.Elapsed.Microseconds(),
+			OpsPerSec:     p.OpsPerSecond(),
+			Flash:         &fl,
+			Telemetry:     &tel,
+			Extra: map[string]float64{
+				"fault_rate":         rate,
+				"injected":           float64(p.InjectedTotal()),
+				"corrected_bits":     float64(p.CorrectedBits),
+				"pages_healed":       float64(p.Healed),
+				"unrecoverable":      float64(p.Unrecoverable),
+				"typed_read_errors":  float64(p.TypedReadErrors),
+				"typed_write_errors": float64(p.TypedWriteErrors),
+				"lost_pages":         float64(p.LostPages),
+				"silent_corruptions": float64(p.SilentCorruptions),
+				"p50_us":             float64(p.P50.Nanoseconds()) / 1000,
+				"p99_us":             float64(p.P99.Nanoseconds()) / 1000,
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	camp := byMode["campaign"]
+	on, hasOn := byMode["verify-on"]
+	off, hasOff := byMode["verify-off"]
+	if hasOn && hasOff && off.P50 > 0 {
+		fmt.Printf("# verification overhead: p50 %.1f -> %.1f us (%.2fx), p99 %.1f -> %.1f us\n",
+			float64(off.P50.Nanoseconds())/1000, float64(on.P50.Nanoseconds())/1000,
+			float64(on.P50.Nanoseconds())/float64(off.P50.Nanoseconds()),
+			float64(off.P99.Nanoseconds())/1000, float64(on.P99.Nanoseconds())/1000)
+	}
+	if !assert {
+		return nil
+	}
+	if camp.SilentCorruptions > 0 {
+		return fmt.Errorf("%d reads returned silently corrupt bytes: the integrity contract is broken", camp.SilentCorruptions)
+	}
+	if camp.InjectedTotal() == 0 {
+		return fmt.Errorf("campaign injected no faults (rate %.3f too low for %d ops)", rate, ops)
+	}
+	if camp.CorrectedBits+camp.Healed+camp.Unrecoverable+camp.HeaderFailures == 0 {
+		return fmt.Errorf("campaign exercised no integrity machinery: %d faults injected but none surfaced on a read", camp.InjectedTotal())
+	}
+	fmt.Printf("# fault check passed: %d injected, %d bits corrected, %d healed, %d typed, %d lost, 0 silent\n",
+		camp.InjectedTotal(), camp.CorrectedBits, camp.Healed,
+		camp.TypedReadErrors+camp.TypedWriteErrors, camp.LostPages)
 	return nil
 }
 

@@ -18,11 +18,19 @@ import (
 //     from the packages that own flash state transitions: the
 //     page-update methods, the allocator, garbage collection, and the
 //     device implementations themselves. Everything else (buffer pool,
-//     B-tree, workloads, tools) goes through an ftl.Method.
+//     B-tree, workloads, tools) goes through an ftl.Method;
+//   - inside the core package, raw device reads (Read, ReadData,
+//     ReadSpare, ReadBatch) may only be issued from the designated
+//     verifying read funnels — functions whose doc comment carries a
+//     `//pdlvet:ignore deviceio` directive. Everything else (foreground
+//     reads, GC relocation, recovery and checkpoint scans) must go
+//     through a funnel, so no read path can bypass spare-area
+//     verification by construction.
 var DeviceIO = &vetkit.Analyzer{
 	Name: "deviceio",
-	Doc: "check that flash.Device calls never run under the mapTable or diff-cache lock\n" +
-		"and that device mutations stay inside the allowlisted FTL packages",
+	Doc: "check that flash.Device calls never run under the mapTable or diff-cache lock,\n" +
+		"that device mutations stay inside the allowlisted FTL packages, and that core\n" +
+		"reads the device only through its annotated verifying funnels",
 	Run: runDeviceIO,
 }
 
@@ -40,24 +48,38 @@ var deviceMutations = map[string]bool{
 	"Erase": true, "MarkBad": true,
 }
 
+// deviceReads is the subset the core-funnel rule applies to: reads that
+// return page content a verifying layer must check before anyone trusts
+// it.
+var deviceReads = map[string]bool{
+	"Read": true, "ReadData": true, "ReadSpare": true, "ReadBatch": true,
+}
+
 // mutationAllowlist names the package path elements allowed to issue
 // device mutations: the FTL core and methods, the allocator, GC, the
-// device implementations, and the conformance suite.
+// device implementations (including the fault-injection wrapper), and
+// the conformance suite.
 var mutationAllowlist = map[string]bool{
 	"core": true, "ftl": true, "gc": true,
 	"opu": true, "ipu": true, "ipl": true,
-	"flash": true, "filedev": true, "ftltest": true,
+	"flash": true, "filedev": true, "faultdev": true, "ftltest": true,
 }
+
+// readFunnelPackages names the package path elements whose raw device
+// reads must flow through an annotated verifying funnel.
+var readFunnelPackages = map[string]bool{"core": true}
 
 func runDeviceIO(pass *vetkit.Pass) error {
 	parts := strings.Split(pass.Pkg.Path(), "/")
 	pkgAllowed := mutationAllowlist[parts[len(parts)-1]]
+	funneled := readFunnelPackages[parts[len(parts)-1]]
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok {
 				continue
 			}
+			isFunnel := funnelDecl(fd)
 			walkFunc(pass, fd, hooks{
 				onCall: func(call *ast.CallExpr, callee types.Object, held lockSet) {
 					name, ok := deviceCall(pass.TypesInfo, call)
@@ -73,7 +95,12 @@ func runDeviceIO(pass *vetkit.Pass) error {
 					}
 					if deviceMutations[name] && !pkgAllowed {
 						pass.Reportf(call.Pos(),
-							"device mutation %s outside the FTL packages (core/ftl/gc/opu/ipu/ipl/flash): go through an ftl.Method",
+							"device mutation %s outside the FTL packages (core/ftl/gc/opu/ipu/ipl/flash/faultdev): go through an ftl.Method",
+							name)
+					}
+					if funneled && deviceReads[name] && !isFunnel {
+						pass.Reportf(call.Pos(),
+							"raw device read %s outside a verifying funnel: route it through a //pdlvet:ignore deviceio annotated funnel so the bytes get verified",
 							name)
 					}
 				},
@@ -81,6 +108,29 @@ func runDeviceIO(pass *vetkit.Pass) error {
 		}
 	}
 	return nil
+}
+
+// funnelDecl reports whether fd is a designated raw-read funnel: its doc
+// comment carries a `//pdlvet:ignore deviceio` directive. The directive
+// doubles as the line-level suppression for the funnel's own call sites
+// when it sits directly above them, but on the doc comment it blesses
+// the whole function body, so a funnel may branch between several device
+// read forms.
+func funnelDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//pdlvet:ignore")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 && (fields[0] == "deviceio" || fields[0] == "all") {
+			return true
+		}
+	}
+	return false
 }
 
 // deviceCall reports whether call is a method call on a flash device —

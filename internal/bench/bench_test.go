@@ -380,6 +380,13 @@ func TestReportRoundTrip(t *testing.T) {
 			PDLRouted:     14_000,
 			OPURouted:     6_000,
 		},
+		Telemetry: &core.Telemetry{
+			BufferFlushes:          310,
+			EccCorrectedBits:       7,
+			PagesHealed:            2,
+			UnrecoverablePages:     1,
+			HeaderChecksumFailures: 1,
+		},
 	}
 	path, err := WriteReportFile(dir, want)
 	if err != nil {
@@ -401,7 +408,8 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{`"channels": 4`, `"channel_gc"`, `"pages_moved"`, `"cold_migrations"`,
-		`"flash_ops"`, `"per_write"`, `"pdl_routed"`, `"opu_routed"`} {
+		`"flash_ops"`, `"per_write"`, `"pdl_routed"`, `"opu_routed"`,
+		`"EccCorrectedBits": 7`, `"PagesHealed": 2`, `"UnrecoverablePages": 1`, `"HeaderChecksumFailures": 1`} {
 		if !strings.Contains(string(raw), key) {
 			t.Errorf("serialized report missing %s", key)
 		}

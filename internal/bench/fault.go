@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pdl/internal/core"
+	"pdl/internal/flash"
+	"pdl/internal/flash/faultdev"
+	"pdl/internal/ftl"
+)
+
+// FaultPoint is one measured mode of the fault-injection experiment:
+// "campaign" runs a mixed update/read workload under seeded fault
+// injection and checks the integrity contract on every operation;
+// "verify-on" and "verify-off" serve the identical clean read workload
+// with and without spare-area verification, so their latency columns are
+// the price of verification.
+type FaultPoint struct {
+	Mode string
+	// Ops is the number of measured operations (workload steps for the
+	// campaign, reads for the latency modes).
+	Ops     int64
+	Elapsed time.Duration
+	// P50 and P99 are per-read wall-clock latencies (latency modes only).
+	P50, P99 time.Duration
+	// Injected counts the campaign's faults by kind name.
+	Injected map[string]int64
+	// CorrectedBits..HeaderFailures are the store's integrity-telemetry
+	// deltas over the measured phase.
+	CorrectedBits, Healed, Unrecoverable, HeaderFailures int64
+	// TypedReadErrors and TypedWriteErrors count operations that failed
+	// with ftl.PageError — the contract's honest failure mode. LostPages
+	// counts pids the final sweep could no longer read (typed). Any other
+	// failure aborts the experiment.
+	TypedReadErrors, TypedWriteErrors, LostPages int64
+	// SilentCorruptions counts reads that returned bytes matching neither
+	// the model nor an in-flight failed write — the one number that must
+	// stay zero.
+	SilentCorruptions int64
+	// Telemetry is the store's full counter set at the end of the phase.
+	Telemetry core.Telemetry
+	Flash     flash.Stats
+}
+
+// OpsPerSecond returns measured operations per wall-clock second.
+func (p FaultPoint) OpsPerSecond() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// InjectedTotal sums the campaign's faults across kinds.
+func (p FaultPoint) InjectedTotal() int64 {
+	var n int64
+	for _, v := range p.Injected {
+		n += v
+	}
+	return n
+}
+
+// ExpFault measures end-to-end integrity under fault injection. The
+// campaign point wraps the backend in faultdev, arms a seeded campaign at
+// rate, and drives a mixed workload against a shadow model: every
+// successful read must return bytes identical to the model (or to the
+// value of an interrupted write), every failure must be a typed
+// ftl.PageError — anything else fails the experiment. The two latency
+// points then measure what verification costs on the clean path.
+// modes selects which of "campaign", "verify-on", "verify-off" run (all
+// three when empty).
+func ExpFault(g Geometry, maxDiff, ops int, rate float64, modes ...string) ([]FaultPoint, error) {
+	if len(modes) == 0 {
+		modes = []string{"campaign", "verify-on", "verify-off"}
+	}
+	var points []FaultPoint
+	for _, mode := range modes {
+		var pt FaultPoint
+		var err error
+		switch mode {
+		case "campaign":
+			pt, err = runFaultCampaign(g, maxDiff, ops, rate)
+		case "verify-on":
+			pt, err = runFaultLatency(g, maxDiff, ops, true)
+		case "verify-off":
+			pt, err = runFaultLatency(g, maxDiff, ops, false)
+		default:
+			err = fmt.Errorf("unknown mode %q", mode)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: fault %s: %w", mode, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func runFaultCampaign(g Geometry, maxDiff, ops int, rate float64) (FaultPoint, error) {
+	numPages := g.NumPages()
+	inner, err := g.device(g.Params, "fault-campaign")
+	if err != nil {
+		return FaultPoint{}, err
+	}
+	fd := faultdev.Wrap(inner)
+	s, err := core.New(fd, numPages, core.Options{
+		MaxDifferentialSize: maxDiff,
+		ReserveBlocks:       2,
+	})
+	if err != nil {
+		inner.Close()
+		return FaultPoint{}, err
+	}
+	defer s.Close()
+	size := s.PageSize()
+
+	rng := rand.New(rand.NewSource(g.Seed))
+	model := make([][]byte, numPages)
+	for pid := 0; pid < numPages; pid++ {
+		model[pid] = make([]byte, size)
+		rng.Read(model[pid])
+		if err := s.WritePage(uint32(pid), model[pid]); err != nil {
+			return FaultPoint{}, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return FaultPoint{}, err
+	}
+
+	// Faults start with the campaign: every page programmed from here on
+	// (differential flushes, new bases, GC relocations) may decay.
+	fd.Arm(&faultdev.Campaign{Seed: g.Seed + 1, Rate: rate})
+	defer fd.Arm(nil)
+	telBefore := s.Telemetry()
+	fd.ResetStats()
+
+	pt := FaultPoint{Mode: "campaign", Ops: int64(ops)}
+	// pending holds the value of a write that failed typed: the reflection
+	// did not complete, so the page legitimately reads as either the old
+	// or the new image until a successful read pins it.
+	pending := make(map[uint32][]byte)
+	isTyped := func(err error) bool {
+		var pe *ftl.PageError
+		return errors.As(err, &pe)
+	}
+	checkRead := func(pid uint32, got []byte) {
+		if bytes.Equal(got, model[pid]) {
+			delete(pending, pid)
+			return
+		}
+		if p, ok := pending[pid]; ok && bytes.Equal(got, p) {
+			model[pid] = p
+			delete(pending, pid)
+			return
+		}
+		pt.SilentCorruptions++
+	}
+
+	buf := make([]byte, size)
+	start := time.Now()
+	for step := 0; step < ops; step++ {
+		pid := uint32(rng.Intn(numPages))
+		switch rng.Intn(4) {
+		case 0, 1: // partial update
+			next := append([]byte(nil), model[pid]...)
+			for k := 0; k < 16; k++ {
+				next[rng.Intn(size)] ^= byte(1 + rng.Intn(255))
+			}
+			if err := s.WritePage(pid, next); err != nil {
+				if !isTyped(err) {
+					return pt, fmt.Errorf("step %d: write pid %d failed untyped: %w", step, pid, err)
+				}
+				pt.TypedWriteErrors++
+				pending[pid] = next
+				continue
+			}
+			model[pid] = next
+			delete(pending, pid)
+		case 2: // read
+			if err := s.ReadPage(pid, buf); err != nil {
+				if !isTyped(err) {
+					return pt, fmt.Errorf("step %d: read pid %d failed untyped: %w", step, pid, err)
+				}
+				pt.TypedReadErrors++
+				continue
+			}
+			checkRead(pid, buf)
+		case 3: // occasional flush
+			if rng.Intn(4) == 0 {
+				if err := s.Flush(); err != nil && !isTyped(err) {
+					return pt, fmt.Errorf("step %d: flush failed untyped: %w", step, err)
+				}
+			}
+		}
+	}
+	// Final sweep: every pid reads byte-identically or fails typed.
+	for pid := 0; pid < numPages; pid++ {
+		if err := s.ReadPage(uint32(pid), buf); err != nil {
+			if !isTyped(err) {
+				return pt, fmt.Errorf("sweep pid %d failed untyped: %w", pid, err)
+			}
+			pt.LostPages++
+			continue
+		}
+		checkRead(uint32(pid), buf)
+	}
+	pt.Elapsed = time.Since(start)
+
+	tel := s.Telemetry()
+	pt.Telemetry = tel
+	pt.CorrectedBits = tel.EccCorrectedBits - telBefore.EccCorrectedBits
+	pt.Healed = tel.PagesHealed - telBefore.PagesHealed
+	pt.Unrecoverable = tel.UnrecoverablePages - telBefore.UnrecoverablePages
+	pt.HeaderFailures = tel.HeaderChecksumFailures - telBefore.HeaderChecksumFailures
+	pt.Flash = fd.Stats()
+	pt.Injected = make(map[string]int64)
+	for k, n := range fd.Snapshot().Injected {
+		pt.Injected[k.String()] = n
+	}
+	return pt, nil
+}
+
+// runFaultLatency measures the clean read path with verification on or
+// off: identical database, identical hot random reads, no faults — the
+// per-read latency difference is the CPU cost of spare-area verification.
+func runFaultLatency(g Geometry, maxDiff, ops int, verify bool) (FaultPoint, error) {
+	mode := "verify-on"
+	if !verify {
+		mode = "verify-off"
+	}
+	numPages := g.NumPages()
+	dev, err := g.device(g.Params, "fault-"+mode)
+	if err != nil {
+		return FaultPoint{}, err
+	}
+	s, err := core.New(dev, numPages, core.Options{
+		MaxDifferentialSize: maxDiff,
+		ReserveBlocks:       2,
+		DisableVerify:       !verify,
+	})
+	if err != nil {
+		dev.Close()
+		return FaultPoint{}, err
+	}
+	defer s.Close()
+	size := s.PageSize()
+
+	rng := rand.New(rand.NewSource(g.Seed))
+	page := make([]byte, size)
+	for pid := 0; pid < numPages; pid++ {
+		rng.Read(page)
+		if err := s.WritePage(uint32(pid), page); err != nil {
+			return FaultPoint{}, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return FaultPoint{}, err
+	}
+
+	dev.ResetStats()
+	telBefore := s.Telemetry()
+	lats := make([]time.Duration, 0, ops)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		pid := uint32(rng.Intn(numPages))
+		t0 := time.Now()
+		if err := s.ReadPage(pid, page); err != nil {
+			return FaultPoint{}, err
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	tel := s.Telemetry()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p int) time.Duration {
+		i := len(lats) * p / 100
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return FaultPoint{
+		Mode:          mode,
+		Ops:           int64(ops),
+		Elapsed:       elapsed,
+		P50:           pct(50),
+		P99:           pct(99),
+		CorrectedBits: tel.EccCorrectedBits - telBefore.EccCorrectedBits,
+		Telemetry:     tel,
+		Flash:         dev.Stats(),
+	}, nil
+}
+
+// WriteFaultTable prints the fault experiment: the campaign's contract
+// accounting and the verification latency comparison.
+func WriteFaultTable(w io.Writer, points []FaultPoint) {
+	fmt.Fprintf(w, "%-11s %8s %9s %10s %7s %7s %6s %6s %7s %8s %8s\n",
+		"mode", "ops", "injected", "corrected", "healed", "unrec", "typed", "lost", "SILENT", "p50-us", "p99-us")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-11s %8d %9d %10d %7d %7d %6d %6d %7d %8.1f %8.1f\n",
+			p.Mode, p.Ops, p.InjectedTotal(), p.CorrectedBits, p.Healed, p.Unrecoverable,
+			p.TypedReadErrors+p.TypedWriteErrors, p.LostPages, p.SilentCorruptions,
+			float64(p.P50.Nanoseconds())/1000, float64(p.P99.Nanoseconds())/1000)
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpFaultRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	g := testGeometry()
+	points, err := ExpFault(g, g.Params.DataSize/8, 1500, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	byMode := map[string]FaultPoint{}
+	for _, p := range points {
+		byMode[p.Mode] = p
+	}
+	camp, ok := byMode["campaign"]
+	if !ok {
+		t.Fatal("no campaign point")
+	}
+	if camp.SilentCorruptions != 0 {
+		t.Fatalf("%d silent corruptions", camp.SilentCorruptions)
+	}
+	if camp.InjectedTotal() == 0 {
+		t.Error("campaign injected no faults")
+	}
+	for _, mode := range []string{"verify-on", "verify-off"} {
+		p, ok := byMode[mode]
+		if !ok {
+			t.Fatalf("no %s point", mode)
+		}
+		if p.Ops == 0 || p.P50 <= 0 {
+			t.Errorf("%s: ops=%d p50=%v", mode, p.Ops, p.P50)
+		}
+	}
+	// The verify-off store must not have run any verification.
+	if off := byMode["verify-off"]; off.Telemetry.EccCorrectedBits != 0 || off.Telemetry.PagesHealed != 0 {
+		t.Errorf("verify-off ran verification: %+v", off.Telemetry)
+	}
+
+	var b strings.Builder
+	WriteFaultTable(&b, points)
+	if !strings.Contains(b.String(), "campaign") || !strings.Contains(b.String(), "SILENT") {
+		t.Error("fault table missing columns")
+	}
+}

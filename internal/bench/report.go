@@ -27,7 +27,10 @@ import (
 //	2: params.channels and the channel_gc per-channel GC counter section
 //	3: the flash_ops section (flash programs+erases per logical write,
 //	   with the adaptive PDL/OPU route split) and params.theta
-const ReportSchemaVersion = 3
+//	4: integrity counters in the telemetry section (EccCorrectedBits,
+//	   PagesHealed, UnrecoverablePages, HeaderChecksumFailures) and the
+//	   fault experiment's heal/typed-error rates in extra
+const ReportSchemaVersion = 4
 
 // ReportParams records the knobs that produced a report, page-level and
 // serving-level alike; unused fields stay zero and are omitted.

@@ -248,6 +248,7 @@ func (s *Store) stageShard(sh *shard, si int, writes []ftl.PageWrite, idxs []int
 		if img != nil {
 			difExists = effDif[pid]
 		} else {
+			corrupt := false
 			var e pageEntry
 			for {
 				var v uint64
@@ -255,18 +256,28 @@ func (s *Store) stageShard(sh *shard, si int, writes []ftl.PageWrite, idxs []int
 				if e.base == flash.NilPPN {
 					break
 				}
-				err := s.dev.ReadData(e.base, base)
-				if !s.mt.stable(pid, v) {
+				spare := s.getVerifySpare()
+				stable, bad, err := s.verifiedReadStable(e.base, base, spare, pid, v)
+				s.putVerifySpare(spare)
+				if !stable {
 					continue // relocated mid-read; retry on the new mapping
 				}
 				if err != nil {
 					return ops, cur, fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
 				}
+				corrupt = len(bad) > 0
 				break
 			}
-			if e.base == flash.NilPPN {
-				// Initial load: the logical page itself becomes a (staged)
-				// base page; there is nothing to diff against.
+			if e.base == flash.NilPPN || corrupt {
+				// Initial load — or heal-by-overwrite of an uncorrectably
+				// corrupt base: either way data is the complete image and
+				// becomes a (staged) base page, with nothing to diff
+				// against (any buffered differential was computed against
+				// the lost base and is superseded with it).
+				if corrupt {
+					cur.remove(pid)
+					s.itel.pagesHealed.Add(1)
+				}
 				ops = append(ops, pendingOp{idx: idx, ts: ts, home: home, pid: pid, data: data})
 				pendImg[pid] = data
 				effDif[pid] = false
@@ -459,6 +470,7 @@ func (s *Store) writePending(ops []pendingOp) error {
 		}
 		sp := spares[i*spareSize : (i+1)*spareSize]
 		ftl.EncodeHeaderInto(h, sp)
+		s.seal(data, sp)
 		batch[i] = flash.PageProgram{PPN: ppns[i], Data: data, Spare: sp}
 	}
 	if err := s.dev.ProgramBatch(batch); err != nil {

@@ -209,6 +209,7 @@ func (s *Store) WriteCheckpoint() (int, error) {
 			PID:  uint32(chunks),
 			TS:   s.ckpt.nextID,
 		}, spareBuf)
+		s.seal(chunkData, spareBuf)
 		if err := s.dev.Program(p.PPNOf(blk, pg), chunkData, spareBuf); err != nil {
 			return chunks, fmt.Errorf("core: writing checkpoint chunk %d: %w", chunks, err)
 		}
@@ -281,12 +282,17 @@ func RecoverWithCheckpoint(dev flash.Device, numPages int, opts Options) (*Store
 		if s.isCkptBlock(b) {
 			continue
 		}
-		if err := dev.ReadSpare(p.PPNOf(b, 0), spare); err != nil {
+		if err := s.scanRead(p.PPNOf(b, 0), data, spare); err != nil {
 			return nil, err
 		}
 		h := ftl.DecodeHeader(spare)
+		// A first-page header that fails its checksum cannot vouch for the
+		// block's sequence number: treat the block as dirty so the full
+		// scan judges every page individually.
+		headerOK := !s.integ.verify || h.Type == ftl.TypeFree ||
+			ftl.VerifyHeaderChecksum(spare, p.DataSize)
 		switch {
-		case blockState[b] == ckptStateFull && h.Seq == blockSeq[b] && h.Type != ftl.TypeFree:
+		case blockState[b] == ckptStateFull && h.Seq == blockSeq[b] && h.Type != ftl.TypeFree && headerOK:
 			// Untouched since the checkpoint: trust its tables.
 			s.alloc.AdoptFullBlock(b)
 			s.alloc.AdoptCounts(b, int(blockWritten(payload, s.numPages, b)),
@@ -295,9 +301,6 @@ func RecoverWithCheckpoint(dev flash.Device, numPages int, opts Options) (*Store
 		case h.Type == ftl.TypeFree:
 			// First page unwritten: with sequential allocation the block
 			// is erased — unless a torn program left data behind.
-			if err := dev.ReadData(p.PPNOf(b, 0), data); err != nil {
-				return nil, err
-			}
 			if allErased(data) {
 				s.invalidateEntriesIn(b)
 				continue
@@ -330,16 +333,28 @@ func (s *Store) findCheckpoint() (*foundCkpt, error) {
 	for _, b := range s.ckpt.blocks {
 		for pg := 0; pg < p.PagesPerBlock; pg++ {
 			ppn := p.PPNOf(b, pg)
-			if err := s.dev.ReadSpare(ppn, spare); err != nil {
+			data := make([]byte, p.DataSize)
+			if err := s.scanRead(ppn, data, spare); err != nil {
 				return nil, err
 			}
 			h := ftl.DecodeHeader(spare)
 			if h.Type != ftl.TypeCheckpoint || h.Obsolete {
 				continue
 			}
-			data := make([]byte, p.DataSize)
-			if err := s.dev.ReadData(ppn, data); err != nil {
-				return nil, err
+			if s.integ.verify {
+				// A chunk that fails its header checksum or holds
+				// uncorrectable data is dropped, demoting its checkpoint to
+				// incomplete: recovery falls back to the previous complete
+				// checkpoint (other half) or the full scan — never a load
+				// of corrupt tables.
+				if !ftl.VerifyHeaderChecksum(spare, p.DataSize) {
+					s.itel.headerChecksumFailures.Add(1)
+					continue
+				}
+				if len(s.verifyData(data, spare)) > 0 {
+					s.itel.unrecoverablePages.Add(1)
+					continue
+				}
 			}
 			fc := found[h.TS]
 			if fc == nil {
@@ -458,6 +473,9 @@ type scannedPage struct {
 	hdr   ftl.Header
 	torn  bool
 	diffs []diff.Differential // decoded contents of a differential page
+	// quarantined marks a page that failed integrity verification; it is
+	// excluded from arbitration and counted obsolete in phase B.
+	quarantined bool
 }
 
 // scanBlocks runs the Figure-11 arbitration over the pages of the given
@@ -481,24 +499,41 @@ func (s *Store) scanBlocks(blocks []int) error {
 		pages := make([]scannedPage, p.PagesPerBlock)
 		for pg := 0; pg < p.PagesPerBlock; pg++ {
 			ppn := p.PPNOf(b, pg)
-			if err := s.dev.ReadSpare(ppn, spare); err != nil {
+			// One charged read fetches both areas; the data area is needed
+			// for torn-page detection, decoding, and ECC verification.
+			if err := s.scanRead(ppn, data, spare); err != nil {
 				return err
 			}
 			h := ftl.DecodeHeader(spare)
 			pages[pg] = scannedPage{hdr: h}
 			if h.Type == ftl.TypeFree {
-				if err := s.dev.ReadData(ppn, data); err != nil {
-					return err
-				}
 				pages[pg].torn = !allErased(data)
 				continue
 			}
 			if h.Obsolete {
 				continue
 			}
+			// Quarantine pages that fail verification, as the full-scan
+			// recovery does. CAVEAT: unlike the full scan, this path does
+			// NOT poison differentials newer than a quarantined base — a
+			// corrupt base in one dirty block cannot veto a differential
+			// found in another, because blocks are judged independently
+			// here. The window is narrow (both pages must postdate the
+			// checkpoint) but real; the full-scan Recover closes it.
+			if s.integ.verify && h.Type != ftl.TypeCheckpoint &&
+				!ftl.VerifyHeaderChecksum(spare, p.DataSize) {
+				s.itel.headerChecksumFailures.Add(1)
+				pages[pg].quarantined = true
+				continue
+			}
 			switch h.Type {
 			case ftl.TypeBase:
 				if int(h.PID) >= s.numPages {
+					continue
+				}
+				if s.integ.verify && len(s.verifyData(data, spare)) > 0 {
+					s.itel.unrecoverablePages.Add(1)
+					pages[pg].quarantined = true
 					continue
 				}
 				if s.mt.ppmt[h.PID].base == flash.NilPPN || h.TS > s.mt.baseTS[h.PID] {
@@ -507,8 +542,10 @@ func (s *Store) scanBlocks(blocks []int) error {
 					s.mt.mode[h.PID] = h.Mode
 				}
 			case ftl.TypeDiff:
-				if err := s.dev.ReadData(ppn, data); err != nil {
-					return err
+				if s.integ.verify && len(s.verifyData(data, spare)) > 0 {
+					s.itel.unrecoverablePages.Add(1)
+					pages[pg].quarantined = true
+					continue
 				}
 				pages[pg].diffs = diffsOf(data)
 			}

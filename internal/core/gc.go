@@ -114,11 +114,38 @@ type pendingDiff struct {
 // differential linkage is instead released by the pid's next foreground
 // whole-page write.
 //
+// Relocation is also the integrity layer's scrubbing pass: the copy is
+// verified against its spare-area ECC, single-bit flips are corrected
+// before the copy programs (the new page gets a fresh seal), and an
+// UNCORRECTABLE page is copied through with its original ECC bytes so
+// the corruption stays detectable at the new address — GC must never
+// take shard locks, so it cannot consult the write buffer and must leave
+// healing to the next foreground read (or fail that read loudly).
+//
 //pdlvet:holds flash,channel
 func (s *Store) relocateBasePage(pid uint32, ts uint64, ppn flash.PPN, ch int) error {
+	p := s.params
 	scratch := s.getPage()
 	defer s.putPage(scratch)
-	if err := s.dev.ReadData(ppn, scratch); err != nil {
+	var (
+		bad   []int
+		spare []byte
+		err   error
+	)
+	if s.integ.fits {
+		spare = s.spares.Get().([]byte)
+		defer s.putVerifySpare(spare)
+		if s.integ.verify {
+			bad, err = s.verifiedRead(ppn, scratch, spare)
+		} else {
+			// Verification off: a content-and-trailer-preserving move, so
+			// a later verifying open still sees the original seal.
+			err = s.scanRead(ppn, scratch, spare)
+		}
+	} else {
+		_, err = s.verifiedRead(ppn, scratch, nil)
+	}
+	if err != nil {
 		return err
 	}
 	dst, err := s.alloc.AllocGC(ch)
@@ -133,6 +160,17 @@ func (s *Store) relocateBasePage(pid uint32, ts uint64, ppn flash.PPN, ch int) e
 	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
 		Seq: s.alloc.SeqOf(s.params.BlockOf(dst)), Mode: mode}, spareBuf)
+	if s.integ.fits {
+		if s.integ.verify && len(bad) == 0 {
+			ftl.SealSpare(scratch, spareBuf) // verified copy: fresh seal (scrub)
+		} else {
+			// Unverified or uncorrectable content: carry the original ECC
+			// so corruption stays detectable; only the header checksum is
+			// recomputed (Seq and mode changed with the move).
+			copy(ftl.SpareECC(spareBuf, p.DataSize), ftl.SpareECC(spare, p.DataSize))
+			ftl.ResealHeader(spareBuf, p.DataSize)
+		}
+	}
 	if err := s.dev.Program(dst, scratch, spareBuf); err != nil {
 		return err
 	}
@@ -152,15 +190,38 @@ func (s *Store) relocateBasePage(pid uint32, ts uint64, ppn flash.PPN, ch int) e
 // differentials that are still current (the mapping table still points at
 // this page for their pid).
 //
+// The read is verified: an uncorrectably corrupt victim page is healed
+// from the decoded-differential cache when its records are still there
+// (an exact decode of the page's current content, validated against the
+// mapping below like any other), and otherwise fails the collection
+// loudly with the typed error — silently compacting garbage records, or
+// silently dropping the page's survivors, would turn into wrong reads
+// later.
+//
 //pdlvet:holds flash
 func (s *Store) validDifferentials(ppn flash.PPN) ([]diff.Differential, error) {
 	scratch := s.getPage()
 	defer s.putPage(scratch)
-	if err := s.dev.ReadData(ppn, scratch); err != nil {
+	spare := s.getVerifySpare()
+	bad, err := s.verifiedRead(ppn, scratch, spare)
+	s.putVerifySpare(spare)
+	if err != nil {
 		return nil, err
 	}
+	var recs []diff.Differential
+	if len(bad) > 0 {
+		cached, ok := s.dcache.get(ppn)
+		if !ok {
+			s.itel.unrecoverablePages.Add(1)
+			return nil, &ftl.PageError{PID: ftl.NoPID, PPN: ppn, Kind: ftl.CorruptDiff}
+		}
+		s.itel.pagesHealed.Add(1)
+		recs = cached
+	} else {
+		recs = diff.DecodeAll(scratch)
+	}
 	var out []diff.Differential
-	for _, d := range diff.DecodeAll(scratch) {
+	for _, d := range recs {
 		if int(d.PID) >= s.numPages {
 			continue
 		}
@@ -197,6 +258,7 @@ func (s *Store) writeCompactedPage(ds []pendingDiff, ch int) error {
 	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
 		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, spareBuf)
+	s.seal(img, spareBuf)
 	if err := s.dev.Program(q, img, spareBuf); err != nil {
 		return err
 	}

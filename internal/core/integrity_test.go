@@ -1,0 +1,560 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"pdl/internal/diff"
+	"pdl/internal/flash"
+	"pdl/internal/flash/faultdev"
+	"pdl/internal/flash/filedev"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+)
+
+// faultedStore builds a store over a fault-injecting wrapper of a fresh
+// emulator chip, loads numPages pages of deterministic content, and
+// flushes so every pid has a durable base page.
+func faultedStore(t *testing.T, numBlocks, numPages int, opts Options) (*Store, *faultdev.Device, [][]byte) {
+	t.Helper()
+	fd := faultdev.Wrap(flash.NewChip(ftltest.SmallParams(numBlocks)))
+	s, err := New(fd, numPages, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := loadInto(t, s, numPages)
+	return s, fd, shadow
+}
+
+func loadInto(t *testing.T, s *Store, numPages int) [][]byte {
+	t.Helper()
+	size := s.params.DataSize
+	shadow := make([][]byte, numPages)
+	rng := rand.New(rand.NewSource(11))
+	for pid := 0; pid < numPages; pid++ {
+		shadow[pid] = make([]byte, size)
+		rng.Read(shadow[pid])
+		if err := s.WritePage(uint32(pid), shadow[pid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return shadow
+}
+
+// rewriteSector flips every byte of one 256-byte sector of the shadow and
+// reflects the page, so the resulting differential covers that sector
+// exactly.
+func rewriteSector(t *testing.T, s *Store, shadow [][]byte, pid uint32, sector int) {
+	t.Helper()
+	for i := sector * 256; i < (sector+1)*256; i++ {
+		shadow[pid][i] ^= 0x5A
+	}
+	if err := s.WritePage(pid, shadow[pid]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func entryOf(s *Store, pid uint32) pageEntry {
+	e, _ := s.mt.snapshot(pid)
+	return e
+}
+
+func mustReadEqual(t *testing.T, s *Store, pid uint32, want []byte) {
+	t.Helper()
+	buf := make([]byte, len(want))
+	if err := s.ReadPage(pid, buf); err != nil {
+		t.Fatalf("ReadPage(%d): %v", pid, err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("pid %d read does not match shadow", pid)
+	}
+}
+
+func TestIntegritySingleBitFlipCorrects(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	e := entryOf(s, 3)
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.BitFlip, Off: 100, Bit: 3})
+	mustReadEqual(t, s, 3, shadow[3])
+	if tel := s.Telemetry(); tel.EccCorrectedBits == 0 {
+		t.Error("EccCorrectedBits = 0 after a corrected read")
+	} else if tel.PagesHealed != 0 || tel.UnrecoverablePages != 0 {
+		t.Errorf("single-bit correction counted as heal/loss: %+v", tel)
+	}
+}
+
+func TestIntegrityHealFromBufferedDiff(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	e := entryOf(s, 2)
+	rewriteSector(t, s, shadow, 2, 1) // buffered differential covering sector 1
+	if s.WriteBufferLen() == 0 {
+		t.Fatal("update unexpectedly not buffered")
+	}
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.SectorCorrupt, Off: 256})
+	mustReadEqual(t, s, 2, shadow[2])
+	if tel := s.Telemetry(); tel.PagesHealed == 0 {
+		t.Error("PagesHealed = 0 after a buffered-diff heal")
+	}
+	// The heal is transient (the buffered differential is the only delta
+	// against the lost base); the page keeps reading correctly either way.
+	mustReadEqual(t, s, 2, shadow[2])
+}
+
+func TestIntegrityHealFromFlushedDiffIsDurable(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	e := entryOf(s, 4)
+	rewriteSector(t, s, shadow, 4, 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if entryOf(s, 4).dif == flash.NilPPN {
+		t.Fatal("expected a flushed differential page")
+	}
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.SectorCorrupt, Off: 256})
+	mustReadEqual(t, s, 4, shadow[4])
+	if tel := s.Telemetry(); tel.PagesHealed == 0 {
+		t.Error("PagesHealed = 0 after a flushed-diff heal")
+	}
+	// Durable heal: the mapping moved off the corrupt page onto a freshly
+	// written merged base, and the differential link is gone.
+	healed := entryOf(s, 4)
+	if healed.base == e.base {
+		t.Error("mapping still points at the corrupt base page")
+	}
+	if healed.dif != flash.NilPPN {
+		t.Error("healed page still carries a differential link")
+	}
+	mustReadEqual(t, s, 4, shadow[4])
+	// And the healed state survives a full-scan recovery.
+	r, err := Recover(s.dev, 8, Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustReadEqual(t, r, 4, shadow[4])
+}
+
+func TestIntegrityCorruptBaseTypedError(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	// Sector 0 is corrupted but the only redundancy (a differential)
+	// covers sector 1: healing must refuse and fail loudly.
+	e := entryOf(s, 5)
+	rewriteSector(t, s, shadow, 5, 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.SectorCorrupt, Off: 0})
+	buf := make([]byte, s.params.DataSize)
+	err := s.ReadPage(5, buf)
+	var pe *ftl.PageError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ReadPage = %v, want *ftl.PageError", err)
+	}
+	if pe.Kind != ftl.CorruptBase || pe.PID != 5 || pe.PPN != e.base {
+		t.Fatalf("PageError = %+v", pe)
+	}
+	if tel := s.Telemetry(); tel.UnrecoverablePages == 0 {
+		t.Error("UnrecoverablePages = 0 after a typed failure")
+	}
+	// A page with no differential at all fails the same way.
+	e7 := entryOf(s, 7)
+	fd.Inject(faultdev.Fault{PPN: e7.base, Kind: faultdev.PageLoss})
+	if err := s.ReadPage(7, buf); !errors.As(err, &pe) || pe.Kind != ftl.CorruptBase {
+		t.Fatalf("ReadPage after page loss = %v, want CorruptBase", err)
+	}
+}
+
+func TestIntegrityCorruptDiffTypedError(t *testing.T) {
+	// The decoded-differential cache must be off: with it on, the decode
+	// made at flush/read time would serve as a redundant source.
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2, DiffCachePages: DiffCacheOff})
+	rewriteSector(t, s, shadow, 1, 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(s, 1)
+	if e.dif == flash.NilPPN {
+		t.Fatal("expected a flushed differential page")
+	}
+	fd.Inject(faultdev.Fault{PPN: e.dif, Kind: faultdev.SectorCorrupt, Off: 0})
+	buf := make([]byte, s.params.DataSize)
+	err := s.ReadPage(1, buf)
+	var pe *ftl.PageError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ReadPage = %v, want *ftl.PageError", err)
+	}
+	if pe.Kind != ftl.CorruptDiff || pe.PID != 1 || pe.PPN != e.dif {
+		t.Fatalf("PageError = %+v", pe)
+	}
+}
+
+func TestIntegrityWritePageHealsByOverwrite(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	e := entryOf(s, 6)
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.SectorCorrupt, Off: 256})
+	// A foreground write holds the complete new image: the corrupt base is
+	// simply replaced, whatever the damage.
+	shadow[6][10] ^= 0xFF
+	if err := s.WritePage(6, shadow[6]); err != nil {
+		t.Fatalf("WritePage over a corrupt base: %v", err)
+	}
+	if tel := s.Telemetry(); tel.PagesHealed == 0 {
+		t.Error("PagesHealed = 0 after heal-by-overwrite")
+	}
+	if entryOf(s, 6).base == e.base {
+		t.Error("mapping still points at the corrupt base page")
+	}
+	mustReadEqual(t, s, 6, shadow[6])
+}
+
+func TestIntegrityReadBatchHealsAndFailsTyped(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 12, Options{ReserveBlocks: 2})
+	// pid 1: single-bit flip (corrects); pid 2: corrupt base covered by a
+	// flushed differential (heals); the rest clean.
+	e1, e2 := entryOf(s, 1), entryOf(s, 2)
+	rewriteSector(t, s, shadow, 2, 0)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fd.Inject(faultdev.Fault{PPN: e1.base, Kind: faultdev.BitFlip, Off: 40, Bit: 1})
+	fd.Inject(faultdev.Fault{PPN: e2.base, Kind: faultdev.SectorCorrupt, Off: 0})
+	pids := make([]uint32, 12)
+	bufs := make([][]byte, 12)
+	for i := range pids {
+		pids[i] = uint32(i)
+		bufs[i] = make([]byte, s.params.DataSize)
+	}
+	if err := s.ReadBatch(pids, bufs); err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	for i := range pids {
+		if !bytes.Equal(bufs[i], shadow[i]) {
+			t.Errorf("pid %d batch read does not match shadow", i)
+		}
+	}
+	if tel := s.Telemetry(); tel.PagesHealed == 0 || tel.EccCorrectedBits == 0 {
+		t.Errorf("batch read telemetry: %+v", s.Telemetry())
+	}
+	// An unhealable pid fails the whole batch with the typed error.
+	e3 := entryOf(s, 3)
+	fd.Inject(faultdev.Fault{PPN: e3.base, Kind: faultdev.SectorCorrupt, Off: 0})
+	var pe *ftl.PageError
+	if err := s.ReadBatch(pids, bufs); !errors.As(err, &pe) || pe.Kind != ftl.CorruptBase {
+		t.Fatalf("ReadBatch with unhealable pid = %v, want CorruptBase", err)
+	}
+}
+
+func TestIntegrityGCCompactionRescue(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	rewriteSector(t, s, shadow, 3, 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(s, 3)
+	if e.dif == flash.NilPPN {
+		t.Fatal("expected a flushed differential page")
+	}
+	// Populate the decoded-differential cache, then corrupt the page: the
+	// cached decode is an exact copy of the page's current records.
+	mustReadEqual(t, s, 3, shadow[3])
+	fd.Inject(faultdev.Fault{PPN: e.dif, Kind: faultdev.SectorCorrupt, Off: 0})
+	ds, err := s.validDifferentials(e.dif)
+	if err != nil {
+		t.Fatalf("validDifferentials with cached decode: %v", err)
+	}
+	if len(ds) != 1 || ds[0].PID != 3 {
+		t.Fatalf("rescued differentials = %+v", ds)
+	}
+	if tel := s.Telemetry(); tel.PagesHealed == 0 {
+		t.Error("PagesHealed = 0 after a compaction rescue")
+	}
+	// Without the cached decode the collection must fail loudly.
+	s.dcache.invalidate(e.dif)
+	var pe *ftl.PageError
+	if _, err := s.validDifferentials(e.dif); !errors.As(err, &pe) || pe.Kind != ftl.CorruptDiff {
+		t.Fatalf("validDifferentials without cache = %v, want CorruptDiff", err)
+	}
+}
+
+func TestIntegrityRecoveryQuarantine(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2})
+	eBit, eSec, eHdr := entryOf(s, 1), entryOf(s, 2), entryOf(s, 3)
+	fd.Inject(faultdev.Fault{PPN: eBit.base, Kind: faultdev.BitFlip, Off: 77, Bit: 6})
+	fd.Inject(faultdev.Fault{PPN: eSec.base, Kind: faultdev.SectorCorrupt, Off: 256})
+	// Offset 4 lands in the header's PID field: the checksum must catch it.
+	fd.Inject(faultdev.Fault{PPN: eHdr.base, Kind: faultdev.SpareCorrupt, Off: 4})
+
+	r, err := Recover(fd, 8, Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bit-flipped page recovers byte-identically; the corrupt pages
+	// are quarantined — their pids read as never written, never as wrong
+	// bytes — and every untouched pid is intact.
+	for pid := 0; pid < 8; pid++ {
+		buf := make([]byte, r.params.DataSize)
+		err := r.ReadPage(uint32(pid), buf)
+		switch pid {
+		case 2, 3:
+			if !errors.Is(err, ftl.ErrNotWritten) {
+				t.Errorf("quarantined pid %d: err = %v, want ErrNotWritten", pid, err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("pid %d: %v", pid, err)
+			} else if !bytes.Equal(buf, shadow[pid]) {
+				t.Errorf("pid %d recovered with wrong content", pid)
+			}
+		}
+	}
+	tel := r.Telemetry()
+	if tel.EccCorrectedBits == 0 {
+		t.Error("recovery corrected no bits")
+	}
+	if tel.UnrecoverablePages == 0 {
+		t.Error("recovery quarantined no uncorrectable page")
+	}
+	if tel.HeaderChecksumFailures == 0 {
+		t.Error("recovery caught no header checksum failure")
+	}
+	// Idempotence: recovering again (quarantined pages now carry obsolete
+	// marks) reproduces the same state.
+	r2, err := Recover(fd, 8, Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 8; pid++ {
+		buf := make([]byte, r2.params.DataSize)
+		err := r2.ReadPage(uint32(pid), buf)
+		if pid == 2 || pid == 3 {
+			if !errors.Is(err, ftl.ErrNotWritten) {
+				t.Errorf("re-recovery pid %d: err = %v", pid, err)
+			}
+		} else if err != nil || !bytes.Equal(buf, shadow[pid]) {
+			t.Errorf("re-recovery pid %d diverged: %v", pid, err)
+		}
+	}
+}
+
+// TestIntegrityRecoveryPoisonTS crafts the dangerous crash shape by hand:
+// two live base pages for one pid (the obsolete mark of the older never
+// landed) plus a differential computed against the NEWER one. When the
+// newer base is lost to corruption, recovery must NOT replay the
+// differential onto the older survivor — that would fabricate content that
+// never existed.
+func TestIntegrityRecoveryPoisonTS(t *testing.T) {
+	p := ftltest.SmallParams(8)
+	fd := faultdev.Wrap(flash.NewChip(p))
+
+	oldBase := make([]byte, p.DataSize) // content A, ts 10
+	newBase := make([]byte, p.DataSize) // content B, ts 20
+	for i := range oldBase {
+		oldBase[i] = byte(i)
+		newBase[i] = byte(i) ^ 0x0F
+	}
+	program := func(ppn flash.PPN, data []byte, h ftl.Header) {
+		spare := make([]byte, p.SpareSize)
+		ftl.EncodeHeaderInto(h, spare)
+		ftl.SealSpare(data, spare)
+		if err := fd.Program(ppn, data, spare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	program(0, oldBase, ftl.Header{Type: ftl.TypeBase, PID: 0, TS: 10, Seq: 1})
+	program(1, newBase, ftl.Header{Type: ftl.TypeBase, PID: 0, TS: 20, Seq: 1})
+	// The differential (ts 30) patches bytes 0..3 of the NEW base.
+	d := diff.Differential{PID: 0, TS: 30, Ranges: []diff.Range{{Off: 0, Data: []byte{0xAA, 0xBB, 0xCC, 0xDD}}}}
+	img := d.AppendTo(nil)
+	for len(img) < p.DataSize {
+		img = append(img, 0xFF)
+	}
+	program(2, img, ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: 30, Seq: 1})
+
+	fd.Inject(faultdev.Fault{PPN: 1, Kind: faultdev.SectorCorrupt, Off: 0})
+	s, err := Recover(fd, 4, Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entryOf(s, 0)
+	if e.base != 0 {
+		t.Fatalf("recovered base = %d, want the ts-10 survivor at ppn 0", e.base)
+	}
+	if e.dif != flash.NilPPN {
+		t.Fatal("poisoned differential was adopted — stale-base fabrication")
+	}
+	mustReadEqual(t, s, 0, oldBase)
+}
+
+// TestIntegrityKillMidHealRecovery kills the device on the heal's program
+// and checks the contract across restart: the pid either reads its correct
+// content or fails typed — never wrong bytes.
+func TestIntegrityKillMidHealRecovery(t *testing.T) {
+	chip := flash.NewChip(ftltest.SmallParams(16))
+	fd := faultdev.Wrap(chip)
+	s, err := New(fd, 8, Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := loadInto(t, s, 8)
+	e := entryOf(s, 4)
+	rewriteSector(t, s, shadow, 4, 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.SectorCorrupt, Off: 256})
+	chip.SchedulePowerFailure(1) // the heal's fresh base program tears
+
+	// The read itself still succeeds: the merged image was already in the
+	// caller's buffer; only the durable commit died with the power.
+	mustReadEqual(t, s, 4, shadow[4])
+	if !chip.PowerFailed() {
+		t.Fatal("heal did not attempt a durable commit")
+	}
+
+	r, err := Recover(fd, 8, Options{ReserveBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, r.params.DataSize)
+	switch err := r.ReadPage(4, buf); {
+	case err == nil:
+		if !bytes.Equal(buf, shadow[4]) {
+			t.Fatal("silent corruption: recovered pid 4 reads wrong bytes")
+		}
+	case errors.Is(err, ftl.ErrNotWritten):
+		// The corrupt base was quarantined and its differential poisoned:
+		// honest, typed loss.
+	default:
+		var pe *ftl.PageError
+		if !errors.As(err, &pe) {
+			t.Fatalf("recovered read failed untyped: %v", err)
+		}
+	}
+	// Every other pid is untouched by the heal and must survive exactly.
+	for pid := 0; pid < 8; pid++ {
+		if pid == 4 {
+			continue
+		}
+		mustReadEqual(t, r, uint32(pid), shadow[pid])
+	}
+}
+
+// TestIntegrityFaultCampaign runs a seeded mixed workload under an armed
+// fault campaign on each backend and asserts the end-to-end contract:
+// every read either returns bytes identical to the model or a typed
+// *ftl.PageError; every write either applies or fails typed. Anything
+// else is silent corruption.
+func TestIntegrityFaultCampaign(t *testing.T) {
+	backends := []struct {
+		name string
+		dev  func(t *testing.T, p flash.Params) flash.Device
+	}{
+		{"emu", ftltest.EmulatorDevice},
+		{"filedev", func(t *testing.T, p flash.Params) flash.Device {
+			d, err := filedev.Open(filepath.Join(t.TempDir(), "fault.pdl"), filedev.Options{Params: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{"striped4", ftltest.StripedDevice(4, ftltest.EmulatorDevice)},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			p := ftltest.SmallParams(24)
+			fd := faultdev.Wrap(b.dev(t, p))
+			s, err := New(fd, 32, Options{ReserveBlocks: 2, Shards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			model := loadInto(t, s, 32)
+			fd.Arm(&faultdev.Campaign{Seed: 7, Rate: 0.05})
+
+			rng := rand.New(rand.NewSource(3))
+			buf := make([]byte, p.DataSize)
+			var pe *ftl.PageError
+			typedReadErrs, typedWriteErrs := 0, 0
+			for step := 0; step < 500; step++ {
+				pid := uint32(rng.Intn(32))
+				switch rng.Intn(4) {
+				case 0, 1: // partial update
+					next := append([]byte(nil), model[pid]...)
+					for k := 0; k < 8; k++ {
+						next[rng.Intn(p.DataSize)] ^= byte(1 + rng.Intn(255))
+					}
+					if err := s.WritePage(pid, next); err != nil {
+						if !errors.As(err, &pe) {
+							t.Fatalf("step %d: write failed untyped: %v", step, err)
+						}
+						typedWriteErrs++
+						continue
+					}
+					model[pid] = next
+				case 2: // read
+					if err := s.ReadPage(pid, buf); err != nil {
+						if !errors.As(err, &pe) {
+							t.Fatalf("step %d: read failed untyped: %v", step, err)
+						}
+						typedReadErrs++
+						continue
+					}
+					if !bytes.Equal(buf, model[pid]) {
+						t.Fatalf("step %d: SILENT CORRUPTION on pid %d", step, pid)
+					}
+				case 3: // occasional flush
+					if rng.Intn(4) == 0 {
+						if err := s.Flush(); err != nil && !errors.As(err, &pe) {
+							t.Fatalf("step %d: flush failed untyped: %v", step, err)
+						}
+					}
+				}
+			}
+			// Final sweep: every pid is byte-identical or fails typed.
+			lost := 0
+			for pid := uint32(0); pid < 32; pid++ {
+				if err := s.ReadPage(pid, buf); err != nil {
+					if !errors.As(err, &pe) {
+						t.Fatalf("sweep pid %d: untyped error %v", pid, err)
+					}
+					lost++
+					continue
+				}
+				if !bytes.Equal(buf, model[pid]) {
+					t.Fatalf("sweep pid %d: SILENT CORRUPTION", pid)
+				}
+			}
+			tel := s.Telemetry()
+			t.Logf("%s: injected=%v corrected=%d healed=%d lost=%d typedRead=%d typedWrite=%d",
+				b.name, fd.Snapshot().Injected, tel.EccCorrectedBits, tel.PagesHealed, lost, typedReadErrs, typedWriteErrs)
+			if tel.EccCorrectedBits == 0 && tel.PagesHealed == 0 && lost == 0 {
+				t.Error("campaign exercised no integrity machinery (rate too low?)")
+			}
+		})
+	}
+}
+
+// TestIntegrityVerifyOffServesUncorrupted checks the -verify=off baseline:
+// sealing still happens (so a later verifying open can check the pages),
+// but reads skip verification entirely.
+func TestIntegrityVerifyOffServesUncorrupted(t *testing.T) {
+	s, fd, shadow := faultedStore(t, 16, 8, Options{ReserveBlocks: 2, DisableVerify: true})
+	e := entryOf(s, 3)
+	fd.Inject(faultdev.Fault{PPN: e.base, Kind: faultdev.BitFlip, Off: 100, Bit: 3})
+	buf := make([]byte, s.params.DataSize)
+	if err := s.ReadPage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), shadow[3]...)
+	want[100] ^= 1 << 3
+	if !bytes.Equal(buf, want) {
+		t.Fatal("verify-off read did not pass the raw (corrupt) bytes through")
+	}
+	if tel := s.Telemetry(); tel.EccCorrectedBits != 0 || tel.PagesHealed != 0 {
+		t.Errorf("verify-off store ran verification: %+v", tel)
+	}
+}

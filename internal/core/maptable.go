@@ -172,6 +172,39 @@ func (t *mapTable) setBasePage(pid uint32, ppn flash.PPN, ts uint64, mode uint8)
 	return old
 }
 
+// healBaseTo commits a read-path self-heal (integrity.go): pid's base
+// becomes ppn with the heal's fresh time stamp and any differential
+// linkage is cleared — the healed image already merges it — but only if
+// pid's entry is still at version v, the version the healing read pinned
+// its merged image to. On false the healed copy at ppn is dead and must
+// be discarded by the caller; the racing mutation (GC relocation; flushes
+// and writes are excluded by the shard lock the healer holds) owns the
+// mapping. The mode hint is deliberately untouched: healing copies the
+// logical content, it does not reroute the pid. Caller holds the flash
+// lock.
+//
+//pdlvet:holds flash
+func (t *mapTable) healBaseTo(pid uint32, v uint64, ppn flash.PPN, ts uint64) (old pageEntry, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ver[pid] != v {
+		return pageEntry{}, false
+	}
+	old = t.ppmt[pid]
+	if invariantsEnabled {
+		assertf(old.base != flash.NilPPN, "healing pid %d with no base page", pid)
+		assertf(ts > t.baseTS[pid],
+			"heal TS not monotone for pid %d: committed %d after %d", pid, ts, t.baseTS[pid])
+	}
+	delete(t.reverseBase, old.base)
+	t.ppmt[pid] = pageEntry{base: ppn, dif: flash.NilPPN}
+	t.baseTS[pid] = ts
+	t.diffTS[pid] = 0
+	t.reverseBase[ppn] = pid
+	t.ver[pid]++
+	return old, true
+}
+
 // relocateBaseFrom moves pid's base page mapping from src to dst during
 // garbage collection, but only if src is still pid's base — a writer on
 // another channel may have committed a newer base since the collector's

@@ -141,6 +141,12 @@ type Options struct {
 	// differential (PDL) and whole-page (OPU) routes; see adaptive.go.
 	// Disabled by default, which preserves the paper's fixed method.
 	Adaptive AdaptiveOptions
+	// DisableVerify turns off read-path integrity verification (ECC
+	// checks, single-bit correction, and self-healing; see integrity.go).
+	// Pages are still sealed on program whenever the geometry allows, so
+	// a store reopened with verification on can check everything this
+	// store wrote. Used by benchmarks to measure verification overhead.
+	DisableVerify bool
 }
 
 // DiffCacheOff disables the decoded-differential cache when assigned to
@@ -216,6 +222,14 @@ type Store struct {
 	// held (the read path takes no store-level lock) and folded into
 	// Telemetry snapshots.
 	rtel readTelemetry
+	// integ is the page-integrity configuration (spare-area ECC sealing
+	// and read-path verification; see integrity.go), and itel its event
+	// counters (atomics: verifying reads run with no store-level lock).
+	integ integrity
+	itel  integrityTelemetry
+	// spares pools spare-area scratch buffers for the verifying read
+	// paths (the write paths use the per-channel spareBuf instead).
+	spares sync.Pool
 	// dcache is the decoded-differential cache (nil when disabled); its
 	// coherence protocol is documented on the type.
 	dcache *diffCache
@@ -297,6 +311,23 @@ type Telemetry struct {
 	// AdaptiveModeSwitches counts foreground mode flips (either
 	// direction); GC-driven flips are in ftl.ChannelGCStats.ModeMigrations.
 	AdaptiveModeSwitches int64
+	// EccCorrectedBits counts single-bit flips the spare-area SEC-DED
+	// ECC silently corrected across every verifying read path (foreground
+	// reads, GC relocation reads, recovery scans).
+	EccCorrectedBits int64
+	// PagesHealed counts reads of uncorrectably corrupt pages that were
+	// served by self-healing: the content was rebuilt from a redundant
+	// source (differential chain, decoded-differential cache, or shard
+	// write buffer) instead of failing the read.
+	PagesHealed int64
+	// UnrecoverablePages counts reads that found uncorrectable corruption
+	// with no surviving redundant source and returned ftl.PageError — the
+	// integrity contract's terminal case.
+	UnrecoverablePages int64
+	// HeaderChecksumFailures counts spare-area headers rejected by their
+	// checksum (corrupt spares quarantined during recovery scans rather
+	// than trusted as mappings).
+	HeaderChecksumFailures int64
 }
 
 // FlashOpsPerLogicalWrite is the paper's cost metric — flash programs and
@@ -423,6 +454,11 @@ func New(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		shards:   make([]shard, numShards),
 	}
 	s.pages.New = func() any { return make([]byte, p.DataSize) }
+	s.spares.New = func() any { return make([]byte, p.SpareSize) }
+	s.integ = integrity{
+		fits: ftl.IntegrityFits(p.DataSize, p.SpareSize),
+	}
+	s.integ.verify = s.integ.fits && !opts.DisableVerify
 	if opts.Adaptive.Enabled {
 		if p.SpareSize < ftl.HeaderSpareBytes {
 			return nil, fmt.Errorf("core: adaptive routing needs %d spare bytes for the mode tag, device has %d",
@@ -715,12 +751,27 @@ func (s *Store) WritePage(pid uint32, data []byte) error {
 			}
 			return s.writeNewBasePageLocked(pid, data, 0)
 		}
-		err := s.dev.ReadData(e.base, base)
-		if !s.mt.stable(pid, v) {
+		spare := s.getVerifySpare()
+		stable, bad, err := s.verifiedReadStable(e.base, base, spare, pid, v)
+		s.putVerifySpare(spare)
+		if !stable {
 			continue
 		}
 		if err != nil {
 			return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+		}
+		if len(bad) > 0 {
+			// The base page is uncorrectably corrupt, but a write does not
+			// need it: data is the complete up-to-date image, so writing it
+			// as a new base page heals the pid outright (any buffered
+			// differential was computed against the lost base and is
+			// superseded with it).
+			sh.dwb.remove(pid)
+			s.itel.pagesHealed.Add(1)
+			if s.adap != nil {
+				s.wtel.pdlRoutes.Add(1)
+			}
+			return s.writeNewBasePageLocked(pid, data, 0)
 		}
 		break
 	}
@@ -863,20 +914,44 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 	sh := s.shardOf(pid)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	return s.readPageLocked(sh, pid, buf)
+}
 
+// readPageLocked is ReadPage's body, factored out so the batched read
+// path can route individual pids through it (verification failures, racy
+// entries) without re-taking shard locks. The caller holds pid's shard
+// lock, shared or exclusive.
+//
+//pdlvet:holds shard
+func (s *Store) readPageLocked(sh *shard, pid uint32, buf []byte) error {
 	for {
 		e, v := s.mt.snapshot(pid)
 		if e.base == flash.NilPPN {
 			return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pid)
 		}
-		// Step 1: read the base page.
-		err := s.dev.ReadData(e.base, buf)
-		if !s.mt.stable(pid, v) {
+		// Step 1: read the base page, verifying its data area against the
+		// spare-area ECC when integrity is on.
+		spare := s.getVerifySpare()
+		stable, bad, err := s.verifiedReadStable(e.base, buf, spare, pid, v)
+		s.putVerifySpare(spare)
+		if !stable {
 			s.rtel.readRetries.Add(1)
 			continue // relocated mid-read; retry on the new mapping
 		}
 		if err != nil {
 			return fmt.Errorf("core: reading base page of pid %d: %w", pid, err)
+		}
+		if len(bad) > 0 {
+			// Uncorrectable base corruption: attempt to heal from a
+			// redundant source (see integrity.go). A false, nil return
+			// means the mapping moved mid-heal; retry from a fresh
+			// snapshot.
+			healed, err := s.healBaseRead(sh, pid, e, v, buf, bad)
+			if healed || err != nil {
+				return err
+			}
+			s.rtel.readRetries.Add(1)
+			continue
 		}
 		// Step 2: find the differential. The shard read lock keeps the
 		// write buffer stable (flushes take the shard lock exclusively).
@@ -906,8 +981,10 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 		}
 		gen := s.dcache.genSnapshot()
 		scratch := s.getPage()
-		err = s.dev.ReadData(e.dif, scratch)
-		if !s.mt.stable(pid, v) {
+		spare = s.getVerifySpare()
+		stable, dbad, err := s.verifiedReadStable(e.dif, scratch, spare, pid, v)
+		s.putVerifySpare(spare)
+		if !stable {
 			s.putPage(scratch)
 			s.rtel.readRetries.Add(1)
 			continue // compacted mid-read; retry (base may have moved too)
@@ -915,6 +992,14 @@ func (s *Store) ReadPage(pid uint32, buf []byte) error {
 		if err != nil {
 			s.putPage(scratch)
 			return fmt.Errorf("core: reading differential page of pid %d: %w", pid, err)
+		}
+		if len(dbad) > 0 {
+			// An uncorrectably corrupt differential page. The write buffer
+			// and the decoded cache were already consulted above, so no
+			// redundant source for pid's newest differential remains.
+			s.putPage(scratch)
+			s.itel.unrecoverablePages.Add(1)
+			return &ftl.PageError{PID: pid, PPN: e.dif, Kind: ftl.CorruptDiff}
 		}
 		if s.dcache != nil {
 			// Decode the whole page once and cache it: the differential
@@ -1029,6 +1114,7 @@ func (s *Store) writeNewBasePage(pid uint32, data []byte, ch int, mode byte) err
 	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: pid, TS: ts,
 		Seq: s.alloc.SeqOf(s.params.BlockOf(q)), Mode: mode}, spareBuf)
+	s.seal(data, spareBuf)
 	if err := s.dev.Program(q, data, spareBuf); err != nil {
 		return fmt.Errorf("core: writing base page of pid %d: %w", pid, err)
 	}
@@ -1083,7 +1169,9 @@ func (s *Store) flushShardLocked(sh *shard, ch int) error {
 	spareBuf := s.chans[ch].spareBuf
 	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeDiff, PID: ftl.NoPID, TS: s.nextTS(),
 		Seq: s.alloc.SeqOf(s.params.BlockOf(q))}, spareBuf)
-	if err := s.dev.Program(q, sh.dwb.encode(), spareBuf); err != nil {
+	img := sh.dwb.encode()
+	s.seal(img, spareBuf)
+	if err := s.dev.Program(q, img, spareBuf); err != nil {
 		return fmt.Errorf("core: writing differential page: %w", err)
 	}
 	// q begins a new life as a differential page: fence off any cached
@@ -1192,6 +1280,10 @@ func (s *Store) Telemetry() Telemetry {
 	t.AdaptiveOPURoutes = s.wtel.opuRoutes.Load()
 	t.AdaptiveProbes = s.wtel.probes.Load()
 	t.AdaptiveModeSwitches = s.wtel.modeSwitches.Load()
+	t.EccCorrectedBits = s.itel.eccCorrectedBits.Load()
+	t.PagesHealed = s.itel.pagesHealed.Load()
+	t.UnrecoverablePages = s.itel.unrecoverablePages.Load()
+	t.HeaderChecksumFailures = s.itel.headerChecksumFailures.Load()
 	return t
 }
 

@@ -85,7 +85,13 @@ func (s *Store) ReadBatch(pids []uint32, bufs [][]byte) error {
 			s.rtel.readRetries.Add(int64(len(todo)))
 		}
 		// Step 1: snapshot every pending pid and read all base pages as
-		// one device batch, straight into the caller's buffers.
+		// one device batch, straight into the caller's buffers (plus one
+		// spare slab for verification when integrity is on).
+		spareSize := s.params.SpareSize
+		var spareSlab []byte
+		if s.integ.verify {
+			spareSlab = make([]byte, len(todo)*spareSize)
+		}
 		batch := make([]flash.PageRead, len(todo))
 		for k := range todo {
 			p := &todo[k]
@@ -94,8 +100,11 @@ func (s *Store) ReadBatch(pids []uint32, bufs [][]byte) error {
 				return fmt.Errorf("%w: pid %d", ftl.ErrNotWritten, pids[p.i])
 			}
 			batch[k] = flash.PageRead{PPN: p.e.base, Data: bufs[p.i]}
+			if spareSlab != nil {
+				batch[k].Spare = spareSlab[k*spareSize : (k+1)*spareSize]
+			}
 		}
-		if err := s.dev.ReadBatch(batch); err != nil {
+		if err := s.verifiedReadBatch(batch); err != nil {
 			return fmt.Errorf("core: batch-reading %d base pages: %w", len(batch), err)
 		}
 		s.rtel.batchReads.Add(1)
@@ -108,11 +117,22 @@ func (s *Store) ReadBatch(pids []uint32, bufs [][]byte) error {
 		var retry []pending
 		difFor := make(map[flash.PPN][]pending)
 		var difOrder []flash.PPN
-		for _, p := range todo {
+		for k, p := range todo {
 			pid := pids[p.i]
 			if !s.mt.stable(pid, p.v) {
 				retry = append(retry, p)
 				continue
+			}
+			if spareSlab != nil {
+				if bad := s.verifyData(bufs[p.i], batch[k].Spare); len(bad) > 0 {
+					// Uncorrectable base page: the serial path heals it from
+					// a redundant source or returns the typed error; the
+					// pid's shard read lock is already held.
+					if err := s.readPageLocked(s.shardOf(pid), pid, bufs[p.i]); err != nil {
+						return err
+					}
+					continue
+				}
 			}
 			if d, ok := s.shardOf(pid).dwb.get(pid); ok {
 				if err := d.Apply(bufs[p.i]); err != nil {
@@ -144,16 +164,42 @@ func (s *Store) ReadBatch(pids []uint32, bufs [][]byte) error {
 		if len(difOrder) > 0 {
 			scratches := make([][]byte, len(difOrder))
 			dbatch := make([]flash.PageRead, len(difOrder))
+			var dspareSlab []byte
+			if s.integ.verify {
+				dspareSlab = make([]byte, len(difOrder)*spareSize)
+			}
 			for k, ppn := range difOrder {
 				scratches[k] = s.getPage()
 				dbatch[k] = flash.PageRead{PPN: ppn, Data: scratches[k]}
+				if dspareSlab != nil {
+					dbatch[k].Spare = dspareSlab[k*spareSize : (k+1)*spareSize]
+				}
 			}
-			err := s.dev.ReadBatch(dbatch)
+			err := s.verifiedReadBatch(dbatch)
 			if err == nil {
 				s.rtel.batchReads.Add(1)
 				s.rtel.batchedReads.Add(int64(len(dbatch)))
 				for k, ppn := range difOrder {
 					pageData := scratches[k]
+					if dspareSlab != nil {
+						if bad := s.verifyData(pageData, dbatch[k].Spare); len(bad) > 0 {
+							// Uncorrectable differential page: route every pid
+							// it was serving through the serial read path,
+							// which heals from redundant sources or surfaces
+							// the typed error. The corrupt decode must never
+							// reach the cache. Shard read locks are held.
+							for _, p := range difFor[ppn] {
+								pid := pids[p.i]
+								if err = s.readPageLocked(s.shardOf(pid), pid, bufs[p.i]); err != nil {
+									break
+								}
+							}
+							if err != nil {
+								break
+							}
+							continue
+						}
+					}
 					var recs []diff.Differential
 					if s.dcache != nil {
 						// Decode once per page; the insert is fenced by gen

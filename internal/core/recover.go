@@ -67,7 +67,7 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		wg.Add(1)
 		go func(res *scanResult, lo, hi int) {
 			defer wg.Done()
-			res.err = scanBlockRange(dev, p, numPages, lo, hi, infos, res)
+			res.err = s.scanBlockRange(lo, hi, infos, res)
 		}(&scans[w], lo, hi)
 	}
 	wg.Wait()
@@ -89,6 +89,21 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 			}
 		}
 	}
+	// A quarantined (uncorrectably corrupt) base page poisons the
+	// differentials computed against it: when the quarantined image was
+	// newer than the surviving winner, any differential newer than the
+	// quarantined time stamp was computed against the lost image, and
+	// replaying it onto the older survivor would fabricate page content.
+	// The global poison threshold per pid is the OLDEST quarantined base
+	// (conservative when several copies of a pid are corrupt at once).
+	poison := make(map[uint32]uint64)
+	for w := range scans {
+		for pid, ts := range scans[w].poison {
+			if cur, ok := poison[pid]; !ok || ts < cur {
+				poison[pid] = ts
+			}
+		}
+	}
 	for w := range scans {
 		for pid, c := range scans[w].diffs {
 			if s.mt.ppmt[pid].base == flash.NilPPN {
@@ -96,6 +111,9 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 			}
 			if c.ts <= s.mt.baseTS[pid] {
 				continue // the base page is newer (Fig. 11: ts(d) > ts(bp))
+			}
+			if pts, ok := poison[pid]; ok && pts > s.mt.baseTS[pid] && c.ts > pts {
+				continue // computed against a quarantined, lost base image
 			}
 			if s.mt.ppmt[pid].dif == flash.NilPPN || c.ts > s.mt.diffTS[pid] {
 				s.mt.ppmt[pid].dif = c.ppn
@@ -136,20 +154,26 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 		if h.Obsolete {
 			continue
 		}
-		useless := false
-		switch h.Type {
-		case ftl.TypeBase:
-			useless = int(h.PID) >= numPages || s.mt.ppmt[h.PID].base != flash.PPN(ppn)
-		case ftl.TypeDiff:
-			useless = s.mt.vdct[flash.PPN(ppn)] == 0
-		case ftl.TypeFree:
-			useless = infos[ppn].torn
-		case ftl.TypeCheckpoint:
-			// Checkpoint chunks are managed by the checkpoint region
-			// (which erases whole halves); never invalidate them here.
-			useless = false
-		default:
-			useless = true // unknown page type: written by another method
+		// A quarantined page is useless by definition: its content (or its
+		// header) failed verification and it competed for nothing, so the
+		// type switch below is skipped — a corrupt header cannot be trusted
+		// to classify the page.
+		useless := infos[ppn].quarantined
+		if !useless {
+			switch h.Type {
+			case ftl.TypeBase:
+				useless = int(h.PID) >= numPages || s.mt.ppmt[h.PID].base != flash.PPN(ppn)
+			case ftl.TypeDiff:
+				useless = s.mt.vdct[flash.PPN(ppn)] == 0
+			case ftl.TypeFree:
+				useless = infos[ppn].torn
+			case ftl.TypeCheckpoint:
+				// Checkpoint chunks are managed by the checkpoint region
+				// (which erases whole halves); never invalidate them here.
+				useless = false
+			default:
+				useless = true // unknown page type: written by another method
+			}
 		}
 		if useless {
 			// Physical marking only; allocator bookkeeping happens
@@ -219,6 +243,10 @@ func Recover(dev flash.Device, numPages int, opts Options) (*Store, error) {
 type pageInfo struct {
 	hdr  ftl.Header
 	torn bool // spare erased but data programmed (torn base write)
+	// quarantined marks a page that failed integrity verification (header
+	// checksum or uncorrectable data ECC): it is excluded from arbitration
+	// and set obsolete by the useless-page pass.
+	quarantined bool
 }
 
 // candidate is one page competing to be a pid's base page or newest
@@ -239,16 +267,34 @@ type candidate struct {
 type scanResult struct {
 	bases map[uint32]candidate
 	diffs map[uint32]candidate
-	err   error
+	// poison records, per pid, the oldest time stamp of a quarantined
+	// (uncorrectably corrupt) base page the worker saw: differentials newer
+	// than it may have been computed against the lost image and are
+	// rejected by the merge when the quarantined page would have won.
+	poison map[uint32]uint64
+	err    error
 }
 
 // scanBlockRange reads blocks [lo, hi) for recovery: every page's spare
 // header lands in infos (indices disjoint between workers), and the
 // worker's candidate tables collect base pages and decoded differentials.
 // Each worker owns its buffers, and devices serve concurrent reads.
-func scanBlockRange(dev flash.Device, p flash.Params, numPages, lo, hi int, infos []pageInfo, res *scanResult) error {
+//
+// When integrity verification is on, a programmed page must pass its
+// spare-area header checksum and (base and differential pages) its
+// data-area ECC before it may compete: a page that fails either check is
+// quarantined — excluded from arbitration and set obsolete by the
+// useless-page pass — so a corrupt spare can never masquerade as a valid
+// mapping and corrupt data never silently wins arbitration. Single-bit
+// errors are corrected in place (and counted) before differential pages
+// are decoded. Checkpoint chunks are exempt here: the checkpoint region
+// verifies its own chunks in findCheckpoint, where a corrupt chunk
+// demotes the whole checkpoint to incomplete.
+func (s *Store) scanBlockRange(lo, hi int, infos []pageInfo, res *scanResult) error {
+	dev, p, numPages := s.dev, s.params, s.numPages
 	res.bases = make(map[uint32]candidate)
 	res.diffs = make(map[uint32]candidate)
+	res.poison = make(map[uint32]uint64)
 	spare := make([]byte, p.SpareSize)
 	data := make([]byte, p.DataSize)
 	for blk := lo; blk < hi; blk++ {
@@ -260,7 +306,10 @@ func scanBlockRange(dev flash.Device, p flash.Params, numPages, lo, hi int, info
 		}
 		for i := 0; i < p.PagesPerBlock; i++ {
 			ppn := flash.PPN(blk*p.PagesPerBlock + i)
-			if err := dev.ReadSpare(ppn, spare); err != nil {
+			// One charged device read fetches both areas: the data area is
+			// needed anyway for torn-page detection, differential decoding,
+			// and ECC verification.
+			if err := s.scanRead(ppn, data, spare); err != nil {
 				return fmt.Errorf("core: recovery scan of ppn %d: %w", ppn, err)
 			}
 			h := ftl.DecodeHeader(spare)
@@ -268,14 +317,17 @@ func scanBlockRange(dev flash.Device, p flash.Params, numPages, lo, hi int, info
 			if h.Obsolete {
 				continue
 			}
+			if s.integ.verify && h.Type != ftl.TypeFree && h.Type != ftl.TypeCheckpoint &&
+				!ftl.VerifyHeaderChecksum(spare, p.DataSize) {
+				s.itel.headerChecksumFailures.Add(1)
+				infos[ppn].quarantined = true
+				continue
+			}
 			switch h.Type {
 			case ftl.TypeFree:
 				// A free-looking page may hide a torn program whose spare
 				// never made it; verify the data area is still erased so the
 				// allocator never hands out a dirty page.
-				if err := dev.ReadData(ppn, data); err != nil {
-					return err
-				}
 				if !allErased(data) {
 					infos[ppn].torn = true
 				}
@@ -283,12 +335,25 @@ func scanBlockRange(dev flash.Device, p flash.Params, numPages, lo, hi int, info
 				if int(h.PID) >= numPages {
 					continue
 				}
+				if s.integ.verify && len(s.verifyData(data, spare)) > 0 {
+					s.itel.unrecoverablePages.Add(1)
+					infos[ppn].quarantined = true
+					if ts, ok := res.poison[h.PID]; !ok || h.TS < ts {
+						res.poison[h.PID] = h.TS
+					}
+					continue
+				}
 				if c, ok := res.bases[h.PID]; !ok || h.TS > c.ts {
 					res.bases[h.PID] = candidate{ppn: ppn, ts: h.TS, mode: h.Mode}
 				}
 			case ftl.TypeDiff:
-				if err := dev.ReadData(ppn, data); err != nil {
-					return err
+				if s.integ.verify && len(s.verifyData(data, spare)) > 0 {
+					// The page's records are unreadable; the pids it served
+					// fall back to their base images (or an older surviving
+					// differential), which is consistent — just older.
+					s.itel.unrecoverablePages.Add(1)
+					infos[ppn].quarantined = true
+					continue
 				}
 				for _, d := range diff.DecodeAll(data) {
 					if int(d.PID) >= numPages {

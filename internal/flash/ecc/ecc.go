@@ -35,9 +35,13 @@ var (
 	ErrCodeSize = errors.New("ecc: code must be exactly 3 bytes")
 )
 
-// parity returns the even parity of b (1 if odd number of bits).
-func parity(b byte) byte {
-	return byte(bits.OnesCount8(b) & 1)
+// parityTab[b] is the even parity of b (1 if odd number of bits).
+var parityTab [256]byte
+
+func init() {
+	for i := range parityTab {
+		parityTab[i] = byte(bits.OnesCount8(uint8(i)) & 1)
+	}
 }
 
 // Compute returns the 3-byte ECC of one 256-byte sector.
@@ -47,42 +51,40 @@ func parity(b byte) byte {
 //	code[0] = line parity LP0..LP7   (address bits 0..3 of the byte index)
 //	code[1] = line parity LP8..LP15  (address bits 4..7 of the byte index)
 //	code[2] = column parity CP0..CP5 in bits 2..7, bits 0..1 set to 1
+//
+// Line parity bit LP(2k+1) is the parity of the bytes whose index has bit
+// k set; since parity distributes over XOR, the loop folds each byte's
+// one-bit parity into an 8-bit accumulator addressed by the byte's index,
+// and the even half of every pair is the sector parity XOR the odd half.
+// This is on the read path of every verifying page read, hence the
+// table-driven single pass.
 func Compute(data []byte) ([CodeSize]byte, error) {
 	var code [CodeSize]byte
 	if len(data) != SectorSize {
 		return code, fmt.Errorf("%w: got %d bytes", ErrSectorSize, len(data))
 	}
-	var lp [16]byte    // LP0..LP15: 8 even/odd pairs over byte-index bits
-	var colAcc byte    // XOR of all bytes: basis for column parity
-	var colSel [6]byte // CP accumulators
+	var colAcc byte // XOR of all bytes: basis for column parity
+	var oddAcc byte // bit k = parity of the odd half of line pair k
+	var all byte    // parity of the whole sector
 	for i, b := range data {
 		colAcc ^= b
-		for k := 0; k < 8; k++ {
-			if i&(1<<k) != 0 {
-				lp[2*k+1] ^= b // odd half
-			} else {
-				lp[2*k] ^= b // even half
-			}
-		}
+		p := parityTab[b]
+		all ^= p
+		oddAcc ^= byte(i) & -p
 	}
+	var line uint16
+	for k := 0; k < 8; k++ {
+		odd := (oddAcc >> k) & 1
+		line |= uint16(all^odd) << (2 * k)
+		line |= uint16(odd) << (2*k + 1)
+	}
+	code[0] = byte(line)
+	code[1] = byte(line >> 8)
 	// Column parity: pairs over bit index. CP0 covers even bits, CP1 odd
 	// bits, CP2 bits with bit1=0, CP3 bit1=1, CP4 bit2=0, CP5 bit2=1.
-	colSel[0] = colAcc & 0b01010101
-	colSel[1] = colAcc & 0b10101010
-	colSel[2] = colAcc & 0b00110011
-	colSel[3] = colAcc & 0b11001100
-	colSel[4] = colAcc & 0b00001111
-	colSel[5] = colAcc & 0b11110000
-	for k := 0; k < 16; k++ {
-		bit := parity(lp[k])
-		if k < 8 {
-			code[0] |= bit << k
-		} else {
-			code[1] |= bit << (k - 8)
-		}
-	}
-	for k := 0; k < 6; k++ {
-		code[2] |= parity(colSel[k]) << (k + 2)
+	masks := [6]byte{0b01010101, 0b10101010, 0b00110011, 0b11001100, 0b00001111, 0b11110000}
+	for k, m := range masks {
+		code[2] |= parityTab[colAcc&m] << (k + 2)
 	}
 	code[2] |= 0x03 // unused low bits kept erased-compatible
 	return code, nil
@@ -172,4 +174,32 @@ func CorrectPage(data, codes []byte) (int, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// CorrectPageSectors verifies a whole page against its concatenated ECC
+// like CorrectPage, but does not stop at the first uncorrectable sector:
+// every correctable sector is corrected in place and every uncorrectable
+// sector index is collected, so a healing layer can decide whether a
+// redundant source covers exactly the damaged sectors. It returns the
+// total corrected bits and the (nil when clean) sorted list of
+// uncorrectable sector indices. The only error is a size mismatch between
+// data and codes.
+func CorrectPageSectors(data, codes []byte) (corrected int, bad []int, err error) {
+	if len(data)%SectorSize != 0 {
+		return 0, nil, fmt.Errorf("%w: page of %d bytes is not sector-aligned", ErrSectorSize, len(data))
+	}
+	if len(codes) != len(data)/SectorSize*CodeSize {
+		return 0, nil, fmt.Errorf("%w: %d code bytes for %d data bytes", ErrCodeSize, len(codes), len(data))
+	}
+	for i, off := 0, 0; off < len(data); i, off = i+1, off+SectorSize {
+		var c [CodeSize]byte
+		copy(c[:], codes[i*CodeSize:])
+		n, err := Correct(data[off:off+SectorSize], c)
+		if err != nil {
+			bad = append(bad, i)
+			continue
+		}
+		corrected += n
+	}
+	return corrected, bad, nil
 }

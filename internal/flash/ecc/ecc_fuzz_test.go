@@ -1,0 +1,216 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestTwoBitFlipsAlwaysUncorrectable proves the DED half of SEC-DED for
+// this layout: any two distinct bit flips within the data area are
+// reported ErrUncorrectable — never miscorrected into a third value. The
+// argument: a single flip makes every even/odd parity pair disagree in
+// exactly one member (pairs 01/10); the syndrome of two flips is the XOR
+// of two such patterns, so every pair lands on 00 or 11, and since the
+// two bit addresses differ somewhere at least one pair is 11.
+func TestTwoBitFlipsAlwaysUncorrectable(t *testing.T) {
+	data := randomSector(42)
+	code, err := Compute(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b int) {
+		t.Helper()
+		corrupt := append([]byte(nil), data...)
+		corrupt[a/8] ^= 1 << (a % 8)
+		corrupt[b/8] ^= 1 << (b % 8)
+		snapshot := append([]byte(nil), corrupt...)
+		n, err := Correct(corrupt, code)
+		if !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("bits %d,%d: got n=%d err=%v, want ErrUncorrectable", a, b, n, err)
+		}
+		if !bytes.Equal(corrupt, snapshot) {
+			t.Fatalf("bits %d,%d: data mutated on uncorrectable error", a, b)
+		}
+	}
+	// Exhaustive over a dense window (covers same-byte and neighbouring-
+	// byte pairs) ...
+	for a := 0; a < 64; a++ {
+		for b := a + 1; b < 64; b++ {
+			check(a, b)
+		}
+	}
+	// ... plus randomized pairs over the whole sector.
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 5000; i++ {
+		a := rng.Intn(SectorSize * 8)
+		b := rng.Intn(SectorSize * 8)
+		if a == b {
+			continue
+		}
+		check(a, b)
+	}
+}
+
+// TestDataPlusCodeFlipDetected covers the mixed case: one flip in the
+// data area and one in the stored code. The single data flip yields a
+// full 01/10 pair pattern; the code flip breaks exactly one pair to 00 or
+// 11, so the error stays detected (flips in code[2]'s unused low bits are
+// ignored by construction and leave the data flip correctable).
+func TestDataPlusCodeFlipDetected(t *testing.T) {
+	data := randomSector(44)
+	code, err := Compute(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 2000; i++ {
+		dataBit := rng.Intn(SectorSize * 8)
+		codeBit := rng.Intn(CodeSize * 8)
+		corrupt := append([]byte(nil), data...)
+		corrupt[dataBit/8] ^= 1 << (dataBit % 8)
+		badCode := code
+		badCode[codeBit/8] ^= 1 << (codeBit % 8)
+		n, err := Correct(corrupt, badCode)
+		if codeBit == 16 || codeBit == 17 { // code[2] unused low bits
+			if err != nil || n != 1 || !bytes.Equal(corrupt, data) {
+				t.Fatalf("data bit %d + ignored code bit %d: n=%d err=%v", dataBit, codeBit, n, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("data bit %d + code bit %d: n=%d err=%v, want ErrUncorrectable", dataBit, codeBit, n, err)
+		}
+	}
+}
+
+func TestCorrectPageSectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	page := make([]byte, 1024) // 4 sectors
+	rng.Read(page)
+	codes, err := ComputePage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), page...)
+
+	// Clean page.
+	n, bad, err := CorrectPageSectors(page, codes)
+	if n != 0 || bad != nil || err != nil {
+		t.Fatalf("clean page: n=%d bad=%v err=%v", n, bad, err)
+	}
+
+	// Single-bit flip in sector 1, double-bit smash in sector 2, sector 3
+	// single-bit: the smashed sector must be reported without stopping
+	// the corrections on either side.
+	page[300] ^= 0x04
+	page[600] ^= 0x81
+	page[900] ^= 0x40
+	n, bad, err = CorrectPageSectors(page, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("corrected %d bits, want 2", n)
+	}
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Errorf("bad sectors %v, want [2]", bad)
+	}
+	if !bytes.Equal(page[:512], want[:512]) || !bytes.Equal(page[768:], want[768:]) {
+		t.Error("correctable sectors not restored around the bad one")
+	}
+
+	// Size validation.
+	if _, _, err := CorrectPageSectors(make([]byte, 100), nil); !errors.Is(err, ErrSectorSize) {
+		t.Errorf("unaligned page: %v", err)
+	}
+	if _, _, err := CorrectPageSectors(make([]byte, 512), make([]byte, 5)); !errors.Is(err, ErrCodeSize) {
+		t.Errorf("bad code size: %v", err)
+	}
+}
+
+// FuzzCorrect throws arbitrary data/code pairs at Correct and checks the
+// contract: no panic, n in {0, 1}, data untouched on error, and on
+// success the (possibly corrected) data is consistent with the stored
+// code (modulo code[2]'s unused low bits).
+func FuzzCorrect(f *testing.F) {
+	seed := randomSector(7)
+	code, _ := Compute(seed)
+	f.Add(append([]byte(nil), seed...), code[0], code[1], code[2])
+	flipped := append([]byte(nil), seed...)
+	flipped[10] ^= 0x20
+	f.Add(flipped, code[0], code[1], code[2])
+	f.Add(bytes.Repeat([]byte{0xFF}, SectorSize), byte(0xFF), byte(0xFF), byte(0xFF))
+	f.Fuzz(func(t *testing.T, data []byte, c0, c1, c2 byte) {
+		if len(data) != SectorSize {
+			data = append(data, bytes.Repeat([]byte{0xA5}, SectorSize)...)[:SectorSize]
+		}
+		before := append([]byte(nil), data...)
+		code := [CodeSize]byte{c0, c1, c2}
+		n, err := Correct(data, code)
+		if err != nil {
+			if !bytes.Equal(data, before) {
+				t.Fatal("data mutated on error")
+			}
+			return
+		}
+		if n != 0 && n != 1 {
+			t.Fatalf("corrected %d bits", n)
+		}
+		fresh, err := Compute(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh[0] != code[0] || fresh[1] != code[1] || (fresh[2]^code[2])&0xFC != 0 {
+			t.Fatalf("accepted data inconsistent with code: fresh=%v stored=%v", fresh, code)
+		}
+	})
+}
+
+// FuzzCorrectPage drives the page-level helpers with fuzzed corruption
+// masks and checks they agree with per-sector Correct and never panic.
+func FuzzCorrectPage(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{0x80})
+	f.Add(bytes.Repeat([]byte{0x55}, 64), []byte{0, 0, 0, 4})
+	f.Fuzz(func(t *testing.T, raw, mask []byte) {
+		page := append(raw, bytes.Repeat([]byte{0x3C}, 2*SectorSize)...)
+		page = page[:len(page)/SectorSize*SectorSize]
+		codes, err := ComputePage(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range mask {
+			if len(page) == 0 {
+				break
+			}
+			page[(i*131)%len(page)] ^= m
+		}
+		corrupt := append([]byte(nil), page...)
+		n, bad, err := CorrectPageSectors(page, codes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 0 {
+			t.Fatalf("negative correction count %d", n)
+		}
+		// Cross-check each reported-bad sector really is uncorrectable,
+		// and each clean sector verifies against its code.
+		badSet := map[int]bool{}
+		for _, s := range bad {
+			badSet[s] = true
+		}
+		for i, off := 0, 0; off < len(page); i, off = i+1, off+SectorSize {
+			var c [CodeSize]byte
+			copy(c[:], codes[i*CodeSize:])
+			sec := append([]byte(nil), corrupt[off:off+SectorSize]...)
+			_, err := Correct(sec, c)
+			if badSet[i] != (err != nil) {
+				t.Fatalf("sector %d: CorrectPageSectors bad=%v, Correct err=%v", i, badSet[i], err)
+			}
+			if err == nil && !bytes.Equal(sec, page[off:off+SectorSize]) {
+				t.Fatalf("sector %d: page-level and sector-level corrections disagree", i)
+			}
+		}
+	})
+}

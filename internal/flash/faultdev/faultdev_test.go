@@ -1,0 +1,200 @@
+package faultdev
+
+import (
+	"bytes"
+	"testing"
+
+	"pdl/internal/flash"
+	"pdl/internal/flash/ecc"
+	"pdl/internal/ftl"
+	"pdl/internal/ftltest"
+)
+
+func newWrapped(t *testing.T) (*Device, flash.Params) {
+	t.Helper()
+	p := ftltest.SmallParams(8)
+	d := Wrap(flash.NewChip(p))
+	return d, p
+}
+
+// programSealed programs ppn with a deterministic sealed page image and
+// returns copies of the programmed data and spare.
+func programSealed(t *testing.T, d *Device, p flash.Params, ppn flash.PPN, fill byte) ([]byte, []byte) {
+	t.Helper()
+	data := make([]byte, p.DataSize)
+	for i := range data {
+		data[i] = fill ^ byte(i)
+	}
+	spare := make([]byte, p.SpareSize)
+	ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: 7, TS: 42}, spare)
+	ftl.SealSpare(data, spare)
+	if err := d.Program(ppn, data, spare); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	return append([]byte(nil), data...), append([]byte(nil), spare...)
+}
+
+func TestOverlayAppliesAndClears(t *testing.T) {
+	d, p := newWrapped(t)
+	want, _ := programSealed(t, d, p, 3, 0x11)
+
+	d.Inject(Fault{PPN: 3, Kind: BitFlip, Off: 10, Bit: 4})
+	got := make([]byte, p.DataSize)
+	if err := d.ReadData(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[10] != want[10]^(1<<4) {
+		t.Fatalf("bit flip not applied: got %#x want %#x", got[10], want[10]^(1<<4))
+	}
+	for i := range got {
+		if i != 10 && got[i] != want[i] {
+			t.Fatalf("byte %d corrupted beyond the fault", i)
+		}
+	}
+	// The inner device is untouched; erasing the block clears the fault.
+	if err := d.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if fs := d.FaultsAt(3); len(fs) != 0 {
+		t.Fatalf("erase left %d faults", len(fs))
+	}
+	// Reprogramming a page replaces its content and clears its fault.
+	want2, _ := programSealed(t, d, p, 3, 0x22)
+	if err := d.ReadData(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want2) {
+		t.Fatal("reprogrammed page still reads faulted")
+	}
+	if c := d.Snapshot(); c.Injected[BitFlip] != 1 || c.Applied != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestPageLossReadsErased(t *testing.T) {
+	d, p := newWrapped(t)
+	programSealed(t, d, p, 5, 0x33)
+	d.Inject(Fault{PPN: 5, Kind: PageLoss})
+	data := make([]byte, p.DataSize)
+	spare := make([]byte, p.SpareSize)
+	if err := d.Read(5, data, spare); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data {
+		if b != 0xFF {
+			t.Fatalf("data[%d] = %#x, want erased", i, b)
+		}
+	}
+	for i, b := range spare {
+		if b != 0xFF {
+			t.Fatalf("spare[%d] = %#x, want erased", i, b)
+		}
+	}
+}
+
+// TestInjectedFaultsStayDetectable is the injector's core contract: every
+// fault kind produces a read that the integrity layer is GUARANTEED to
+// notice — BitFlip corrects silently, SectorCorrupt and trailer-landing
+// SpareCorrupt report uncorrectable sectors, never a miscorrection.
+func TestInjectedFaultsStayDetectable(t *testing.T) {
+	d, p := newWrapped(t)
+	eccOff := ftl.HeaderSpareBytes
+	cases := []struct {
+		name    string
+		fault   Fault
+		bad     int // expected uncorrectable sectors
+		fixed   int // expected corrected bits
+		spareOK bool
+	}{
+		{"bit-flip", Fault{Kind: BitFlip, Off: 300, Bit: 2}, 0, 1, true},
+		{"sector-corrupt", Fault{Kind: SectorCorrupt, Off: 256}, 1, 0, true},
+		{"spare-trailer", Fault{Kind: SpareCorrupt, Off: eccOff}, 1, 0, false},
+		{"page-loss", Fault{Kind: PageLoss}, p.DataSize / ecc.SectorSize, 0, false},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ppn := flash.PPN(i)
+			want, _ := programSealed(t, d, p, ppn, byte(0x40+i))
+			tc.fault.PPN = ppn
+			d.Inject(tc.fault)
+			data := make([]byte, p.DataSize)
+			spare := make([]byte, p.SpareSize)
+			if err := d.Read(ppn, data, spare); err != nil {
+				t.Fatal(err)
+			}
+			fixed, bad, err := ecc.CorrectPageSectors(data, ftl.SpareECC(spare, p.DataSize))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bad) != tc.bad || fixed != tc.fixed {
+				t.Fatalf("verify: %d bad sectors (want %d), %d corrected (want %d)",
+					len(bad), tc.bad, fixed, tc.fixed)
+			}
+			if tc.bad == 0 && !bytes.Equal(data, want) {
+				t.Fatal("corrected data does not match the original")
+			}
+			// Corrected or clean sectors must be byte-identical to the
+			// original — a miscorrection here would be silent corruption.
+			for s := 0; s*ecc.SectorSize < len(data); s++ {
+				isBad := false
+				for _, b := range bad {
+					if b == s {
+						isBad = true
+					}
+				}
+				if isBad {
+					continue
+				}
+				lo, hi := s*ecc.SectorSize, (s+1)*ecc.SectorSize
+				if !bytes.Equal(data[lo:hi], want[lo:hi]) {
+					t.Fatalf("sector %d miscorrected", s)
+				}
+			}
+		})
+	}
+}
+
+func TestSpareCorruptBreaksHeaderChecksum(t *testing.T) {
+	d, p := newWrapped(t)
+	programSealed(t, d, p, 2, 0x55)
+	d.Inject(Fault{PPN: 2, Kind: SpareCorrupt, Off: 4}) // lands in the PID field
+	spare := make([]byte, p.SpareSize)
+	if err := d.ReadSpare(2, spare); err != nil {
+		t.Fatal(err)
+	}
+	if ftl.VerifyHeaderChecksum(spare, p.DataSize) {
+		t.Fatal("corrupt header still passes its checksum")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []Fault {
+		p := ftltest.SmallParams(8)
+		d := Wrap(flash.NewChip(p))
+		d.Arm(&Campaign{Seed: 99, Rate: 0.5})
+		var all []Fault
+		for ppn := flash.PPN(0); ppn < 32; ppn++ {
+			data := make([]byte, p.DataSize)
+			spare := make([]byte, p.SpareSize)
+			ftl.EncodeHeaderInto(ftl.Header{Type: ftl.TypeBase, PID: uint32(ppn), TS: uint64(ppn) + 1}, spare)
+			ftl.SealSpare(data, spare)
+			if err := d.Program(ppn, data, spare); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, d.FaultsAt(ppn)...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("campaign with rate 0.5 over 32 programs injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"pdl/internal/flash"
+	"pdl/internal/flash/ecc"
 )
 
 // Errors returned by this package.
@@ -127,10 +128,23 @@ const (
 //	         detect blocks rewritten since the last checkpoint)
 //	[22]     logging-mode tag (adaptive method): 0xFF/0x00 differential
 //	         (PDL) or unset, ModeTagOPU whole-page; recovery reads it to
-//	         rebuild per-page routing state without replaying history
+//	         rebuild per-page logging state without replaying history
 //
-// The remaining bytes are left erased for ECC (see internal/flash/ecc) and
-// method-specific use.
+// When the geometry permits (data area sector-aligned, spare area large
+// enough), a sealed page additionally carries, immediately after the
+// header:
+//
+//	[23:23+E]  SEC-DED ECC over the data area, 3 bytes per 256-byte
+//	           sector (internal/flash/ecc); E = DataSize/256*3, 24 bytes
+//	           for the default 2KB page
+//	[23+E]     header checksum (CRC-8, poly 0x07) over spare[0] and
+//	           spare[2:23] — everything in the header EXCEPT the obsolete
+//	           flag, so the obsolete-marking partial program
+//	           (ObsoleteSpareInto) never invalidates a sealed spare
+//
+// A fully erased spare decodes as TypeFree and is exempt from the checksum
+// (torn-program detection already covers it). The remaining bytes are left
+// erased for method-specific use.
 const (
 	sparePosType     = 0
 	sparePosObsolete = 1
@@ -265,4 +279,152 @@ func CheckPageBuf(buf []byte, dataSize int) error {
 		return fmt.Errorf("%w: %d bytes, want %d", ErrPageSize, len(buf), dataSize)
 	}
 	return nil
+}
+
+// ECCSpareBytes returns the spare bytes the per-sector ECC of a data area
+// occupies: 3 per 256-byte sector, or 0 when the data area is not
+// sector-aligned (integrity disabled).
+func ECCSpareBytes(dataSize int) int {
+	if dataSize <= 0 || dataSize%ecc.SectorSize != 0 {
+		return 0
+	}
+	return dataSize / ecc.SectorSize * ecc.CodeSize
+}
+
+// IntegritySpareBytes returns the spare bytes the whole integrity trailer
+// occupies (data ECC plus one header-checksum byte), or 0 when the data
+// area cannot carry ECC.
+func IntegritySpareBytes(dataSize int) int {
+	e := ECCSpareBytes(dataSize)
+	if e == 0 {
+		return 0
+	}
+	return e + 1
+}
+
+// IntegrityFits reports whether a page of the given geometry can carry the
+// integrity trailer after its header.
+func IntegrityFits(dataSize, spareSize int) bool {
+	n := IntegritySpareBytes(dataSize)
+	return n > 0 && spareSize >= HeaderSpareBytes+n
+}
+
+// SpareECC returns the ECC region of a spare for the given data size. It
+// is a view, not a copy.
+func SpareECC(spare []byte, dataSize int) []byte {
+	return spare[HeaderSpareBytes : HeaderSpareBytes+ECCSpareBytes(dataSize)]
+}
+
+// crc8 updates a CRC-8 (polynomial 0x07, the CCITT/ATM HEC polynomial)
+// over p.
+func crc8(crc byte, p []byte) byte {
+	for _, b := range p {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// HeaderChecksum computes the CRC-8 of an encoded spare's header fields.
+// The obsolete flag (spare[1]) is deliberately excluded: obsoleting a page
+// is a later partial program of that one byte and must not invalidate the
+// seal.
+func HeaderChecksum(spare []byte) byte {
+	c := crc8(0, spare[:sparePosObsolete])
+	return crc8(c, spare[sparePosObsolete+1:HeaderSpareBytes])
+}
+
+// SealSpare writes the data-area ECC and the header checksum into the
+// integrity trailer of an encoded spare. It allocates nothing and is a
+// no-op when the geometry cannot carry the trailer, so writers may call it
+// unconditionally after EncodeHeaderInto.
+func SealSpare(data, spare []byte) {
+	if !IntegrityFits(len(data), len(spare)) {
+		return
+	}
+	off := HeaderSpareBytes
+	for s := 0; s < len(data); s += ecc.SectorSize {
+		c, _ := ecc.Compute(data[s : s+ecc.SectorSize])
+		copy(spare[off:], c[:])
+		off += ecc.CodeSize
+	}
+	spare[off] = HeaderChecksum(spare)
+}
+
+// ResealHeader recomputes only the header-checksum byte of a sealed
+// spare, leaving the ECC region as the caller staged it. Relocation
+// paths that carry forward a page's ORIGINAL ECC bytes — because the
+// data could not be verified and a fresh seal would launder the
+// corruption — use it after re-encoding the header (whose Seq and mode
+// fields change with the move).
+func ResealHeader(spare []byte, dataSize int) {
+	spare[HeaderSpareBytes+ECCSpareBytes(dataSize)] = HeaderChecksum(spare)
+}
+
+// VerifyHeaderChecksum reports whether a sealed spare's stored header
+// checksum matches its header fields. Callers must have established that
+// the geometry fits and that the page is not erased (TypeFree spares carry
+// no seal).
+func VerifyHeaderChecksum(spare []byte, dataSize int) bool {
+	return spare[HeaderSpareBytes+ECCSpareBytes(dataSize)] == HeaderChecksum(spare)
+}
+
+// PageErrorKind classifies an unrecoverable page-integrity failure.
+type PageErrorKind uint8
+
+// Page-error kinds.
+const (
+	// CorruptBase reports an uncorrectable base (or whole-image) page
+	// with no surviving redundant source to heal from.
+	CorruptBase PageErrorKind = iota + 1
+	// CorruptDiff reports an uncorrectable differential page whose
+	// records could not be re-derived from buffered or cached state.
+	CorruptDiff
+	// CorruptHeader reports a spare area whose header failed its
+	// checksum, so the page cannot be trusted to describe itself.
+	CorruptHeader
+)
+
+// String names the kind.
+func (k PageErrorKind) String() string {
+	switch k {
+	case CorruptBase:
+		return "corrupt base"
+	case CorruptDiff:
+		return "corrupt differential"
+	case CorruptHeader:
+		return "corrupt header"
+	default:
+		return fmt.Sprintf("PageErrorKind(%d)", uint8(k))
+	}
+}
+
+// PageError is the typed error a verifying read path returns when a
+// physical page is corrupt beyond both ECC correction and self-healing.
+// It is the integrity contract's terminal case: a read either returns the
+// exact bytes written (possibly after correcting or healing), or a
+// *PageError — never silently wrong data, never a panic.
+type PageError struct {
+	// PID is the logical page whose read failed (NoPID when the failure
+	// is not attributable to one logical page, e.g. a corrupt header
+	// found during scan).
+	PID uint32
+	// PPN is the corrupt physical page.
+	PPN flash.PPN
+	// Kind classifies the failure.
+	Kind PageErrorKind
+}
+
+// Error formats the failure.
+func (e *PageError) Error() string {
+	if e.PID == NoPID {
+		return fmt.Sprintf("ftl: unrecoverable page failure: %v at ppn %d", e.Kind, e.PPN)
+	}
+	return fmt.Sprintf("ftl: unrecoverable page failure: %v at ppn %d (pid %d)", e.Kind, e.PPN, e.PID)
 }
